@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harnesses:
+ * standard machine configurations, WORKER and application drivers,
+ * and fixed-width table formatting matching the paper's presentation.
+ */
+
+#ifndef SWEX_BENCH_BENCH_UTIL_HH
+#define SWEX_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/worker.hh"
+#include "core/spectrum.hh"
+#include "machine/mem_api.hh"
+
+namespace swex::bench
+{
+
+/** Alewife's clock; used to convert cycles to seconds for Table 3. */
+constexpr double clockHz = 33.0e6;
+
+/** Machine configuration used by the application studies. */
+inline MachineConfig
+appMachine(ProtocolConfig p, int nodes, bool victim = true)
+{
+    MachineConfig mc;
+    mc.numNodes = nodes;
+    mc.protocol = p;
+    if (victim)
+        mc.cacheCtrl.victimEntries = 6;
+    return mc;
+}
+
+/** Run WORKER and return elapsed cycles. */
+inline Tick
+runWorker(const MachineConfig &mc, const WorkerConfig &wc)
+{
+    Machine m(mc);
+    WorkerApp app(m, wc);
+    Tick t = app.run(m);
+    if (!app.verify(m))
+        fatal("WORKER verification failed under %s",
+              mc.protocol.name().c_str());
+    m.checkInvariants();
+    return t;
+}
+
+/** Result of one application run. */
+struct AppRun
+{
+    Tick cycles = 0;
+    bool ok = false;
+    double trapsRaised = 0;
+    double handlerCycles = 0;
+};
+
+/** Run an application's parallel kernel on a fresh machine. */
+inline AppRun
+runApp(App &app, const MachineConfig &mc)
+{
+    Machine m(mc);
+    AppRun r;
+    r.cycles = app.runParallel(m);
+    r.ok = app.verify(m);
+    m.checkInvariants();
+    r.trapsRaised = m.sumStat("home.trapsRaised");
+    r.handlerCycles = m.sumStat("home.handlerCycles");
+    return r;
+}
+
+/** Run an application's sequential reference on a 1-node machine. */
+inline Tick
+runAppSequential(App &app, ProtocolConfig p = ProtocolConfig::fullMap(),
+                 bool victim = true)
+{
+    MachineConfig mc = appMachine(p, 1, victim);
+    Machine m(mc);
+    Tick t = app.runSequential(m);
+    if (!app.verify(m))
+        fatal("%s sequential verification failed", app.name());
+    return t;
+}
+
+/** Print a separator line. */
+inline void
+rule(int width = 72)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace swex::bench
+
+#endif // SWEX_BENCH_BENCH_UTIL_HH

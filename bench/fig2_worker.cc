@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Figure 2: WORKER on 16 nodes; runtime of each
+ * software-extended protocol relative to the full-map protocol, as a
+ * function of worker-set size.
+ *
+ * Expected shape (paper): H5 == full-map until the worker set
+ * outgrows the hardware pointers, then degrades slowly; H2 and H1
+ * close behind; H1-LACK slightly worse; H1-ACK clearly worse;
+ * H0-ACK far worse at every size.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace swex;
+using namespace swex::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const int nodes = 16;
+    const std::vector<int> sizes = {1, 2, 3, 4, 5, 6, 8, 10, 12, 16};
+    const std::vector<SpectrumPoint> protos = {
+        {"H0-ACK", ProtocolConfig::h0()},
+        {"H1-ACK", ProtocolConfig::h1Ack()},
+        {"H1-LACK", ProtocolConfig::h1Lack()},
+        {"H1", ProtocolConfig::h1()},
+        {"H2", ProtocolConfig::hw(2)},
+        {"H5", ProtocolConfig::hw(5)},
+    };
+
+    WorkerConfig wc;
+    wc.iterations = 8;
+
+    std::printf("Figure 2: protocol performance vs worker set size "
+                "(WORKER, %d nodes)\n", nodes);
+    std::printf("Values are runtime relative to DirnHnbS- (full-map)"
+                "\n");
+    rule(90);
+    std::printf("%8s", "wss");
+    for (const auto &p : protos)
+        std::printf(" %9s", p.label.c_str());
+    std::printf(" %9s\n", "FULL(cyc)");
+    rule(90);
+
+    for (int s : sizes) {
+        wc.workerSetSize = s;
+        MachineConfig full;
+        full.numNodes = nodes;
+        full.protocol = ProtocolConfig::fullMap();
+        Tick base = runWorker(full, wc);
+
+        std::printf("%8d", s);
+        for (const auto &p : protos) {
+            MachineConfig mc;
+            mc.numNodes = nodes;
+            mc.protocol = p.protocol;
+            Tick t = runWorker(mc, wc);
+            std::printf(" %9.2f",
+                        static_cast<double>(t) /
+                            static_cast<double>(base));
+        }
+        std::printf(" %9llu\n", static_cast<unsigned long long>(base));
+    }
+    rule(90);
+    std::printf("Expected: columns ordered H0-ACK >> H1-ACK > "
+                "H1-LACK >= H1 ~= H2 > H5;\nH5 == 1.00 while the "
+                "worker set fits the 5 pointers + local bit.\n");
+    return 0;
+}

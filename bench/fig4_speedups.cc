@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces Figure 4: speedups of the six applications over their
+ * sequential runs, on 64 nodes, across the pointer-cost axis
+ * 0, 1, 2, 3, 4, 5, n (victim caching enabled, as in the paper).
+ *
+ * Expected shape: Dir_nH_5S_NB reaches 71-100% of full-map on every
+ * application; one-pointer protocols reach 42-100%; the software-only
+ * directory is lowest (down to ~11% on MP3D, ~70% on TSP and WATER).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/aq.hh"
+#include "apps/evolve.hh"
+#include "apps/mp3d.hh"
+#include "apps/smgrid.hh"
+#include "apps/tsp.hh"
+#include "apps/water.hh"
+#include "bench_util.hh"
+
+using namespace swex;
+using namespace swex::bench;
+
+namespace
+{
+
+constexpr int nodes = 64;
+
+using Factory = std::unique_ptr<App> (*)();
+
+std::unique_ptr<App>
+makeTsp()
+{
+    return std::make_unique<TspApp>(TspConfig{});
+}
+
+std::unique_ptr<App>
+makeAq()
+{
+    return std::make_unique<AqApp>(AqConfig{});
+}
+
+std::unique_ptr<App>
+makeSmgrid()
+{
+    SmgridConfig c;
+    c.fineSize = 65;
+    return std::make_unique<SmgridApp>(c);
+}
+
+std::unique_ptr<App>
+makeEvolve()
+{
+    auto app = std::make_unique<EvolveApp>(EvolveConfig{});
+    app->computeGroundTruth(nodes);
+    return app;
+}
+
+std::unique_ptr<App>
+makeMp3d()
+{
+    return std::make_unique<Mp3dApp>(Mp3dConfig{});
+}
+
+std::unique_ptr<App>
+makeWater()
+{
+    return std::make_unique<WaterApp>(WaterConfig{});
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const std::pair<const char *, Factory> apps[] = {
+        {"TSP", makeTsp},     {"AQ", makeAq},
+        {"SMGRID", makeSmgrid}, {"EVOLVE", makeEvolve},
+        {"MP3D", makeMp3d},   {"WATER", makeWater},
+    };
+
+    std::printf("Figure 4: application speedups over sequential, "
+                "64 nodes, victim caching on\n");
+    std::printf("Columns: hardware directory pointers "
+                "(0 = software-only, n = full-map)\n");
+    rule(86);
+    std::printf("%-8s", "app");
+    for (const auto &pt : pointerAxis())
+        std::printf(" %8s", pt.label.c_str());
+    std::printf(" %8s\n", "H5/FULL");
+    rule(86);
+
+    for (const auto &[name, make] : apps) {
+        auto seq_app = make();
+        Tick t_seq = runAppSequential(*seq_app);
+
+        std::printf("%-8s", name);
+        double h5 = 0, full = 0;
+        for (const auto &pt : pointerAxis()) {
+            auto app = make();
+            AppRun r = runApp(*app, appMachine(pt.protocol, nodes));
+            if (!r.ok)
+                fatal("%s failed verification under %s", name,
+                      pt.protocol.name().c_str());
+            double speedup = static_cast<double>(t_seq) /
+                             static_cast<double>(r.cycles);
+            if (pt.label == "5")
+                h5 = speedup;
+            if (pt.label == "n")
+                full = speedup;
+            std::printf(" %8.1f", speedup);
+            std::fflush(stdout);
+        }
+        std::printf(" %7.0f%%\n", 100.0 * h5 / full);
+    }
+    rule(86);
+    std::printf("Paper: H5 within 71-100%% of full-map on every "
+                "application; H0 as low as 11%%\n(MP3D) and as high "
+                "as ~70%% (TSP, WATER).\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrates: event
+ * queue throughput, cache lookup/fill, extended-directory operations,
+ * network injection, and a whole-machine WORKER iteration. These
+ * track the host-side performance of the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/worker.hh"
+#include "base/rng.hh"
+#include "core/ext_directory.hh"
+#include "machine/mem_api.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+using namespace swex;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheFillAccess(benchmark::State &state)
+{
+    stats::Group g;
+    Cache cache(64 * 1024, 6, &g);
+    Rng rng(1);
+    for (auto _ : state) {
+        Addr a = blockAlign(rng.below(1 << 22));
+        cache.fill(a, LineState::Shared, DataBlock{});
+        bool vh = false;
+        benchmark::DoNotOptimize(cache.access(a, vh));
+    }
+}
+BENCHMARK(BM_CacheFillAccess);
+
+void
+BM_ExtDirectoryChurn(benchmark::State &state)
+{
+    stats::Group g;
+    ExtDirectory ext(&g);
+    Rng rng(2);
+    for (auto _ : state) {
+        Addr a = blockAlign(rng.below(1 << 20));
+        ExtEntry &e = ext.alloc(a);
+        for (NodeId n = 0; n < 20; ++n)
+            ext.addSharer(e, n);
+        ext.release(a);
+    }
+}
+BENCHMARK(BM_ExtDirectoryChurn);
+
+void
+BM_MeshInjection(benchmark::State &state)
+{
+    struct NullSink : MsgReceiver
+    {
+        void receiveMessage(const Message &) override {}
+    };
+    EventQueue eq;
+    stats::Group g;
+    MeshNetwork net(eq, 64, NetworkConfig{}, &g);
+    NullSink sink;
+    for (int i = 0; i < 64; ++i)
+        net.setReceiver(i, &sink);
+    Rng rng(3);
+    for (auto _ : state) {
+        Message m;
+        m.type = MsgType::ReadReq;
+        m.src = static_cast<NodeId>(rng.below(64));
+        m.dst = static_cast<NodeId>(rng.below(64));
+        m.addr = 0x100;
+        net.send(m);
+        eq.run();
+    }
+}
+BENCHMARK(BM_MeshInjection);
+
+void
+BM_WorkerIteration16(benchmark::State &state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        MachineConfig mc;
+        mc.numNodes = 16;
+        mc.protocol = ProtocolConfig::hw(5);
+        Machine m(mc);
+        WorkerConfig wc;
+        wc.workerSetSize = 8;
+        wc.iterations = 2;
+        WorkerApp app(m, wc);
+        benchmark::DoNotOptimize(app.run(m));
+    }
+}
+BENCHMARK(BM_WorkerIteration16)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

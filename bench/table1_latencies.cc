@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces Table 1: average software-extension latencies of the
+ * flexible C and the hand-tuned assembly protocol handlers, measured
+ * by running WORKER on a 16-node Dir_n H_5 S_NB system with 8, 12,
+ * and 16 readers per block.
+ *
+ * Paper values (cycles):
+ *   readers   C read  asm read  C write  asm write
+ *      8        436      162       726       375
+ *     12        397      141       714       393
+ *     16        386      138       797       420
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace swex;
+using namespace swex::bench;
+
+namespace
+{
+
+struct Measured
+{
+    double read, write;
+};
+
+Measured
+measure(HandlerProfile profile, int readers)
+{
+    MachineConfig mc;
+    mc.numNodes = 16;
+    mc.protocol = ProtocolConfig::hw(5);
+    mc.profile = profile;
+
+    Machine m(mc);
+    WorkerConfig wc;
+    wc.workerSetSize = readers;
+    wc.iterations = 8;
+    WorkerApp app(m, wc);
+    app.run(m);
+    if (!app.verify(m))
+        fatal("WORKER failed");
+
+    double rsum = 0, rcnt = 0, wsum = 0, wcnt = 0;
+    for (const auto &node : m.nodes) {
+        rsum += node->home.readHandlerCycles.sum();
+        rcnt += static_cast<double>(
+            node->home.readHandlerCycles.count());
+        wsum += node->home.writeHandlerCycles.sum();
+        wcnt += static_cast<double>(
+            node->home.writeHandlerCycles.count());
+    }
+    return {rcnt ? rsum / rcnt : 0, wcnt ? wsum / wcnt : 0};
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("Table 1: average software extension latencies for C "
+                "and assembly (cycles)\n");
+    std::printf("Protocol DirnH5SNB, WORKER on 16 nodes\n");
+    rule();
+    std::printf("%8s %10s %10s %10s %10s\n", "Readers", "C Read",
+                "Asm Read", "C Write", "Asm Write");
+    rule();
+    const int paper_r[3][4] = {
+        {436, 162, 726, 375},
+        {397, 141, 714, 393},
+        {386, 138, 797, 420},
+    };
+    int row = 0;
+    for (int readers : {8, 12, 16}) {
+        Measured c = measure(HandlerProfile::FlexibleC, readers);
+        Measured a = measure(HandlerProfile::TunedAsm, readers);
+        std::printf("%8d %10.0f %10.0f %10.0f %10.0f\n", readers,
+                    c.read, a.read, c.write, a.write);
+        std::printf("%8s %10d %10d %10d %10d   (paper)\n", "",
+                    paper_r[row][0], paper_r[row][1], paper_r[row][2],
+                    paper_r[row][3]);
+        ++row;
+    }
+    rule();
+    std::printf("Expected shape: C handlers roughly 2x the assembly "
+                "handlers for both\nrequest types; latencies largely "
+                "independent of the reader count.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Table 3: application characteristics and sequential
+ * times. Problem sizes are scaled down from the paper so the complete
+ * study runs in CI time; the sequential cycle counts are converted to
+ * seconds at the paper's 33 MHz clock for comparison.
+ */
+
+#include <cstdio>
+
+#include "apps/aq.hh"
+#include "apps/evolve.hh"
+#include "apps/mp3d.hh"
+#include "apps/smgrid.hh"
+#include "apps/tsp.hh"
+#include "apps/water.hh"
+#include "bench_util.hh"
+
+using namespace swex;
+using namespace swex::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("Table 3: application characteristics "
+                "(sequential time at 33 MHz)\n");
+    rule(78);
+    std::printf("%-8s %-10s %-22s %12s %10s %10s\n", "Name", "Lang",
+                "Size (this repro)", "Seq cycles", "Seq (s)",
+                "Paper (s)");
+    rule(78);
+
+    {
+        TspConfig c;
+        TspApp app(c);
+        Tick t = runAppSequential(app);
+        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n", "TSP",
+                    "Mul-T", "10 city tour",
+                    static_cast<unsigned long long>(t),
+                    static_cast<double>(t) / clockHz, 1.1);
+    }
+    {
+        AqConfig c;
+        AqApp app(c);
+        Tick t = runAppSequential(app);
+        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n", "AQ",
+                    "Semi-C", "x^4y^4 on (0,2)^2",
+                    static_cast<unsigned long long>(t),
+                    static_cast<double>(t) / clockHz, 0.9);
+    }
+    {
+        SmgridConfig c;
+        c.fineSize = 65;
+        SmgridApp app(c);
+        Tick t = runAppSequential(app);
+        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n",
+                    "SMGRID", "Mul-T", "65x65 (paper: 129x129)",
+                    static_cast<unsigned long long>(t),
+                    static_cast<double>(t) / clockHz, 3.0);
+    }
+    {
+        EvolveConfig c;
+        EvolveApp app(c);
+        app.computeGroundTruth(64);
+        Tick t = runAppSequential(app);
+        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n",
+                    "EVOLVE", "Mul-T", "12 dimensions",
+                    static_cast<unsigned long long>(t),
+                    static_cast<double>(t) / clockHz, 1.3);
+    }
+    {
+        Mp3dConfig c;
+        Mp3dApp app(c);
+        Tick t = runAppSequential(app);
+        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n", "MP3D",
+                    "C", "1024 particles (10k)",
+                    static_cast<unsigned long long>(t),
+                    static_cast<double>(t) / clockHz, 0.6);
+    }
+    {
+        WaterConfig c;
+        WaterApp app(c);
+        Tick t = runAppSequential(app);
+        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n",
+                    "WATER", "C", "64 molecules",
+                    static_cast<unsigned long long>(t),
+                    static_cast<double>(t) / clockHz, 2.6);
+    }
+    rule(78);
+    return 0;
+}

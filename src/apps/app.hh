@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Common interface for the paper's application case studies
+ * (Section 6). Each application provides a parallel kernel, a
+ * sequential reference "without multiprocessor overhead" (the paper's
+ * speedup baseline), and a correctness check against a host-computed
+ * expected result.
+ */
+
+#ifndef SWEX_APPS_APP_HH
+#define SWEX_APPS_APP_HH
+
+#include <string>
+
+#include "machine/mem_api.hh"
+#include "sim/task.hh"
+
+namespace swex
+{
+
+/** One application case study. */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Allocate and initialize shared data on @p m (pre-run). */
+    virtual void setup(Machine &m) = 0;
+
+    /** The parallel kernel executed by thread @p tid. */
+    virtual Task<void> thread(Mem &m, int tid) = 0;
+
+    /** Single-threaded reference without synchronization overhead. */
+    virtual Task<void> sequential(Mem &m) = 0;
+
+    /** Validate results after a run (parallel or sequential). */
+    virtual bool verify(Machine &m) = 0;
+
+    /**
+     * Instruction footprint blocks for this app's compute phases.
+     * Defaults to a region that does not conflict with early heap
+     * allocations; TSP overrides this to reproduce the paper's
+     * instruction/data thrashing layout.
+     */
+    virtual std::vector<Addr>
+    footprint(Machine &m, int tid) const
+    {
+        std::vector<Addr> blocks;
+        Addr base = m.instrBase(static_cast<NodeId>(tid)) +
+                    2048ull * blockBytes;
+        for (int k = 0; k < 6; ++k)
+            blocks.push_back(base + static_cast<Addr>(k) * blockBytes);
+        return blocks;
+    }
+
+    /** Run the parallel kernel on every node; returns elapsed cycles. */
+    Tick
+    runParallel(Machine &m)
+    {
+        setup(m);
+        return m.run([this](Mem &mem, int tid) -> Task<void> {
+            mem.setFootprint(footprint(mem.machine(), tid));
+            co_await thread(mem, tid);
+        });
+    }
+
+    /** Run the sequential reference on a machine (use 1 node). */
+    Tick
+    runSequential(Machine &m)
+    {
+        setup(m);
+        return m.run([this](Mem &mem, int tid) -> Task<void> {
+            mem.setFootprint(footprint(mem.machine(), tid));
+            co_await sequential(mem);
+        }, 1);
+    }
+};
+
+} // namespace swex
+
+#endif // SWEX_APPS_APP_HH

@@ -1,0 +1,186 @@
+#include "apps/evolve.hh"
+
+namespace swex
+{
+
+EvolveApp::EvolveApp(const EvolveConfig &config) : cfg(config)
+{
+    SWEX_ASSERT(cfg.dimensions >= 4 && cfg.dimensions <= 20,
+                "EVOLVE dimensions out of range");
+    numVertices = 1u << cfg.dimensions;
+}
+
+Word
+EvolveApp::fitnessOf(unsigned vertex) const
+{
+    // Deterministic fitness with long ridges: mix a hash with a
+    // popcount gradient so walks are non-trivial and converge onto
+    // a small number of popular maxima.
+    std::uint64_t h = vertex * 0x9e3779b97f4a7c15ULL + cfg.seed;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    auto noise = static_cast<Word>(h & 0xffff);
+    auto gradient = static_cast<Word>(
+        __builtin_popcount(vertex) * 8000);
+    return gradient + noise;
+}
+
+unsigned
+EvolveApp::startVertex(int tid, int walk) const
+{
+    std::uint64_t h = (static_cast<std::uint64_t>(tid) << 20) +
+                      static_cast<std::uint64_t>(walk) * 7919 +
+                      cfg.seed * 31;
+    h *= 0x2545f4914f6cdd1dULL;
+    h ^= h >> 33;
+    return static_cast<unsigned>(h) & (numVertices - 1);
+}
+
+std::pair<unsigned, std::uint64_t>
+EvolveApp::hostWalk(unsigned start) const
+{
+    unsigned cur = start;
+    std::uint64_t steps = 0;
+    for (;;) {
+        Word cur_fit = fitnessOf(cur);
+        unsigned best_nbr = cur;
+        Word best_fit = cur_fit;
+        for (int d = 0; d < cfg.dimensions; ++d) {
+            unsigned nbr = cur ^ (1u << d);
+            Word f = fitnessOf(nbr);
+            if (f > best_fit) {
+                best_fit = f;
+                best_nbr = nbr;
+            }
+        }
+        if (best_nbr == cur)
+            return {cur, steps};
+        cur = best_nbr;
+        ++steps;
+    }
+}
+
+void
+EvolveApp::computeGroundTruth(int nthreads)
+{
+    truthThreads = nthreads;
+    expectedBest = 0;
+    expectedSteps = 0;
+    for (int tid = 0; tid < nthreads; ++tid) {
+        for (int w = 0; w < cfg.walksPerThread; ++w) {
+            auto [end, steps] = hostWalk(startVertex(tid, w));
+            expectedSteps += steps;
+            Word f = fitnessOf(end);
+            if (f > expectedBest)
+                expectedBest = f;
+        }
+    }
+}
+
+void
+EvolveApp::setup(Machine &m)
+{
+    observedSteps = 0;
+    fitness = SharedArray(m, numVertices, Layout::Interleaved);
+    for (unsigned v = 0; v < numVertices; ++v)
+        m.debugWrite(fitness.at(v), fitnessOf(v));
+
+    bestLock = SpinLock::create(m, 0);
+    bestAddr = m.allocOn(0, blockBytes, blockBytes);
+    stepsAddr = m.allocOn(0, blockBytes, blockBytes);
+    m.debugWrite(bestAddr, 0);
+    m.debugWrite(stepsAddr, 0);
+}
+
+Task<void>
+EvolveApp::thread(Mem &m, int tid)
+{
+    std::uint64_t my_steps = 0;
+    for (int w = 0; w < cfg.walksPerThread; ++w) {
+        unsigned cur = startVertex(tid, w);
+        for (;;) {
+            Word cur_fit = co_await m.read(fitness.at(cur));
+            unsigned best_nbr = cur;
+            Word best_fit = cur_fit;
+            for (int d = 0; d < cfg.dimensions; ++d) {
+                unsigned nbr = cur ^ (1u << d);
+                Word f = co_await m.read(fitness.at(nbr));
+                if (f > best_fit) {
+                    best_fit = f;
+                    best_nbr = nbr;
+                }
+            }
+            co_await m.work(cfg.stepWork);
+            if (best_nbr == cur)
+                break;
+            cur = best_nbr;
+            ++my_steps;
+        }
+
+        // Record the local maximum in the global best (hot block).
+        // Check before locking: the best only grows, so a stale read
+        // can only cause a harmless extra check under the lock.
+        Word end_fit = co_await m.read(fitness.at(cur));
+        Word cur_best = co_await m.read(bestAddr);
+        if (end_fit > cur_best) {
+            co_await bestLock.acquire(m);
+            Word best = co_await m.read(bestAddr);
+            if (end_fit > best)
+                co_await m.write(bestAddr, end_fit);
+            co_await bestLock.release(m);
+        }
+    }
+    co_await m.fetchAdd(stepsAddr, my_steps);
+    observedSteps += my_steps;
+}
+
+Task<void>
+EvolveApp::sequential(Mem &m)
+{
+    // All walks of all logical threads, on one node, no locking.
+    SWEX_ASSERT(truthThreads > 0,
+                "call computeGroundTruth before running EVOLVE");
+    Word best = 0;
+    std::uint64_t steps = 0;
+    for (int tid = 0; tid < truthThreads; ++tid) {
+        for (int w = 0; w < cfg.walksPerThread; ++w) {
+            unsigned cur = startVertex(tid, w);
+            for (;;) {
+                Word cur_fit = co_await m.read(fitness.at(cur));
+                unsigned best_nbr = cur;
+                Word best_fit = cur_fit;
+                for (int d = 0; d < cfg.dimensions; ++d) {
+                    unsigned nbr = cur ^ (1u << d);
+                    Word f = co_await m.read(fitness.at(nbr));
+                    if (f > best_fit) {
+                        best_fit = f;
+                        best_nbr = nbr;
+                    }
+                }
+                co_await m.work(cfg.stepWork);
+                if (best_nbr == cur)
+                    break;
+                cur = best_nbr;
+                ++steps;
+            }
+            Word end_fit = co_await m.read(fitness.at(cur));
+            if (end_fit > best)
+                best = end_fit;
+        }
+    }
+    co_await m.write(bestAddr, best);
+    co_await m.write(stepsAddr, steps);
+    observedSteps = steps;
+}
+
+bool
+EvolveApp::verify(Machine &m)
+{
+    if (truthThreads == 0)
+        return false;
+    return m.debugRead(bestAddr) == expectedBest &&
+           m.debugRead(stepsAddr) == expectedSteps;
+}
+
+} // namespace swex

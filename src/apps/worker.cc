@@ -1,0 +1,70 @@
+#include "apps/worker.hh"
+
+namespace swex
+{
+
+WorkerApp::WorkerApp(Machine &m, const WorkerConfig &config)
+    : cfg(config), numNodes(m.numNodes()),
+      blocks(m, static_cast<std::size_t>(m.numNodes()) * wordsPerBlock,
+             Layout::Blocked)
+{
+    // At workerSetSize == numNodes the writer is also a reader (the
+    // reader ring wraps onto it), matching the paper's 16-readers-on-
+    // 16-nodes configuration.
+    SWEX_ASSERT(cfg.workerSetSize >= 1 &&
+                cfg.workerSetSize <= numNodes,
+                "worker set size %d out of range", cfg.workerSetSize);
+    blocks.fill(m, 0);
+}
+
+Task<void>
+WorkerApp::thread(Mem &m, int tid)
+{
+    const int s = cfg.workerSetSize;
+    const int n = numNodes;
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+        // Read phase: the worker set of block b is the s readers
+        // b+1..b+s (mod n); the writer b itself is distinct. This
+        // node therefore reads blocks (tid-1)..(tid-s) mod n.
+        for (int j = 1; j <= s; ++j) {
+            int b = (tid - j + n) % n;
+            co_await m.read(blocks.at(
+                static_cast<std::size_t>(b) * wordsPerBlock));
+        }
+        co_await m.work(cfg.thinkTime);
+        // WORKER is a controlled experiment: use the machine's fast
+        // barrier so synchronization adds no coherence traffic of its
+        // own (Alewife's fast-barrier facility, paper Section 7).
+        co_await m.hwBarrier();
+
+        // Write phase: this node writes its own block.
+        co_await m.write(blocks.at(
+            static_cast<std::size_t>(tid) * wordsPerBlock),
+            static_cast<Word>(it + 1));
+        co_await m.work(cfg.thinkTime);
+        co_await m.hwBarrier();
+    }
+}
+
+Tick
+WorkerApp::run(Machine &m)
+{
+    return m.run([this](Mem &mem, int tid) {
+        return thread(mem, tid);
+    });
+}
+
+bool
+WorkerApp::verify(Machine &m) const
+{
+    for (int b = 0; b < numNodes; ++b) {
+        Word v = m.debugRead(blocks.at(
+            static_cast<std::size_t>(b) * wordsPerBlock));
+        if (v != static_cast<Word>(cfg.iterations))
+            return false;
+    }
+    return true;
+}
+
+} // namespace swex

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The WORKER synthetic benchmark (paper Section 5): a data structure
+ * with exact, controlled worker-set sizes. Each of the N nodes owns
+ * one memory block; the worker set of block b is the s reader nodes
+ * b+1, ..., b+s (mod N), with node b the (distinct) writer. Every
+ * iteration all readers read their blocks (every read misses),
+ * synchronize, then each writer writes its block (sending exactly one
+ * invalidation per reader), and synchronize again.
+ */
+
+#ifndef SWEX_APPS_WORKER_HH
+#define SWEX_APPS_WORKER_HH
+
+#include "machine/mem_api.hh"
+#include "runtime/shmem.hh"
+#include "runtime/sync.hh"
+
+namespace swex
+{
+
+struct WorkerConfig
+{
+    int workerSetSize = 4;   ///< readers per block (writer distinct)
+    int iterations = 10;
+    Cycles thinkTime = 32;   ///< compute between phases
+};
+
+/** The WORKER benchmark over one machine instance. */
+class WorkerApp
+{
+  public:
+    WorkerApp(Machine &m, const WorkerConfig &cfg);
+
+    /** The per-thread kernel (one thread per node). */
+    Task<void> thread(Mem &m, int tid);
+
+    /** Run to completion; returns elapsed cycles. */
+    Tick run(Machine &m);
+
+    /** Check post-run block contents. */
+    bool verify(Machine &m) const;
+
+  private:
+    WorkerConfig cfg;
+    int numNodes;
+    SharedArray blocks;             ///< one block per node, block i @ i
+};
+
+} // namespace swex
+
+#endif // SWEX_APPS_WORKER_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small integer math helpers used throughout the memory system.
+ */
+
+#ifndef SWEX_BASE_INTMATH_HH
+#define SWEX_BASE_INTMATH_HH
+
+#include <cstdint>
+
+namespace swex
+{
+
+/** True iff @p n is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log base 2; undefined for 0. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log base 2; undefined for 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return isPowerOf2(n) ? floorLog2(n) : floorLog2(n) + 1;
+}
+
+/** Ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+} // namespace swex
+
+#endif // SWEX_BASE_INTMATH_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 idiom: panic() for
+ * internal invariant violations, fatal() for user/configuration errors,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef SWEX_BASE_LOGGING_HH
+#define SWEX_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace swex
+{
+
+/** Render a printf-style format string into a std::string. */
+std::string vstrfmt(const char *fmt, va_list args);
+
+/** Render a printf-style format string into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug and abort. Call when something
+ * happens that should never happen regardless of what the user does.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error (bad configuration,
+ * invalid arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but survivable conditions. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/**
+ * Assertion macro for protocol and simulator invariants. Enabled in all
+ * build types: invariant checking is part of the deliverable.
+ */
+#define SWEX_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::swex::panic("assertion '%s' failed at %s:%d: %s",         \
+                          #cond, __FILE__, __LINE__,                    \
+                          ::swex::strfmt(__VA_ARGS__).c_str());         \
+        }                                                               \
+    } while (0)
+
+} // namespace swex
+
+#endif // SWEX_BASE_LOGGING_HH

@@ -1,0 +1,159 @@
+#include "base/stats.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "base/logging.hh"
+
+namespace swex::stats
+{
+
+Stat::Stat(Group *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << _value << " # " << desc() << "\n";
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        if (v < _min)
+            _min = v;
+        if (v > _max)
+            _max = v;
+    }
+    _count += count;
+    _sum += v * count;
+    _sumSq += v * v * count;
+}
+
+double
+Distribution::stddev() const
+{
+    if (_count < 2)
+        return 0.0;
+    double m = mean();
+    double var = (_sumSq - _count * m * m) / (_count - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::count " << _count
+       << " # " << desc() << "\n";
+    os << prefix << name() << "::mean " << mean() << "\n";
+    os << prefix << name() << "::min " << minValue() << "\n";
+    os << prefix << name() << "::max " << maxValue() << "\n";
+    os << prefix << name() << "::stddev " << stddev() << "\n";
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _sum = 0;
+    _sumSq = 0;
+    _min = 0;
+    _max = 0;
+}
+
+void
+Histogram::init(unsigned nbuckets, double width)
+{
+    SWEX_ASSERT(nbuckets > 0 && width > 0,
+                "histogram %s: bad geometry", name().c_str());
+    _buckets.assign(nbuckets, 0);
+    _width = width;
+    _total = 0;
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    SWEX_ASSERT(!_buckets.empty(), "histogram %s: not initialized",
+                name().c_str());
+    auto idx = static_cast<std::size_t>(v / _width);
+    if (idx >= _buckets.size())
+        idx = _buckets.size() - 1;
+    _buckets[idx] += count;
+    _total += count;
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::total " << _total
+       << " # " << desc() << "\n";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        os << prefix << name() << "::bucket" << i
+           << " " << _buckets[i] << "\n";
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : _buckets)
+        b = 0;
+    _total = 0;
+}
+
+Group::Group(Group *parent, std::string name)
+    : _name(std::move(name))
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string here = _name.empty() ? prefix : prefix + _name + ".";
+    for (const auto *s : _stats)
+        s->dump(os, here);
+    for (const auto *c : _children)
+        c->dump(os, here);
+}
+
+void
+Group::reset()
+{
+    for (auto *s : _stats)
+        s->reset();
+    for (auto *c : _children)
+        c->reset();
+}
+
+const Stat *
+Group::find(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto *s : _stats)
+            if (s->name() == path)
+                return s;
+        return nullptr;
+    }
+    std::string head = path.substr(0, dot);
+    std::string tail = path.substr(dot + 1);
+    for (const auto *c : _children)
+        if (c->name() == head)
+            return c->find(tail);
+    return nullptr;
+}
+
+} // namespace swex::stats

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Lightweight debug tracing, in the spirit of NWO's observation
+ * functions. Enable by setting the SWEX_TRACE environment variable;
+ * every protocol message, trap, and handler execution is logged with
+ * its tick. Zero overhead when disabled beyond one branch.
+ */
+
+#ifndef SWEX_BASE_TRACE_HH
+#define SWEX_BASE_TRACE_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace swex
+{
+
+/** True iff SWEX_TRACE is set in the environment. */
+inline bool
+traceEnabled()
+{
+    static const bool enabled = std::getenv("SWEX_TRACE") != nullptr;
+    return enabled;
+}
+
+} // namespace swex
+
+/** Trace a formatted event (printf-style). */
+#define SWEX_TRACE_EVENT(...)                                           \
+    do {                                                                \
+        if (::swex::traceEnabled()) {                                   \
+            std::fprintf(stderr, __VA_ARGS__);                          \
+            std::fprintf(stderr, "\n");                                 \
+        }                                                               \
+    } while (0)
+
+#endif // SWEX_BASE_TRACE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the simulator.
+ */
+
+#ifndef SWEX_BASE_TYPES_HH
+#define SWEX_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace swex
+{
+
+/** Simulated time, measured in processor clock cycles (33 MHz). */
+using Tick = std::uint64_t;
+
+/** A duration expressed in processor clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Byte address within the simulated (global) physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a processing node; nodes are numbered 0..n-1. */
+using NodeId = std::int32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = -1;
+
+/** Sentinel tick meaning "never". */
+constexpr Tick tickNever = std::numeric_limits<Tick>::max();
+
+/** One 64-bit data word, the unit of application-visible memory. */
+using Word = std::uint64_t;
+
+} // namespace swex
+
+#endif // SWEX_BASE_TYPES_HH

@@ -1,0 +1,1241 @@
+#include "core/home_controller.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+
+namespace swex
+{
+
+const char *
+trapKindName(TrapKind k)
+{
+    switch (k) {
+      case TrapKind::ReadOverflow: return "ReadOverflow";
+      case TrapKind::WriteOverflow: return "WriteOverflow";
+      case TrapKind::WriteBroadcast: return "WriteBroadcast";
+      case TrapKind::LastAck: return "LastAck";
+      case TrapKind::EveryAck: return "EveryAck";
+      case TrapKind::SwRequest: return "SwRequest";
+      case TrapKind::SwBusy: return "SwBusy";
+      default: return "?";
+    }
+}
+
+const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::Uncached: return "Uncached";
+      case DirState::Shared: return "Shared";
+      case DirState::Exclusive: return "Exclusive";
+      case DirState::PendRead: return "PendRead";
+      case DirState::PendWrite: return "PendWrite";
+      case DirState::SwPendWrite: return "SwPendWrite";
+      default: return "?";
+    }
+}
+
+// ==================================================================
+// CoherenceInterface
+// ==================================================================
+
+CoherenceInterface::CoherenceInterface(HomeController &controller,
+                                       const TrapItem &item)
+    : hc(controller), _item(item)
+{
+    switch (item.kind) {
+      case TrapKind::WriteOverflow:
+      case TrapKind::WriteBroadcast:
+      case TrapKind::LastAck:
+      case TrapKind::EveryAck:
+        _isWrite = true;
+        break;
+      case TrapKind::SwRequest:
+        _isWrite = item.msg.type == MsgType::WriteReq ||
+                   item.msg.type == MsgType::Writeback;
+        break;
+      case TrapKind::SwBusy:
+        _isWrite = item.msg.isWrite ||
+                   item.msg.type == MsgType::WriteReq;
+        break;
+      default:
+        _isWrite = false;
+        break;
+    }
+}
+
+NodeId
+CoherenceInterface::homeNode() const
+{
+    return hc.homeNode();
+}
+
+int
+CoherenceInterface::numNodes() const
+{
+    return hc.numNodes();
+}
+
+const ProtocolConfig &
+CoherenceInterface::protocol() const
+{
+    return hc.config().protocol;
+}
+
+void
+CoherenceInterface::charge(Activity a, unsigned count)
+{
+    _elapsed += count * hc.costs.cost(a, _isWrite);
+}
+
+DirEntry &
+CoherenceInterface::hwEntry()
+{
+    if (!_decoded) {
+        charge(Activity::DecodeDir);
+        _decoded = true;
+    }
+    return hc.dir.entry(blockAlign(_item.msg.addr));
+}
+
+void
+CoherenceInterface::sendData(NodeId dst, bool exclusive)
+{
+    charge(Activity::DataSend);
+    Message m;
+    m.type = exclusive ? MsgType::WriteData : MsgType::ReadData;
+    m.src = hc.homeNode();
+    m.dst = dst;
+    m.addr = blockAlign(_item.msg.addr);
+    m.data = hc.node.memory().readBlock(m.addr);
+    m.hasData = true;
+    hc.node.sendMsg(m, _elapsed);
+}
+
+void
+CoherenceInterface::sendBusy(NodeId dst, bool busy_for_write)
+{
+    charge(Activity::BusySend);
+    ++hc.busySent;
+    Message m;
+    m.type = MsgType::Busy;
+    m.src = hc.homeNode();
+    m.dst = dst;
+    m.addr = blockAlign(_item.msg.addr);
+    m.isWrite = busy_for_write;
+    hc.node.sendMsg(m, _elapsed);
+}
+
+void
+CoherenceInterface::sendInv(NodeId dst)
+{
+    // Section 7 enhancement: a parallel invalidation procedure
+    // pipelines message composition so that invalidations past the
+    // first cost a quarter of the sequential per-message work.
+    Cycles unit = hc.costs.cost(Activity::InvXmit, _isWrite);
+    if (hc.config().parallelInv && _invsSent > 0)
+        unit = std::max<Cycles>(1, unit / 4);
+    _elapsed += unit;
+    ++_invsSent;
+    ++hc.swInvsSent;
+    Message m;
+    m.type = MsgType::Inv;
+    m.src = hc.homeNode();
+    m.dst = dst;
+    m.addr = blockAlign(_item.msg.addr);
+    hc.node.sendMsg(m, _elapsed);
+}
+
+void
+CoherenceInterface::sendCtl(NodeId dst, MsgType type, std::uint8_t seq)
+{
+    charge(Activity::BusySend);
+    Message m;
+    m.type = type;
+    m.src = hc.homeNode();
+    m.dst = dst;
+    m.addr = blockAlign(_item.msg.addr);
+    m.seq = seq;
+    hc.node.sendMsg(m, _elapsed);
+}
+
+void
+CoherenceInterface::flushLocalCache()
+{
+    charge(Activity::FreePointer);
+    Addr a = blockAlign(_item.msg.addr);
+    RemovalResult r = hc.node.invalidateLocal(a);
+    if (r.wasPresent && r.wasDirty)
+        hc.node.memory().writeBlock(a, r.data);
+}
+
+ExtEntry *
+CoherenceInterface::extLookup()
+{
+    charge(Activity::HashAdmin);
+    return hc.ext.lookup(blockAlign(_item.msg.addr));
+}
+
+ExtEntry &
+CoherenceInterface::extAlloc()
+{
+    charge(Activity::HashAdmin);
+    Addr a = blockAlign(_item.msg.addr);
+    if (!hc.ext.lookup(a))
+        charge(Activity::MemMgmt);
+    return hc.ext.alloc(a);
+}
+
+void
+CoherenceInterface::extRelease()
+{
+    charge(Activity::MemMgmt);
+    hc.ext.release(blockAlign(_item.msg.addr));
+}
+
+void
+CoherenceInterface::extClearSharers(ExtEntry &entry)
+{
+    charge(Activity::MemMgmt);
+    hc.ext.release(entry.blockAddr);
+}
+
+void
+CoherenceInterface::recordSharer(ExtEntry &entry, NodeId n)
+{
+    charge(Activity::StorePointer);
+    hc.ext.addSharer(entry, n);
+}
+
+MemoryModule &
+CoherenceInterface::memory()
+{
+    return hc.node.memory();
+}
+
+// ==================================================================
+// HomeController: construction
+// ==================================================================
+
+HomeController::HomeController(NodeId home_id, int num_nodes,
+                               const HomeConfig &config,
+                               NodeServices &services,
+                               stats::Group *stats_parent)
+    : statsGroup(stats_parent, "home"),
+      hwHandled(&statsGroup, "hwHandled",
+                "messages fully handled by the hardware"),
+      trapsRaised(&statsGroup, "trapsRaised",
+                  "software handler invocations"),
+      busySent(&statsGroup, "busySent", "busy (retry) replies sent"),
+      hwInvsSent(&statsGroup, "hwInvsSent",
+                 "invalidations transmitted by hardware"),
+      swInvsSent(&statsGroup, "swInvsSent",
+                 "invalidations transmitted by software"),
+      handlerCycles(&statsGroup, "handlerCycles",
+                    "total cycles spent in protocol software"),
+      readHandlerCycles(&statsGroup, "readHandlerCycles",
+                        "software latency of read-request handlers"),
+      writeHandlerCycles(&statsGroup, "writeHandlerCycles",
+                         "software latency of write-request handlers"),
+      ackHandlerCycles(&statsGroup, "ackHandlerCycles",
+                       "software latency of acknowledgment handlers"),
+      trapsByKind{
+          {&statsGroup, "trapsReadOverflow", "read overflow traps"},
+          {&statsGroup, "trapsWriteOverflow", "write overflow traps"},
+          {&statsGroup, "trapsWriteBroadcast", "broadcast write traps"},
+          {&statsGroup, "trapsLastAck", "last-ack traps"},
+          {&statsGroup, "trapsEveryAck", "per-ack traps"},
+          {&statsGroup, "trapsSwRequest", "software-only request traps"},
+          {&statsGroup, "trapsSwBusy", "software busy-reply traps"},
+      },
+      ext(&statsGroup),
+      home(home_id), nodes(num_nodes), cfg(config), node(services),
+      costs(config.profile)
+{
+    SWEX_ASSERT(num_nodes <= maxNodes, "too many nodes: %d", num_nodes);
+}
+
+// ==================================================================
+// Hardware actions
+// ==================================================================
+
+void
+HomeController::hwSendData(Addr block_addr, NodeId dst, bool exclusive)
+{
+    Message m;
+    m.type = exclusive ? MsgType::WriteData : MsgType::ReadData;
+    m.src = home;
+    m.dst = dst;
+    m.addr = block_addr;
+    m.data = node.memory().readBlock(block_addr);
+    m.hasData = true;
+    node.sendMsg(m, cfg.memLatency);
+}
+
+void
+HomeController::hwSendBusy(Addr block_addr, NodeId dst, bool is_write)
+{
+    ++busySent;
+    Message m;
+    m.type = MsgType::Busy;
+    m.src = home;
+    m.dst = dst;
+    m.addr = block_addr;
+    m.isWrite = is_write;
+    node.sendMsg(m, cfg.hwCtrlLatency);
+}
+
+void
+HomeController::hwSendCtl(Addr block_addr, NodeId dst, MsgType type,
+                          std::uint8_t seq)
+{
+    Message m;
+    m.type = type;
+    m.src = home;
+    m.dst = dst;
+    m.addr = block_addr;
+    m.seq = seq;
+    node.sendMsg(m, cfg.hwCtrlLatency);
+}
+
+void
+HomeController::hwGrantExclusive(DirEntry &e, Addr block_addr,
+                                 NodeId owner)
+{
+    e.state = DirState::Exclusive;
+    e.clearSharers();
+    e.ptrs[0] = owner;
+    e.ptrCount = 1;
+    e.ackCount = 0;
+    e.pendingNode = invalidNode;
+    e.pendingIsWrite = false;
+    e.pendingSwSend = false;
+    trackExclusive(block_addr, owner);
+}
+
+bool
+HomeController::recordReaderHw(DirEntry &e, NodeId reader)
+{
+    const ProtocolConfig &p = cfg.protocol;
+    if (p.isFullMap()) {
+        e.fullMap.set(static_cast<std::size_t>(reader));
+        return true;
+    }
+    if (p.localBit && reader == home) {
+        e.localBit = true;
+        return true;
+    }
+    if (e.hasPtr(reader))
+        return true;
+    if (e.ptrCount < p.hwPointers) {
+        e.addPtr(reader, p.hwPointers);
+        return true;
+    }
+    if (p.swBroadcast) {
+        // Dir1SW: untracked copies are allowed; mark for broadcast.
+        e.broadcastBit = true;
+        return true;
+    }
+    return false;
+}
+
+std::vector<NodeId>
+HomeController::hwSharers(const DirEntry &e, NodeId exclude) const
+{
+    std::vector<NodeId> out;
+    if (cfg.protocol.isFullMap()) {
+        for (int n = 0; n < nodes; ++n)
+            if (e.fullMap.test(static_cast<std::size_t>(n)) &&
+                n != exclude)
+                out.push_back(n);
+    } else {
+        for (unsigned i = 0; i < e.ptrCount; ++i)
+            if (e.ptrs[i] != exclude)
+                out.push_back(e.ptrs[i]);
+    }
+    return out;
+}
+
+void
+HomeController::deferRequest(const Message &msg)
+{
+    deferred[blockAlign(msg.addr)].push_back(msg);
+}
+
+void
+HomeController::replayDeferred(Addr block_addr)
+{
+    auto it = deferred.find(block_addr);
+    if (it == deferred.end())
+        return;
+    auto &q = it->second;
+    DirEntry &e = dir.entry(block_addr);
+    // Bounded drain: a replayed request may start a new transaction,
+    // re-parking the messages behind it.
+    std::size_t budget = q.size();
+    while (budget-- > 0 && !q.empty() && !e.trapPending()) {
+        Message msg = q.front();
+        q.pop_front();
+        handleMessage(msg);
+    }
+    if (q.empty())
+        deferred.erase(it);
+}
+
+void
+HomeController::raise(TrapKind kind, const Message &msg)
+{
+    DirEntry &e = dir.entry(blockAlign(msg.addr));
+    ++e.trapsQueued;
+    ++trapsRaised;
+    ++trapsByKind[static_cast<unsigned>(kind)];
+    SWEX_TRACE_EVENT("           home%d: raise %s for %s",
+                     static_cast<int>(home), trapKindName(kind),
+                     msg.describe().c_str());
+    node.raiseTrap(TrapItem{kind, msg});
+}
+
+void
+HomeController::trackShared(Addr block_addr, NodeId n)
+{
+    if (tracker)
+        tracker->onShared(block_addr, n);
+}
+
+void
+HomeController::trackExclusive(Addr block_addr, NodeId n)
+{
+    if (tracker)
+        tracker->onExclusive(block_addr, n);
+}
+
+// ==================================================================
+// Hardware state machine
+// ==================================================================
+
+void
+HomeController::handleMessage(const Message &msg)
+{
+    SWEX_ASSERT(msg.dst == home, "message %s routed to wrong home %d",
+                msg.describe().c_str(), static_cast<int>(home));
+    switch (msg.type) {
+      case MsgType::ReadReq: onReadReq(msg); break;
+      case MsgType::WriteReq: onWriteReq(msg); break;
+      case MsgType::InvAck: onInvAck(msg); break;
+      case MsgType::Writeback: onWriteback(msg); break;
+      case MsgType::FetchReply: onFetchReply(msg); break;
+      default:
+        panic("home controller received %s", msg.describe().c_str());
+    }
+}
+
+void
+HomeController::onReadReq(const Message &msg)
+{
+    const ProtocolConfig &p = cfg.protocol;
+    Addr a = blockAlign(msg.addr);
+    DirEntry &e = dir.entry(a);
+
+    if (p.hwPointers == 0) {
+        if (msg.src == home && !e.remoteTouched) {
+            // Uniprocessor fast path: the remote-touched bit is clear,
+            // so the hardware services the local access directly.
+            ++hwHandled;
+            trackShared(a, home);
+            hwSendData(a, home, false);
+            return;
+        }
+        raise(TrapKind::SwRequest, msg);
+        return;
+    }
+
+    if (e.state == DirState::SwPendWrite) {
+        // Software owns the transaction; even the busy reply is sent
+        // by software (the ACK protocols pay for this heavily).
+        raise(TrapKind::SwBusy, msg);
+        return;
+    }
+    if (e.trapPending()) {
+        deferRequest(msg);
+        return;
+    }
+
+    switch (e.state) {
+      case DirState::Uncached:
+      case DirState::Shared:
+        e.state = DirState::Shared;
+        trackShared(a, msg.src);
+        if (recordReaderHw(e, msg.src)) {
+            ++hwHandled;
+            hwSendData(a, msg.src, false);
+        } else {
+            // Pointer overflow: the hardware still returns the data
+            // (Section 2.2); software records the requester.
+            hwSendData(a, msg.src, false);
+            raise(TrapKind::ReadOverflow, msg);
+        }
+        return;
+
+      case DirState::Exclusive: {
+        NodeId owner = e.ptrs[0];
+        if (owner == msg.src) {
+            // Owner lost the line (writeback in flight); retry.
+            hwSendBusy(a, msg.src, false);
+            return;
+        }
+        e.state = DirState::PendRead;
+        e.pendingNode = msg.src;
+        e.pendingIsWrite = false;
+        e.fetchOutstanding = true;
+        ++e.fetchSeq;
+        ++hwHandled;
+        hwSendCtl(a, owner, MsgType::FetchS, e.fetchSeq);
+        return;
+      }
+
+      case DirState::PendRead:
+      case DirState::PendWrite:
+        // A hardware transaction is in flight; park the request in
+        // the CMMU input queue and replay it at completion.
+        deferRequest(msg);
+        return;
+
+      default:
+        panic("onReadReq: bad state %s", dirStateName(e.state));
+    }
+}
+
+void
+HomeController::onWriteReq(const Message &msg)
+{
+    const ProtocolConfig &p = cfg.protocol;
+    Addr a = blockAlign(msg.addr);
+    DirEntry &e = dir.entry(a);
+
+    if (p.hwPointers == 0) {
+        if (msg.src == home && !e.remoteTouched) {
+            ++hwHandled;
+            trackExclusive(a, home);
+            hwSendData(a, home, true);
+            return;
+        }
+        raise(TrapKind::SwRequest, msg);
+        return;
+    }
+
+    if (e.state == DirState::SwPendWrite) {
+        raise(TrapKind::SwBusy, msg);
+        return;
+    }
+    if (e.trapPending()) {
+        deferRequest(msg);
+        return;
+    }
+
+    switch (e.state) {
+      case DirState::Uncached:
+        ++hwHandled;
+        hwGrantExclusive(e, a, msg.src);
+        hwSendData(a, msg.src, true);
+        return;
+
+      case DirState::Shared: {
+        if (e.overflowed) {
+            raise(TrapKind::WriteOverflow, msg);
+            return;
+        }
+        if (e.broadcastBit) {
+            raise(TrapKind::WriteBroadcast, msg);
+            return;
+        }
+        std::vector<NodeId> targets = hwSharers(e, msg.src);
+        bool local_copy = e.localBit && msg.src != home;
+        if (!targets.empty() && p.hwPointers == 1 && !p.swBroadcast) {
+            // One-pointer protocols transmit all data invalidations
+            // with the same software routine (Section 2.4).
+            raise(TrapKind::WriteOverflow, msg);
+            return;
+        }
+        // Hardware can invalidate its own pointed-to copies.
+        for (NodeId t : targets) {
+            ++hwInvsSent;
+            Message inv;
+            inv.type = MsgType::Inv;
+            inv.src = home;
+            inv.dst = t;
+            inv.addr = a;
+            node.sendMsg(inv, cfg.hwCtrlLatency);
+        }
+        if (local_copy) {
+            RemovalResult r = node.invalidateLocal(a);
+            if (r.wasPresent && r.wasDirty)
+                node.memory().writeBlock(a, r.data);
+        }
+        ++hwHandled;
+        if (targets.empty()) {
+            hwGrantExclusive(e, a, msg.src);
+            hwSendData(a, msg.src, true);
+            return;
+        }
+        SWEX_ASSERT(p.ackMode != AckMode::EveryAck,
+                    "EveryAck protocols cannot count acks in hw");
+        e.clearSharers();
+        e.ackCount = static_cast<std::uint32_t>(targets.size());
+        e.state = DirState::PendWrite;
+        e.pendingNode = msg.src;
+        e.pendingIsWrite = true;
+        e.pendingSwSend = (p.ackMode == AckMode::LastAck);
+        return;
+      }
+
+      case DirState::Exclusive: {
+        NodeId owner = e.ptrs[0];
+        if (owner == msg.src) {
+            hwSendBusy(a, msg.src, true);
+            return;
+        }
+        e.state = DirState::PendRead;
+        e.pendingNode = msg.src;
+        e.pendingIsWrite = true;
+        e.fetchOutstanding = true;
+        ++e.fetchSeq;
+        ++hwHandled;
+        hwSendCtl(a, owner, MsgType::FetchI, e.fetchSeq);
+        return;
+      }
+
+      case DirState::PendRead:
+      case DirState::PendWrite:
+        deferRequest(msg);
+        return;
+
+      default:
+        panic("onWriteReq: bad state %s", dirStateName(e.state));
+    }
+}
+
+void
+HomeController::onInvAck(const Message &msg)
+{
+    Addr a = blockAlign(msg.addr);
+    DirEntry &e = dir.entry(a);
+
+    if (e.state == DirState::SwPendWrite) {
+        raise(TrapKind::EveryAck, msg);
+        return;
+    }
+
+    SWEX_ASSERT(e.state == DirState::PendWrite && e.ackCount > 0,
+                "stray InvAck: state %s ackCount %u",
+                dirStateName(e.state), e.ackCount);
+    ++hwHandled;
+    --e.ackCount;
+    if (e.ackCount == 0) {
+        if (e.pendingSwSend) {
+            raise(TrapKind::LastAck, msg);
+        } else {
+            NodeId w = e.pendingNode;
+            hwGrantExclusive(e, a, w);
+            hwSendData(a, w, true);
+            replayDeferred(a);
+        }
+    }
+}
+
+void
+HomeController::onWriteback(const Message &msg)
+{
+    const ProtocolConfig &p = cfg.protocol;
+    Addr a = blockAlign(msg.addr);
+    DirEntry &e = dir.entry(a);
+
+    if (p.hwPointers == 0) {
+        if (msg.src == home && !e.remoteTouched) {
+            ++hwHandled;
+            node.memory().writeBlock(a, msg.data);
+            return;
+        }
+        raise(TrapKind::SwRequest, msg);
+        return;
+    }
+
+    node.memory().writeBlock(a, msg.data);
+    ++hwHandled;
+
+    if (e.state == DirState::Exclusive && e.ptrCount == 1 &&
+        e.ptrs[0] == msg.src) {
+        e.state = DirState::Uncached;
+        e.clearSharers();
+        return;
+    }
+    if (e.state == DirState::PendRead && e.ptrs[0] == msg.src) {
+        // Owner evicted the line while our fetch was in flight; this
+        // writeback carries the data and completes the transaction.
+        completePendingFetch(e, a);
+        return;
+    }
+    panic("unexpected writeback in state %s (node %d, src %d)",
+          dirStateName(e.state), static_cast<int>(home),
+          static_cast<int>(msg.src));
+}
+
+void
+HomeController::onFetchReply(const Message &msg)
+{
+    const ProtocolConfig &p = cfg.protocol;
+    Addr a = blockAlign(msg.addr);
+
+    if (p.hwPointers == 0) {
+        raise(TrapKind::SwRequest, msg);
+        return;
+    }
+
+    DirEntry &e = dir.entry(a);
+    ++hwHandled;
+    if (msg.seq != e.fetchSeq)
+        return;   // reply from a superseded fetch transaction
+    SWEX_ASSERT(e.fetchOutstanding, "FetchReply with no fetch pending");
+    e.fetchOutstanding = false;
+
+    if (msg.hasData) {
+        SWEX_ASSERT(e.state == DirState::PendRead,
+                    "FetchReply(data) in state %s",
+                    dirStateName(e.state));
+        node.memory().writeBlock(a, msg.data);
+        completePendingFetch(e, a);
+        return;
+    }
+    if (e.state == DirState::PendRead) {
+        // The owner NACKed: either its writeback is still in flight
+        // (and will complete this transaction) or our own grant has
+        // not reached it yet (the window-of-vulnerability race).
+        // Re-fetch; the loop ends when either message lands.
+        e.fetchOutstanding = true;
+        hwSendCtl(a, e.ptrs[0],
+                  e.pendingIsWrite ? MsgType::FetchI : MsgType::FetchS,
+                  e.fetchSeq);
+    }
+}
+
+void
+HomeController::completePendingFetch(DirEntry &e, Addr block_addr)
+{
+    NodeId req = e.pendingNode;
+    NodeId owner = e.ptrs[0];
+    bool is_write = e.pendingIsWrite;
+    // The owner retains a read-only copy only for a downgrade: a
+    // FetchS answered with data (fetchOutstanding already cleared by
+    // onFetchReply). On the writeback-completion path the fetch is
+    // still outstanding and the owner's copy is gone.
+    bool owner_retains = !is_write && !e.fetchOutstanding;
+
+    e.clearSharers();
+    e.pendingNode = invalidNode;
+    e.pendingIsWrite = false;
+
+    if (is_write) {
+        hwGrantExclusive(e, block_addr, req);
+        hwSendData(block_addr, req, true);
+        replayDeferred(block_addr);
+        return;
+    }
+
+    e.state = DirState::Shared;
+    if (owner_retains)
+        recordReaderHw(e, owner);
+    trackShared(block_addr, req);
+    if (recordReaderHw(e, req)) {
+        hwSendData(block_addr, req, false);
+        replayDeferred(block_addr);
+    } else {
+        hwSendData(block_addr, req, false);
+        Message synth;
+        synth.type = MsgType::ReadReq;
+        synth.src = req;
+        synth.dst = home;
+        synth.addr = block_addr;
+        raise(TrapKind::ReadOverflow, synth);
+        // Deferred requests replay when the trap completes.
+    }
+}
+
+// ==================================================================
+// Software handler dispatch
+// ==================================================================
+
+Cycles
+HomeController::runTrap(const TrapItem &item)
+{
+    SWEX_TRACE_EVENT("           home%d: run %s for %s (state %s)",
+                     static_cast<int>(home), trapKindName(item.kind),
+                     item.msg.describe().c_str(),
+                     dirStateName(
+                         dir.entry(blockAlign(item.msg.addr)).state));
+    CoherenceInterface ci(*this, item);
+
+    // Standard prologue (Table 2): exception entry, message dispatch,
+    // and -- for the C implementation -- protocol-specific dispatch,
+    // environment save, and non-Alewife protocol support.
+    ci.charge(Activity::TrapDispatch);
+    ci.charge(Activity::MsgDispatch);
+    ci.charge(Activity::ProtoDispatch);
+    ci.charge(Activity::SaveState);
+    ci.charge(Activity::NonAlewife);
+
+    bool handled = custom && custom(ci);
+    if (!handled) {
+        switch (item.kind) {
+          case TrapKind::ReadOverflow: handleReadOverflow(ci); break;
+          case TrapKind::WriteOverflow: handleWriteOverflow(ci); break;
+          case TrapKind::WriteBroadcast: handleWriteBroadcast(ci); break;
+          case TrapKind::LastAck: handleLastAck(ci); break;
+          case TrapKind::EveryAck: handleEveryAck(ci); break;
+          case TrapKind::SwRequest: handleSwRequest(ci); break;
+          case TrapKind::SwBusy: handleSwBusy(ci); break;
+          default: panic("bad trap kind");
+        }
+    }
+
+    ci.charge(Activity::TrapReturn);
+    Cycles total = ci.elapsed();
+
+    DirEntry &e = dir.entry(blockAlign(item.msg.addr));
+    SWEX_ASSERT(e.trapsQueued > 0, "trap accounting underflow");
+    --e.trapsQueued;
+    if (!e.trapPending()) {
+        // Replay requests the CMMU parked during the trap, once the
+        // handler's occupancy has elapsed.
+        Addr a = blockAlign(item.msg.addr);
+        node.schedule(total, [this, a] {
+            if (!dir.entry(a).trapPending())
+                replayDeferred(a);
+        });
+    }
+
+    handlerCycles += static_cast<double>(total);
+    switch (item.kind) {
+      case TrapKind::ReadOverflow:
+        readHandlerCycles.sample(static_cast<double>(total));
+        break;
+      case TrapKind::WriteOverflow:
+      case TrapKind::WriteBroadcast:
+        writeHandlerCycles.sample(static_cast<double>(total));
+        break;
+      case TrapKind::LastAck:
+      case TrapKind::EveryAck:
+        ackHandlerCycles.sample(static_cast<double>(total));
+        break;
+      case TrapKind::SwRequest:
+        if (item.msg.type == MsgType::ReadReq)
+            readHandlerCycles.sample(static_cast<double>(total));
+        else if (item.msg.type == MsgType::WriteReq)
+            writeHandlerCycles.sample(static_cast<double>(total));
+        break;
+      default:
+        break;
+    }
+    return total;
+}
+
+// ==================================================================
+// Built-in protocol extension software
+// ==================================================================
+
+void
+HomeController::handleReadOverflow(CoherenceInterface &ci)
+{
+    DirEntry &e = ci.hwEntry();
+    SWEX_ASSERT(e.state == DirState::Shared,
+                "read overflow in state %s", dirStateName(e.state));
+    // Empty the hardware pointers into the extended directory and
+    // record the node that caused the overflow (Section 2.2). The
+    // hardware already returned the data.
+    ExtEntry &xe = ci.extAlloc();
+    for (unsigned i = 0; i < e.ptrCount; ++i)
+        ci.recordSharer(xe, e.ptrs[i]);
+    e.clearPtrs();
+    ci.recordSharer(xe, ci.item().msg.src);
+    e.overflowed = true;
+}
+
+void
+HomeController::handleWriteOverflow(CoherenceInterface &ci)
+{
+    DirEntry &e = ci.hwEntry();
+    SWEX_ASSERT(e.state == DirState::Shared,
+                "write overflow in state %s", dirStateName(e.state));
+    NodeId req = ci.item().msg.src;
+    Addr a = blockAlign(ci.item().msg.addr);
+
+    // Union of hardware pointers and software-extended sharers.
+    std::vector<NodeId> targets;
+    auto add_target = [&](NodeId n) {
+        if (n == req || n == home)
+            return;
+        if (std::find(targets.begin(), targets.end(), n) ==
+            targets.end())
+            targets.push_back(n);
+    };
+
+    bool home_has_copy = e.localBit;
+    for (unsigned i = 0; i < e.ptrCount; ++i) {
+        ci.charge(Activity::FreePointer);
+        if (e.ptrs[i] == home)
+            home_has_copy = true;
+        add_target(e.ptrs[i]);
+    }
+    ExtEntry *xe = ci.extLookup();
+    if (xe) {
+        ext.forEachSharer(*xe, [&](NodeId n) {
+            ci.charge(Activity::FreePointer);
+            if (n == home)
+                home_has_copy = true;
+            add_target(n);
+        });
+    }
+
+    for (NodeId t : targets)
+        ci.sendInv(t);
+    if (home_has_copy && req != home)
+        ci.flushLocalCache();
+
+    if (xe)
+        ci.extRelease();
+    e.clearSharers();
+    e.overflowed = false;
+    e.ackCount = static_cast<std::uint32_t>(targets.size());
+
+    if (e.ackCount == 0) {
+        hwGrantExclusive(e, a, req);
+        ci.sendData(req, true);
+        return;
+    }
+    e.pendingNode = req;
+    e.pendingIsWrite = true;
+    if (cfg.protocol.ackMode == AckMode::EveryAck) {
+        e.state = DirState::SwPendWrite;
+    } else {
+        e.state = DirState::PendWrite;
+        e.pendingSwSend = (cfg.protocol.ackMode == AckMode::LastAck);
+    }
+}
+
+void
+HomeController::handleWriteBroadcast(CoherenceInterface &ci)
+{
+    DirEntry &e = ci.hwEntry();
+    SWEX_ASSERT(e.state == DirState::Shared && e.broadcastBit,
+                "broadcast trap without broadcast bit");
+    NodeId req = ci.item().msg.src;
+
+    // Dir1SW: the software does not know who holds copies; it
+    // broadcasts an invalidation to every node.
+    unsigned sent = 0;
+    for (NodeId n = 0; n < nodes; ++n) {
+        if (n == req || n == home)
+            continue;
+        ci.sendInv(n);
+        ++sent;
+    }
+    if (req != home)
+        ci.flushLocalCache();
+
+    e.clearSharers();
+    e.ackCount = sent;
+    if (sent == 0) {
+        hwGrantExclusive(e, blockAlign(ci.item().msg.addr), req);
+        ci.sendData(req, true);
+        return;
+    }
+    e.state = DirState::PendWrite;
+    e.pendingNode = req;
+    e.pendingIsWrite = true;
+    e.pendingSwSend = true;   // LACK
+}
+
+void
+HomeController::handleLastAck(CoherenceInterface &ci)
+{
+    DirEntry &e = ci.hwEntry();
+    SWEX_ASSERT(e.state == DirState::PendWrite && e.ackCount == 0 &&
+                e.pendingSwSend, "bad LastAck trap");
+    NodeId w = e.pendingNode;
+    ci.sendData(w, true);
+    hwGrantExclusive(e, blockAlign(ci.item().msg.addr), w);
+}
+
+void
+HomeController::handleEveryAck(CoherenceInterface &ci)
+{
+    DirEntry &e = ci.hwEntry();
+    SWEX_ASSERT(e.state == DirState::SwPendWrite && e.ackCount > 0,
+                "bad EveryAck trap");
+    --e.ackCount;
+    if (e.ackCount == 0) {
+        NodeId w = e.pendingNode;
+        ci.sendData(w, true);
+        hwGrantExclusive(e, blockAlign(ci.item().msg.addr), w);
+    }
+}
+
+void
+HomeController::handleSwBusy(CoherenceInterface &ci)
+{
+    const Message &msg = ci.item().msg;
+    ci.hwEntry();
+    ci.sendBusy(msg.src, msg.type == MsgType::WriteReq);
+}
+
+// ==================================================================
+// The software-only directory (Dir_n H_0 S_{NB,ACK})
+// ==================================================================
+
+void
+HomeController::handleSwRequest(CoherenceInterface &ci)
+{
+    const Message &msg = ci.item().msg;
+    DirEntry &e = ci.hwEntry();
+
+    if (!e.remoteTouched && msg.src != home) {
+        // First inter-node access: set the bit and flush the block
+        // from the local cache (Section 2.3).
+        e.remoteTouched = true;
+        ci.flushLocalCache();
+    }
+
+    switch (msg.type) {
+      case MsgType::ReadReq: swHandleRead(ci, e); break;
+      case MsgType::WriteReq: swHandleWrite(ci, e); break;
+      case MsgType::Writeback: swHandleWriteback(ci, e); break;
+      case MsgType::FetchReply: swHandleFetchReply(ci, e); break;
+      default:
+        panic("SwRequest trap for %s", msg.describe().c_str());
+    }
+}
+
+void
+HomeController::swHandleRead(CoherenceInterface &ci, DirEntry &e)
+{
+    const Message &msg = ci.item().msg;
+    NodeId src = msg.src;
+    Addr a = blockAlign(msg.addr);
+
+    switch (e.state) {
+      case DirState::Uncached:
+      case DirState::Shared: {
+        ExtEntry &xe = ci.extAlloc();
+        ci.recordSharer(xe, src);
+        e.state = DirState::Shared;
+        trackShared(a, src);
+        ci.sendData(src, false);
+        return;
+      }
+      case DirState::Exclusive: {
+        NodeId owner = e.ptrs[0];
+        if (owner == src) {
+            ci.sendBusy(src, false);
+            return;
+        }
+        e.state = DirState::PendRead;
+        e.pendingNode = src;
+        e.pendingIsWrite = false;
+        e.fetchOutstanding = true;
+        ++e.fetchSeq;
+        ci.sendCtl(owner, MsgType::FetchS, e.fetchSeq);
+        return;
+      }
+      case DirState::PendRead:
+      case DirState::PendWrite:
+      case DirState::SwPendWrite:
+        ci.sendBusy(src, false);
+        return;
+      default:
+        panic("swHandleRead: bad state");
+    }
+}
+
+void
+HomeController::swHandleWrite(CoherenceInterface &ci, DirEntry &e)
+{
+    const Message &msg = ci.item().msg;
+    NodeId src = msg.src;
+    Addr a = blockAlign(msg.addr);
+
+    switch (e.state) {
+      case DirState::Uncached:
+        hwGrantExclusive(e, a, src);
+        ci.sendData(src, true);
+        return;
+
+      case DirState::Shared: {
+        ExtEntry *xe = ci.extLookup();
+        std::vector<NodeId> targets;
+        bool home_has_copy = false;
+        if (xe) {
+            ext.forEachSharer(*xe, [&](NodeId n) {
+                ci.charge(Activity::FreePointer);
+                if (n == src)
+                    return;
+                if (n == home) {
+                    home_has_copy = true;
+                    return;
+                }
+                if (std::find(targets.begin(), targets.end(), n) ==
+                    targets.end())
+                    targets.push_back(n);
+            });
+        }
+        for (NodeId t : targets)
+            ci.sendInv(t);
+        if (home_has_copy && src != home)
+            ci.flushLocalCache();
+        if (xe)
+            ci.extRelease();
+        e.clearSharers();
+        e.ackCount = static_cast<std::uint32_t>(targets.size());
+        if (e.ackCount == 0) {
+            hwGrantExclusive(e, a, src);
+            ci.sendData(src, true);
+            return;
+        }
+        e.state = DirState::SwPendWrite;
+        e.pendingNode = src;
+        e.pendingIsWrite = true;
+        return;
+      }
+
+      case DirState::Exclusive: {
+        NodeId owner = e.ptrs[0];
+        if (owner == src) {
+            ci.sendBusy(src, true);
+            return;
+        }
+        e.state = DirState::PendRead;
+        e.pendingNode = src;
+        e.pendingIsWrite = true;
+        e.fetchOutstanding = true;
+        ++e.fetchSeq;
+        ci.sendCtl(owner, MsgType::FetchI, e.fetchSeq);
+        return;
+      }
+
+      case DirState::PendRead:
+      case DirState::PendWrite:
+      case DirState::SwPendWrite:
+        ci.sendBusy(src, true);
+        return;
+
+      default:
+        panic("swHandleWrite: bad state");
+    }
+}
+
+void
+HomeController::swHandleWriteback(CoherenceInterface &ci, DirEntry &e)
+{
+    const Message &msg = ci.item().msg;
+    Addr a = blockAlign(msg.addr);
+    ci.memory().writeBlock(a, msg.data);
+
+    if (e.state == DirState::Exclusive && e.ptrCount == 1 &&
+        e.ptrs[0] == msg.src) {
+        e.state = DirState::Uncached;
+        e.clearSharers();
+        return;
+    }
+    if (e.state == DirState::PendRead && e.ptrs[0] == msg.src) {
+        swCompleteFetch(ci, e);
+        return;
+    }
+    // Stale writeback from the uniprocessor-mode transition; memory
+    // is updated, nothing else to do.
+}
+
+void
+HomeController::swHandleFetchReply(CoherenceInterface &ci, DirEntry &e)
+{
+    const Message &msg = ci.item().msg;
+    if (msg.seq != e.fetchSeq)
+        return;   // superseded fetch transaction
+    SWEX_ASSERT(e.fetchOutstanding, "sw FetchReply with none pending");
+    e.fetchOutstanding = false;
+    if (msg.hasData) {
+        SWEX_ASSERT(e.state == DirState::PendRead,
+                    "sw FetchReply(data) in state %s",
+                    dirStateName(e.state));
+        ci.memory().writeBlock(blockAlign(msg.addr), msg.data);
+        swCompleteFetch(ci, e);
+        return;
+    }
+    if (e.state == DirState::PendRead) {
+        // Owner NACK: re-fetch (see onFetchReply for the rationale).
+        e.fetchOutstanding = true;
+        ci.sendCtl(e.ptrs[0],
+                   e.pendingIsWrite ? MsgType::FetchI : MsgType::FetchS,
+                   e.fetchSeq);
+    }
+}
+
+void
+HomeController::swCompleteFetch(CoherenceInterface &ci, DirEntry &e)
+{
+    Addr a = blockAlign(ci.item().msg.addr);
+    NodeId req = e.pendingNode;
+    NodeId owner = e.ptrs[0];
+    bool is_write = e.pendingIsWrite;
+    bool owner_retains = !is_write && !e.fetchOutstanding;
+
+    e.clearSharers();
+    e.pendingNode = invalidNode;
+    e.pendingIsWrite = false;
+
+    if (is_write) {
+        hwGrantExclusive(e, a, req);
+        ci.sendData(req, true);
+        return;
+    }
+    e.state = DirState::Shared;
+    ExtEntry &xe = ci.extAlloc();
+    if (owner_retains)
+        ci.recordSharer(xe, owner);
+    ci.recordSharer(xe, req);
+    trackShared(a, req);
+    ci.sendData(req, false);
+}
+
+// ==================================================================
+// Invariants
+// ==================================================================
+
+void
+HomeController::checkInvariants() const
+{
+    const ProtocolConfig &p = cfg.protocol;
+    dir.forEach([&](Addr a, const DirEntry &e) {
+        if (!p.isFullMap() && p.hwPointers > 0) {
+            SWEX_ASSERT(e.ptrCount <= p.hwPointers ||
+                        e.state == DirState::Exclusive ||
+                        e.state == DirState::PendRead,
+                        "entry %#llx: too many pointers",
+                        static_cast<unsigned long long>(a));
+        }
+        if (e.state == DirState::Exclusive) {
+            SWEX_ASSERT(e.ptrCount == 1 && e.ackCount == 0,
+                        "bad Exclusive entry");
+        }
+        if (e.state == DirState::PendWrite) {
+            SWEX_ASSERT(e.ackCount > 0 || e.pendingSwSend ||
+                        e.trapPending(), "PendWrite with no acks due");
+            SWEX_ASSERT(e.pendingNode != invalidNode,
+                        "PendWrite with no requester");
+        }
+        if (e.overflowed) {
+            SWEX_ASSERT(e.state == DirState::Shared,
+                        "overflowed entry not Shared");
+        }
+    });
+}
+
+} // namespace swex

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The memory-side of the CMMU: for every block homed at this node, it
+ * runs the hardware portion of the coherence protocol and, when the
+ * hardware cannot handle an event (directory pointer overflow,
+ * software-counted acknowledgments, the software-only directory),
+ * interrupts the local processor so the protocol extension software
+ * can take over.
+ *
+ * The hardware state machine is shared by the whole protocol spectrum;
+ * ProtocolConfig decides which transitions are legal in hardware and
+ * which trap. The software handlers are written against the
+ * CoherenceInterface and charged per the CostModel.
+ */
+
+#ifndef SWEX_CORE_HOME_CONTROLLER_HH
+#define SWEX_CORE_HOME_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "base/stats.hh"
+#include "core/coherence_interface.hh"
+#include "core/cost_model.hh"
+#include "core/directory.hh"
+#include "core/ext_directory.hh"
+#include "core/node_services.hh"
+#include "core/protocol.hh"
+#include "core/sharing_tracker.hh"
+#include "net/message.hh"
+
+namespace swex
+{
+
+/** Timing and behavior knobs for the home-side controller. */
+struct HomeConfig
+{
+    ProtocolConfig protocol;
+    HandlerProfile profile = HandlerProfile::FlexibleC;
+    Cycles memLatency = 10;      ///< DRAM access for data replies
+    Cycles hwCtrlLatency = 2;    ///< hw-synthesized control replies
+    bool parallelInv = false;    ///< Section 7: pipelined sw invals
+};
+
+/** The per-node home directory controller. */
+class HomeController
+{
+  public:
+    HomeController(NodeId home, int num_nodes, const HomeConfig &cfg,
+                   NodeServices &services, stats::Group *stats_parent);
+
+    /** Hardware processing of one arriving protocol message. */
+    void handleMessage(const Message &msg);
+
+    /**
+     * Execute the software handler for a queued trap (called by the
+     * processor when it takes the interrupt).
+     * @return the number of cycles the handler occupied.
+     */
+    Cycles runTrap(const TrapItem &item);
+
+    /** Optional exact worker-set tracker (shared, machine-wide). */
+    void setTracker(SharingTracker *t) { tracker = t; }
+
+    /**
+     * Hook for custom protocol software (Section 7). Called before
+     * the built-in handler; return true to claim the trap.
+     */
+    using CustomHandler = std::function<bool(CoherenceInterface &)>;
+    void setCustomHandler(CustomHandler h) { custom = std::move(h); }
+
+    NodeId homeNode() const { return home; }
+    int numNodes() const { return nodes; }
+    const HomeConfig &config() const { return cfg; }
+    const CostModel &costModel() const { return costs; }
+    NodeServices &services() { return node; }
+
+    /**
+     * Debug invariant check: every entry's bookkeeping is internally
+     * consistent (panics otherwise). Used by tests.
+     */
+    void checkInvariants() const;
+
+    // --------------------------------------------------------------
+    // Statistics (declared first: members below register into them)
+    // --------------------------------------------------------------
+    stats::Group statsGroup;
+    stats::Scalar hwHandled;        ///< messages fully handled in hw
+    stats::Scalar trapsRaised;      ///< software handler invocations
+    stats::Scalar busySent;         ///< busy replies (hw + sw)
+    stats::Scalar hwInvsSent;       ///< invalidations sent by hardware
+    stats::Scalar swInvsSent;       ///< invalidations sent by software
+    stats::Scalar handlerCycles;    ///< total cycles spent in handlers
+    stats::Distribution readHandlerCycles;   ///< Table 1 measurement
+    stats::Distribution writeHandlerCycles;  ///< Table 1 measurement
+    stats::Distribution ackHandlerCycles;
+    stats::Scalar trapsByKind[static_cast<unsigned>(TrapKind::NumKinds)];
+
+    /** Hardware directory (public: tests and the interface use it). */
+    Directory dir;
+
+    /** Software-extended directory. */
+    ExtDirectory ext;
+
+  private:
+    friend class CoherenceInterface;
+
+    /**
+     * Defer a request that arrived while a trap for its block is
+     * queued: the CMMU holds it in its internal input queue and
+     * replays it once the handler completes (Section 4.1's
+     * atomicity guarantee), instead of nacking the requester.
+     */
+    void deferRequest(const Message &msg);
+    void replayDeferred(Addr block_addr);
+
+    // Hardware state machine
+    void onReadReq(const Message &msg);
+    void onWriteReq(const Message &msg);
+    void onInvAck(const Message &msg);
+    void onWriteback(const Message &msg);
+    void onFetchReply(const Message &msg);
+
+    // Hardware actions
+    void hwSendData(Addr block_addr, NodeId dst, bool exclusive);
+    void hwSendBusy(Addr block_addr, NodeId dst, bool is_write);
+    void hwSendCtl(Addr block_addr, NodeId dst, MsgType type,
+                   std::uint8_t seq);
+    void hwGrantExclusive(DirEntry &e, Addr block_addr, NodeId owner);
+    void completePendingFetch(DirEntry &e, Addr block_addr);
+
+    /** Record a read grant in hardware; true if it fit, false if the
+     *  pointers overflowed (caller must trap). */
+    bool recordReaderHw(DirEntry &e, NodeId reader);
+
+    /** Collect hardware-known sharers except @p exclude. */
+    std::vector<NodeId> hwSharers(const DirEntry &e,
+                                  NodeId exclude) const;
+
+    void raise(TrapKind kind, const Message &msg);
+
+    // Software handlers (built-in protocol extension software)
+    void handleReadOverflow(CoherenceInterface &ci);
+    void handleWriteOverflow(CoherenceInterface &ci);
+    void handleWriteBroadcast(CoherenceInterface &ci);
+    void handleLastAck(CoherenceInterface &ci);
+    void handleEveryAck(CoherenceInterface &ci);
+    void handleSwRequest(CoherenceInterface &ci);
+    void handleSwBusy(CoherenceInterface &ci);
+
+    // SwRequest (software-only directory) helpers
+    void swHandleRead(CoherenceInterface &ci, DirEntry &e);
+    void swHandleWrite(CoherenceInterface &ci, DirEntry &e);
+    void swHandleWriteback(CoherenceInterface &ci, DirEntry &e);
+    void swHandleFetchReply(CoherenceInterface &ci, DirEntry &e);
+    void swCompleteFetch(CoherenceInterface &ci, DirEntry &e);
+
+    void trackShared(Addr block_addr, NodeId n);
+    void trackExclusive(Addr block_addr, NodeId n);
+
+    NodeId home;
+    int nodes;
+    HomeConfig cfg;
+    NodeServices &node;
+    CostModel costs;
+    SharingTracker *tracker = nullptr;
+    CustomHandler custom;
+
+    /** Requests parked while their block has a trap queued. */
+    std::unordered_map<Addr, std::deque<Message>> deferred;
+};
+
+} // namespace swex
+
+#endif // SWEX_CORE_HOME_CONTROLLER_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Named points on the protocol spectrum, in cost order, as evaluated
+ * by the paper. Shared by tests, benchmark harnesses, and examples.
+ */
+
+#ifndef SWEX_CORE_SPECTRUM_HH
+#define SWEX_CORE_SPECTRUM_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.hh"
+
+namespace swex
+{
+
+/** A labeled protocol configuration. */
+struct SpectrumPoint
+{
+    std::string label;
+    ProtocolConfig protocol;
+};
+
+/** The full spectrum, from zero hardware pointers to full-map. */
+inline std::vector<SpectrumPoint>
+protocolSpectrum()
+{
+    return {
+        {"H0-ACK", ProtocolConfig::h0()},
+        {"H1-ACK", ProtocolConfig::h1Ack()},
+        {"H1-LACK", ProtocolConfig::h1Lack()},
+        {"H1", ProtocolConfig::h1()},
+        {"H2", ProtocolConfig::hw(2)},
+        {"H3", ProtocolConfig::hw(3)},
+        {"H4", ProtocolConfig::hw(4)},
+        {"H5", ProtocolConfig::hw(5)},
+        {"DIR1SW", ProtocolConfig::dir1sw()},
+        {"FULLMAP", ProtocolConfig::fullMap()},
+    };
+}
+
+/** The pointer-cost axis used by Figure 4: 0,1,2,3,4,5,n. */
+inline std::vector<SpectrumPoint>
+pointerAxis()
+{
+    return {
+        {"0", ProtocolConfig::h0()},
+        {"1", ProtocolConfig::h1Ack()},
+        {"2", ProtocolConfig::hw(2)},
+        {"3", ProtocolConfig::hw(3)},
+        {"4", ProtocolConfig::hw(4)},
+        {"5", ProtocolConfig::hw(5)},
+        {"n", ProtocolConfig::fullMap()},
+    };
+}
+
+} // namespace swex
+
+#endif // SWEX_CORE_SPECTRUM_HH

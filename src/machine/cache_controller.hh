@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The processor-side (transaction) half of the CMMU: it services the
+ * processor's loads, stores, and atomic operations from the combined
+ * cache, issues protocol requests to home nodes on misses, retries on
+ * busy replies, and answers home-initiated invalidations and fetches.
+ */
+
+#ifndef SWEX_MACHINE_CACHE_CONTROLLER_HH
+#define SWEX_MACHINE_CACHE_CONTROLLER_HH
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "machine/processor.hh"
+#include "mem/cache.hh"
+#include "net/message.hh"
+
+namespace swex
+{
+
+class Node;
+
+/** Cache-side timing knobs. */
+struct CacheCtrlConfig
+{
+    unsigned cacheBytes = 64 * 1024;
+    unsigned victimEntries = 0;      ///< 0 disables the victim cache
+    Cycles hitLatency = 1;
+    Cycles victimSwapLatency = 2;    ///< extra cycles on a victim hit
+    Cycles fillLatency = 2;          ///< grant arrival to resume
+    Cycles missIssueLatency = 2;     ///< detect miss + compose request
+    Cycles instrMissLatency = 10;    ///< ifetch fill from local memory
+    Cycles retryBase = 8;            ///< busy-retry backoff base
+    Cycles retryCap = 2048;
+};
+
+class CacheController
+{
+  public:
+    CacheController(Node &node, const CacheCtrlConfig &cfg,
+                    stats::Group *stats_parent, std::uint64_t seed);
+
+    /** Issue one processor memory operation (one outstanding). */
+    void issue(MemOpType type, Addr addr, Word operand);
+
+    /**
+     * Network messages addressed to this node's cache side.
+     * @param resume_extra additional cycles before the processor
+     *        resumes (used for local grants applied synchronously at
+     *        directory-transition time, where the DRAM/loopback
+     *        latency is charged on the resume instead)
+     */
+    void handleMessage(const Message &msg, Cycles resume_extra = 0);
+
+    /**
+     * Charge one instruction-block fetch against the combined cache.
+     * @return extra stall cycles (0 on hit).
+     */
+    Cycles instrTouch(Addr block_addr);
+
+    /** Remove the local copy (used by the home side's local flush). */
+    RemovalResult invalidateLocal(Addr block_addr);
+
+    /** Downgrade the local copy (home side, local FetchS case). */
+    RemovalResult downgradeLocal(Addr block_addr);
+
+    stats::Group statsGroup;
+
+    /** The cache itself (public for tests and debug inspection). */
+    Cache cache;
+    stats::Scalar loads;
+    stats::Scalar stores;
+    stats::Scalar atomics;
+    stats::Scalar remoteReqs;        ///< requests sent to a home node
+    stats::Scalar busyRetries;
+    stats::Scalar invsReceived;
+    stats::Scalar fetchesReceived;
+    stats::Distribution missLatency; ///< issue-to-complete, in cycles
+
+  private:
+    struct Mshr
+    {
+        bool valid = false;
+        MemOpType type = MemOpType::Load;
+        Addr addr = 0;        ///< full word address
+        Word operand = 0;
+        Tick issued = 0;
+        unsigned retries = 0;
+
+        /**
+         * An invalidation for this block arrived while the read was
+         * in flight (the "window of vulnerability" of Kubiatowicz et
+         * al.): the home serialized our read before the conflicting
+         * write, so the arriving data may legitimately satisfy this
+         * one access, but must not be cached.
+         */
+        bool invalidated = false;
+    };
+
+    void sendRequest();
+    void complete(Word value, Cycles delay);
+    void writebackEvicted(const Eviction &ev);
+
+    Node &node;
+    CacheCtrlConfig cfg;
+    Mshr mshr;
+    Rng rng;
+};
+
+} // namespace swex
+
+#endif // SWEX_MACHINE_CACHE_CONTROLLER_HH

@@ -1,0 +1,207 @@
+#include "machine/machine.hh"
+
+#include <ostream>
+#include <unordered_map>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "machine/mem_api.hh"
+
+namespace swex
+{
+
+Machine::Machine(const MachineConfig &config)
+    : network(eventq, config.numNodes, config.net, &root), cfg(config),
+      heapPtr(static_cast<std::size_t>(config.numNodes))
+{
+    SWEX_ASSERT(cfg.numNodes >= 1 && cfg.numNodes <= maxNodes,
+                "numNodes out of range: %d", cfg.numNodes);
+    SWEX_ASSERT(isPowerOf2(cfg.segBytes), "segBytes must be 2^k");
+
+    nodes.reserve(static_cast<std::size_t>(cfg.numNodes));
+    for (int i = 0; i < cfg.numNodes; ++i) {
+        nodes.push_back(std::make_unique<Node>(*this, i));
+        network.setReceiver(i, nodes.back().get());
+        // Reserve the low 64 KB of each segment for instructions and
+        // start the heap 8 blocks in, so early allocations do not map
+        // onto the cache sets instruction footprints occupy.
+        heapPtr[static_cast<std::size_t>(i)] = 64 * 1024 +
+                                               8 * blockBytes;
+    }
+}
+
+Machine::~Machine() = default;
+
+unsigned
+Machine::cacheIndexOf(Addr a) const
+{
+    return nodes[0]->cacheCtrl.cache.indexOf(blockAlign(a));
+}
+
+Addr
+Machine::allocOn(NodeId n, std::uint64_t bytes, std::uint64_t align)
+{
+    SWEX_ASSERT(n >= 0 && n < cfg.numNodes, "allocOn: bad node %d",
+                static_cast<int>(n));
+    auto &ptr = heapPtr[static_cast<std::size_t>(n)];
+    ptr = roundUp(ptr, align);
+    Addr a = nodeBase(n) + ptr;
+    ptr += bytes;
+    SWEX_ASSERT(ptr <= cfg.segBytes, "node %d out of shared memory",
+                static_cast<int>(n));
+    return a;
+}
+
+Addr
+Machine::allocAtIndex(NodeId n, std::uint64_t bytes,
+                      unsigned cache_index)
+{
+    // Advance the bump pointer until the block's set index matches.
+    auto &ptr = heapPtr[static_cast<std::size_t>(n)];
+    ptr = roundUp(ptr, blockBytes);
+    unsigned sets = nodes[0]->cacheCtrl.cache.numSets();
+    unsigned cur = static_cast<unsigned>(
+        ((nodeBase(n) + ptr) / blockBytes) % sets);
+    unsigned skip = (cache_index + sets - cur) % sets;
+    ptr += static_cast<std::uint64_t>(skip) * blockBytes;
+    return allocOn(n, bytes, blockBytes);
+}
+
+Addr
+Machine::instrBase(NodeId n) const
+{
+    return nodeBase(n);   // low 64 KB of each segment is reserved
+}
+
+Tick
+Machine::run(const ThreadFn &fn, int num_threads)
+{
+    if (num_threads < 0)
+        num_threads = cfg.numNodes;
+    SWEX_ASSERT(num_threads >= 1 && num_threads <= cfg.numNodes,
+                "bad thread count %d", num_threads);
+
+    Tick start = eventq.curTick();
+    running = num_threads;
+
+    std::vector<std::unique_ptr<Mem>> handles;
+    handles.reserve(static_cast<std::size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+        handles.push_back(std::make_unique<Mem>(*this, i));
+        nodes[static_cast<std::size_t>(i)]->proc.runThread(
+            fn(*handles.back(), i));
+    }
+
+    while (running > 0) {
+        if (!eventq.runOne())
+            panic("deadlock: %d threads blocked with no events",
+                  running);
+        if (eventq.curTick() > cfg.maxTicks)
+            fatal("run exceeded maxTicks (%llu): livelock?",
+                  static_cast<unsigned long long>(cfg.maxTicks));
+    }
+    // Drain residual protocol activity (writebacks, late acks) so the
+    // machine is quiescent before the caller inspects state.
+    eventq.run();
+    return eventq.curTick() - start;
+}
+
+void
+Machine::barrierArrive(int node, std::coroutine_handle<> h)
+{
+    barrierWaiters.emplace_back(node, h);
+    if (static_cast<int>(barrierWaiters.size()) < running)
+        return;
+    auto waiters = std::move(barrierWaiters);
+    barrierWaiters.clear();
+    for (auto &[n, handle] : waiters) {
+        nodes[static_cast<std::size_t>(n)]->proc.resumeAfter(
+            handle, barrierLatency);
+    }
+}
+
+Word
+Machine::debugRead(Addr a) const
+{
+    Addr baddr = blockAlign(a);
+    for (const auto &node : nodes) {
+        const CacheLine *line = node->cacheCtrl.cache.peek(baddr);
+        if (line && line->state == LineState::Modified)
+            return line->data.read(a);
+    }
+    return nodes[static_cast<std::size_t>(homeOf(a))]
+        ->mem.readWord(a);
+}
+
+void
+Machine::debugWrite(Addr a, Word v)
+{
+    Addr baddr = blockAlign(a);
+    for (auto &node : nodes) {
+        // Keep any cached copies consistent with the backdoor write.
+        Cache &c = node->cacheCtrl.cache;
+        bool victim_hit = false;
+        if (CacheLine *line = c.access(baddr, victim_hit))
+            line->data.write(a, v);
+    }
+    nodes[static_cast<std::size_t>(homeOf(a))]->mem.writeWord(a, v);
+}
+
+void
+Machine::checkCoherence() const
+{
+    // Collect dirty copies per block; verify exclusivity.
+    std::unordered_map<Addr, int> dirty;
+    std::unordered_map<Addr, int> copies;
+    for (const auto &node : nodes) {
+        node->cacheCtrl.cache.forEachLine([&](const CacheLine &line) {
+            if (line.state == LineState::Instr)
+                return;
+            ++copies[line.blockAddr];
+            if (line.state == LineState::Modified)
+                ++dirty[line.blockAddr];
+        });
+    }
+    for (const auto &[addr, n] : dirty) {
+        SWEX_ASSERT(n <= 1, "%d dirty copies of block %#llx", n,
+                    static_cast<unsigned long long>(addr));
+        SWEX_ASSERT(copies[addr] == 1,
+                    "dirty block %#llx also cached elsewhere (%d)",
+                    static_cast<unsigned long long>(addr),
+                    copies[addr]);
+    }
+}
+
+void
+Machine::checkInvariants() const
+{
+    for (const auto &node : nodes)
+        node->home.checkInvariants();
+    checkCoherence();
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    root.dump(os);
+}
+
+void
+Machine::resetStats()
+{
+    root.reset();
+}
+
+double
+Machine::sumStat(const std::string &path) const
+{
+    double sum = 0;
+    for (const auto &node : nodes) {
+        const stats::Stat *s = node->statsGroup.find(path);
+        if (const auto *sc = dynamic_cast<const stats::Scalar *>(s))
+            sum += sc->value();
+    }
+    return sum;
+}
+
+} // namespace swex

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The complete simulated multiprocessor: nodes, mesh network, global
+ * address-space layout, program driving, verification hooks, and
+ * statistics. This is the top-level object benchmark harnesses and
+ * examples construct.
+ */
+
+#ifndef SWEX_MACHINE_MACHINE_HH
+#define SWEX_MACHINE_MACHINE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "core/protocol.hh"
+#include "core/sharing_tracker.hh"
+#include "machine/cache_controller.hh"
+#include "machine/node.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+namespace swex
+{
+
+class Mem;
+
+/** Full system configuration. */
+struct MachineConfig
+{
+    int numNodes = 16;
+
+    ProtocolConfig protocol;
+    HandlerProfile profile = HandlerProfile::FlexibleC;
+    bool parallelInv = false;       ///< Section 7 enhancement
+
+    Cycles memLatency = 10;         ///< DRAM access at the home
+    Cycles hwCtrlLatency = 2;       ///< hw-synthesized replies
+    Cycles rxOccupancy = 2;         ///< CMMU receive-side serialization
+
+    NetworkConfig net;
+    CacheCtrlConfig cacheCtrl;
+
+    bool perfectIfetch = false;     ///< simulator-only option (Fig. 3)
+    bool trackSharing = false;      ///< exact worker-set measurement
+
+    /** -1: enable the livelock watchdog iff the protocol needs it. */
+    int watchdog = -1;
+
+    std::uint64_t segBytes = 4ull << 20;   ///< memory per node
+    std::uint64_t seed = 12345;
+    Tick maxTicks = 4'000'000'000ull;      ///< runaway guard
+
+    /** Convenience: victim-cache toggle (entries in cacheCtrl). */
+    MachineConfig &
+    withVictimCache(unsigned entries = 6)
+    {
+        cacheCtrl.victimEntries = entries;
+        return *this;
+    }
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return cfg; }
+    int numNodes() const { return cfg.numNodes; }
+    Tick now() const { return eventq.curTick(); }
+
+    // ---- address space ----------------------------------------------
+
+    NodeId
+    homeOf(Addr a) const
+    {
+        return static_cast<NodeId>(a / cfg.segBytes);
+    }
+
+    Addr
+    nodeBase(NodeId n) const
+    {
+        return static_cast<Addr>(n) * cfg.segBytes;
+    }
+
+    /** Cache set index an address maps to (for layout control). */
+    unsigned cacheIndexOf(Addr a) const;
+
+    /** Bump-allocate @p bytes of shared memory homed at node @p n. */
+    Addr allocOn(NodeId n, std::uint64_t bytes,
+                 std::uint64_t align = 8);
+
+    /**
+     * Allocate so the first byte maps to cache set @p cache_index
+     * (used to construct the instruction/data thrashing layouts the
+     * paper observed in TSP).
+     */
+    Addr allocAtIndex(NodeId n, std::uint64_t bytes,
+                      unsigned cache_index);
+
+    /** Base of the node's reserved instruction region. */
+    Addr instrBase(NodeId n) const;
+
+    // ---- program driving --------------------------------------------
+
+    using ThreadFn = std::function<Task<void>(Mem &, int)>;
+
+    /**
+     * Run one thread per node (or @p num_threads threads on nodes
+     * 0..num_threads-1) to completion.
+     * @return elapsed cycles
+     */
+    Tick run(const ThreadFn &fn, int num_threads = -1);
+
+    /** A thread's main coroutine completed (called by processors). */
+    void threadFinished() { --running; }
+
+    // ---- fast barrier --------------------------------------------------
+
+    /**
+     * Hardware-assisted barrier across all live threads, modeling
+     * Alewife's fast barrier facility (paper Section 7). Costs
+     * barrierLatency cycles but generates no coherence traffic; used
+     * by controlled experiments (WORKER) to isolate worker-set
+     * behavior. Every live thread must participate.
+     */
+    struct BarrierAwaitable
+    {
+        Machine &m;
+        int node;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            m.barrierArrive(node, h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    BarrierAwaitable hwBarrier(int node) { return {*this, node}; }
+
+    Cycles barrierLatency = 64;
+
+    // ---- verification -------------------------------------------------
+
+    /**
+     * Read the coherent value of a word (dirty cached copy if one
+     * exists, else home memory). Debug/verification only; does not
+     * perturb the simulation.
+     */
+    Word debugRead(Addr a) const;
+
+    /** Debug write backdoor (test setup only). */
+    void debugWrite(Addr a, Word v);
+
+    /**
+     * Check system-wide coherence invariants: at most one dirty copy
+     * per block, and a dirty copy excludes all other copies. Panics
+     * on violation. Call at quiescence.
+     */
+    void checkCoherence() const;
+
+    /** Per-node directory invariants. */
+    void checkInvariants() const;
+
+    // ---- statistics ----------------------------------------------------
+
+    void dumpStats(std::ostream &os) const;
+    void resetStats();
+
+    /** Aggregate a named per-node scalar stat over all nodes. */
+    double sumStat(const std::string &path) const;
+
+    EventQueue eventq;
+    stats::Group root;
+    MeshNetwork network;
+    SharingTracker tracker;
+    std::vector<std::unique_ptr<Node>> nodes;
+
+  private:
+    void barrierArrive(int node, std::coroutine_handle<> h);
+
+    MachineConfig cfg;
+    std::vector<std::uint64_t> heapPtr;   ///< per-node bump pointers
+    int running = 0;
+    std::vector<std::pair<int, std::coroutine_handle<>>> barrierWaiters;
+};
+
+} // namespace swex
+
+#endif // SWEX_MACHINE_MACHINE_HH

@@ -1,0 +1,147 @@
+#include "machine/node.hh"
+
+#include "base/logging.hh"
+#include "machine/machine.hh"
+
+namespace swex
+{
+
+namespace
+{
+
+ProcessorConfig
+procConfig(const MachineConfig &mc)
+{
+    ProcessorConfig pc;
+    pc.perfectIfetch = mc.perfectIfetch;
+    pc.watchdog = mc.watchdog < 0 ? mc.protocol.needsWatchdog()
+                                  : mc.watchdog != 0;
+    return pc;
+}
+
+HomeConfig
+homeConfig(const MachineConfig &mc)
+{
+    HomeConfig hc;
+    hc.protocol = mc.protocol;
+    hc.profile = mc.profile;
+    hc.memLatency = mc.memLatency;
+    hc.hwCtrlLatency = mc.hwCtrlLatency;
+    hc.parallelInv = mc.parallelInv;
+    return hc;
+}
+
+} // anonymous namespace
+
+Node::Node(Machine &machine, NodeId id)
+    : statsGroup(&machine.root, strfmt("node%d", static_cast<int>(id))),
+      proc(*this, procConfig(machine.config()), &statsGroup),
+      cacheCtrl(*this, machine.config().cacheCtrl, &statsGroup,
+                machine.config().seed * 1000003 +
+                static_cast<std::uint64_t>(id)),
+      home(id, machine.config().numNodes, homeConfig(machine.config()),
+           *this, &statsGroup),
+      _machine(machine), _id(id)
+{
+    if (machine.config().trackSharing)
+        home.setTracker(&machine.tracker);
+}
+
+EventQueue &
+Node::eventq()
+{
+    return _machine.eventq;
+}
+
+void
+Node::sendMsg(const Message &msg, Cycles delay)
+{
+    // Local data grants are applied to the cache synchronously, at
+    // the moment the directory transitions: the CMMU's directory and
+    // cache sides are co-located, and an in-flight loopback grant
+    // could otherwise race with a synchronous local invalidation or
+    // flush (leaving a stale or duplicate-dirty copy). The DRAM and
+    // handler latency is still charged, on the processor's resume.
+    if (msg.dst == _id && (msg.type == MsgType::ReadData ||
+                           msg.type == MsgType::WriteData)) {
+        cacheCtrl.handleMessage(msg,
+                                delay + _machine.config().net.loopback);
+        return;
+    }
+
+    // Local writebacks in the software-only directory's uniprocessor
+    // mode bypass the network loopback: there is no directory state to
+    // order an in-flight local writeback against a remote request, so
+    // the CMMU drains the local writeback synchronously.
+    if (msg.type == MsgType::Writeback && msg.dst == _id &&
+        _machine.config().protocol.hwPointers == 0 && delay == 0) {
+        home.handleMessage(msg);
+        return;
+    }
+    if (delay == 0) {
+        _machine.network.send(msg);
+    } else {
+        Message copy = msg;
+        eventq().scheduleIn(delay, [this, copy] {
+            _machine.network.send(copy);
+        }, EventPrio::Controller);
+    }
+}
+
+void
+Node::receiveMessage(const Message &msg)
+{
+    // Receive-side occupancy: the CMMU drains its input queue one
+    // message at a time.
+    Tick now = eventq().curTick();
+    Tick start = std::max(now, rxFreeAt);
+    rxFreeAt = start + _machine.config().rxOccupancy;
+    Message copy = msg;
+    eventq().schedule(rxFreeAt, [this, copy] {
+        switch (copy.type) {
+          case MsgType::ReadReq:
+          case MsgType::WriteReq:
+          case MsgType::InvAck:
+          case MsgType::Writeback:
+          case MsgType::FetchReply:
+            home.handleMessage(copy);
+            break;
+          case MsgType::ReadData:
+          case MsgType::WriteData:
+          case MsgType::Busy:
+          case MsgType::Inv:
+          case MsgType::FetchS:
+          case MsgType::FetchI:
+            cacheCtrl.handleMessage(copy);
+            break;
+          default:
+            panic("unroutable message %s", copy.describe().c_str());
+        }
+    }, EventPrio::Controller);
+}
+
+void
+Node::raiseTrap(const TrapItem &item)
+{
+    proc.raiseTrap(item);
+}
+
+RemovalResult
+Node::invalidateLocal(Addr block_addr)
+{
+    return cacheCtrl.invalidateLocal(block_addr);
+}
+
+RemovalResult
+Node::downgradeLocal(Addr block_addr)
+{
+    return cacheCtrl.downgradeLocal(block_addr);
+}
+
+void
+Node::schedule(Cycles delay, std::function<void()> fn)
+{
+    eventq().scheduleIn(delay, std::move(fn), EventPrio::Controller);
+}
+
+} // namespace swex

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * One Alewife node: processor, combined cache + victim cache (via the
+ * cache controller), home directory controller, and 4 MB of globally
+ * shared memory. The node routes arriving network messages to the
+ * correct CMMU half and models receive-side occupancy.
+ */
+
+#ifndef SWEX_MACHINE_NODE_HH
+#define SWEX_MACHINE_NODE_HH
+
+#include <memory>
+
+#include "base/stats.hh"
+#include "core/home_controller.hh"
+#include "machine/cache_controller.hh"
+#include "machine/processor.hh"
+#include "mem/memory.hh"
+#include "net/network.hh"
+
+namespace swex
+{
+
+class Machine;
+
+class Node : public MsgReceiver, public NodeServices
+{
+  public:
+    Node(Machine &machine, NodeId id);
+    ~Node() override = default;
+
+    NodeId id() const { return _id; }
+    Machine &machine() { return _machine; }
+    EventQueue &eventq();
+
+    // ---- MsgReceiver ------------------------------------------------
+    void receiveMessage(const Message &msg) override;
+
+    // ---- NodeServices -----------------------------------------------
+    void sendMsg(const Message &msg, Cycles delay) override;
+    void raiseTrap(const TrapItem &item) override;
+    RemovalResult invalidateLocal(Addr block_addr) override;
+    RemovalResult downgradeLocal(Addr block_addr) override;
+    MemoryModule &memory() override { return mem; }
+    void schedule(Cycles delay, std::function<void()> fn) override;
+
+    // ---- components --------------------------------------------------
+    stats::Group statsGroup;
+    MemoryModule mem;
+    Processor proc;
+    CacheController cacheCtrl;
+    HomeController home;
+
+  private:
+    Machine &_machine;
+    NodeId _id;
+    Tick rxFreeAt = 0;
+};
+
+} // namespace swex
+
+#endif // SWEX_MACHINE_NODE_HH

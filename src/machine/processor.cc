@@ -1,0 +1,244 @@
+#include "machine/processor.hh"
+
+#include "base/logging.hh"
+#include "machine/machine.hh"
+#include "machine/node.hh"
+
+namespace swex
+{
+
+Processor::Processor(Node &node, const ProcessorConfig &config,
+                     stats::Group *stats_parent)
+    : statsGroup(stats_parent, "proc"),
+      userCycles(&statsGroup, "userCycles",
+                 "cycles spent executing user compute"),
+      handlerCycles(&statsGroup, "handlerCycles",
+                    "cycles stolen by protocol software handlers"),
+      trapsRun(&statsGroup, "trapsRun", "software traps executed"),
+      memOps(&statsGroup, "memOps", "memory operations issued"),
+      ifetchPenalty(&statsGroup, "ifetchPenalty",
+                    "stall cycles due to instruction fetch misses"),
+      watchdogFirings(&statsGroup, "watchdogFirings",
+                      "livelock watchdog activations"),
+      memStallCycles(&statsGroup, "memStallCycles",
+                     "cycles blocked on memory operations"),
+      _node(node), cfg(config)
+{
+}
+
+void
+Processor::runThread(Task<void> t)
+{
+    SWEX_ASSERT(t.valid(), "runThread: invalid task");
+    mainTask = std::move(t);
+    finished = false;
+    _node.eventq().scheduleIn(0, [this] {
+        mainTask.start();
+        if (mainTask.done() && !finished) {
+            finished = true;
+            mainTask.rethrowIfFailed();
+            _node.machine().threadFinished();
+        }
+    }, EventPrio::Processor);
+}
+
+void
+Processor::setFootprint(std::vector<Addr> blocks)
+{
+    footprint = std::move(blocks);
+    for (auto &a : footprint)
+        a = blockAlign(a);
+}
+
+Cycles
+Processor::instrFetchPenalty()
+{
+    if (cfg.perfectIfetch || footprint.empty())
+        return 0;
+    Cycles penalty = 0;
+    for (Addr a : footprint)
+        penalty += _node.cacheCtrl.instrTouch(a);
+    ifetchPenalty += static_cast<double>(penalty);
+    return penalty;
+}
+
+void
+Processor::startWork(Cycles n, std::coroutine_handle<> h)
+{
+    SWEX_ASSERT(!workCont && !userComputing, "work already in flight");
+    workCont = h;
+    workRemaining = n + instrFetchPenalty();
+    tryRunUser();
+}
+
+void
+Processor::startMemOp(MemOpType t, Addr a, Word operand,
+                      std::coroutine_handle<> h)
+{
+    SWEX_ASSERT(!memCont, "memory op already outstanding");
+    ++memOps;
+    memCont = h;
+    memResumeReady = false;
+    memIssueTick = _node.eventq().curTick();
+    _node.cacheCtrl.issue(t, a, operand);
+}
+
+void
+Processor::completeMemOp(Word value)
+{
+    SWEX_ASSERT(memCont, "completion with no op outstanding");
+    lastValue = value;
+    if (handlerActive || watchdogActive) {
+        // Resume once the handler chain (or watchdog window) ends.
+        memResumeReady = true;
+        if (watchdogActive && !handlerActive) {
+            // Watchdog window exists to let user code run: do it now.
+            memResumeReady = false;
+            memStallCycles +=
+                static_cast<double>(_node.eventq().curTick() -
+                                    memIssueTick);
+            auto h = memCont;
+            memCont = nullptr;
+            handlersSinceUser = 0;
+            resumeUser(h);
+        }
+        return;
+    }
+    memStallCycles += static_cast<double>(_node.eventq().curTick() -
+                                          memIssueTick);
+    auto h = memCont;
+    memCont = nullptr;
+    handlersSinceUser = 0;
+    resumeUser(h);
+}
+
+void
+Processor::resumeUser(std::coroutine_handle<> h)
+{
+    h.resume();
+    if (mainTask.valid() && mainTask.done() && !finished) {
+        finished = true;
+        mainTask.rethrowIfFailed();
+        _node.machine().threadFinished();
+    }
+}
+
+void
+Processor::tryRunUser()
+{
+    if (handlerActive || userComputing)
+        return;
+    if (memResumeReady) {
+        memResumeReady = false;
+        memStallCycles += static_cast<double>(_node.eventq().curTick() -
+                                              memIssueTick);
+        auto h = memCont;
+        memCont = nullptr;
+        handlersSinceUser = 0;
+        resumeUser(h);
+        return;
+    }
+    if (workCont) {
+        if (workRemaining == 0) {
+            auto h = workCont;
+            workCont = nullptr;
+            handlersSinceUser = 0;
+            resumeUser(h);
+            return;
+        }
+        userComputing = true;
+        workStart = _node.eventq().curTick();
+        std::uint64_t epoch = ++workEpoch;
+        _node.eventq().scheduleIn(workRemaining, [this, epoch] {
+            onWorkDone(epoch);
+        }, EventPrio::Processor);
+    }
+}
+
+void
+Processor::onWorkDone(std::uint64_t epoch)
+{
+    if (epoch != workEpoch || !userComputing)
+        return;   // preempted; a later event will finish the work
+    userComputing = false;
+    userCycles += static_cast<double>(workRemaining);
+    workRemaining = 0;
+    auto h = workCont;
+    workCont = nullptr;
+    handlersSinceUser = 0;
+    resumeUser(h);
+}
+
+void
+Processor::raiseTrap(const TrapItem &item)
+{
+    trapQueue.push_back(item);
+    if (watchdogActive || handlerActive)
+        return;   // deferred / will chain
+    if (userComputing) {
+        // Preempt the user's compute; remember the remainder.
+        Tick now = _node.eventq().curTick();
+        Cycles elapsed = now - workStart;
+        if (elapsed > workRemaining)
+            elapsed = workRemaining;
+        userCycles += static_cast<double>(elapsed);
+        workRemaining -= elapsed;
+        ++workEpoch;   // cancels the pending completion event
+        userComputing = false;
+    }
+    startNextHandler();
+}
+
+void
+Processor::startNextHandler()
+{
+    if (trapQueue.empty()) {
+        handlerActive = false;
+        tryRunUser();
+        return;
+    }
+
+    bool user_pending = memResumeReady || workCont != nullptr;
+    if (cfg.watchdog && user_pending &&
+        handlersSinceUser >= cfg.watchdogThreshold) {
+        // Livelock watchdog (Section 4.1): shut off asynchronous
+        // handler processing and let user code run unmolested.
+        ++watchdogFirings;
+        watchdogActive = true;
+        handlerActive = false;
+        handlersSinceUser = 0;
+        _node.eventq().scheduleIn(cfg.watchdogWindow, [this] {
+            watchdogActive = false;
+            if (handlerActive || trapQueue.empty())
+                return;
+            if (userComputing) {
+                Tick now = _node.eventq().curTick();
+                Cycles elapsed = now - workStart;
+                if (elapsed > workRemaining)
+                    elapsed = workRemaining;
+                userCycles += static_cast<double>(elapsed);
+                workRemaining -= elapsed;
+                ++workEpoch;
+                userComputing = false;
+            }
+            startNextHandler();
+        }, EventPrio::Processor);
+        tryRunUser();
+        return;
+    }
+
+    TrapItem item = trapQueue.front();
+    trapQueue.pop_front();
+    handlerActive = true;
+    ++trapsRun;
+    ++handlersSinceUser;
+
+    Cycles c = _node.home.runTrap(item);
+    handlerCycles += static_cast<double>(c);
+    _node.eventq().scheduleIn(c, [this] {
+        handlerActive = false;
+        startNextHandler();
+    }, EventPrio::Processor);
+}
+
+} // namespace swex

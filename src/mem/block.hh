@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The unit of coherence: a 16-byte memory block, as in Alewife. Caches,
+ * memory modules, and protocol messages all carry real block data, so
+ * the simulated programs observe exactly what the coherence protocol
+ * delivers (stale values included).
+ */
+
+#ifndef SWEX_MEM_BLOCK_HH
+#define SWEX_MEM_BLOCK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace swex
+{
+
+/** Coherence/cache block geometry (fixed, as in Alewife). */
+constexpr unsigned blockBytes = 16;
+constexpr unsigned wordsPerBlock = blockBytes / sizeof(Word);
+constexpr unsigned blockOffsetBits = 4;
+
+/** Align @p addr down to its containing block. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Index of the word within its block. */
+constexpr unsigned
+wordInBlock(Addr addr)
+{
+    return static_cast<unsigned>((addr >> 3) & (wordsPerBlock - 1));
+}
+
+/** A block of data: two 64-bit words. */
+struct DataBlock
+{
+    std::array<Word, wordsPerBlock> words{};
+
+    Word read(Addr addr) const { return words[wordInBlock(addr)]; }
+    void write(Addr addr, Word v) { words[wordInBlock(addr)] = v; }
+
+    bool
+    operator==(const DataBlock &other) const
+    {
+        return words == other.words;
+    }
+};
+
+} // namespace swex
+
+#endif // SWEX_MEM_BLOCK_HH

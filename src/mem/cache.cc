@@ -1,0 +1,191 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace swex
+{
+
+Cache::Cache(unsigned cache_bytes, unsigned victim_entries,
+             stats::Group *stats_parent)
+    : statsGroup(stats_parent, "cache"),
+      dataHits(&statsGroup, "dataHits", "data accesses that hit"),
+      dataMisses(&statsGroup, "dataMisses", "data accesses that missed"),
+      instrHits(&statsGroup, "instrHits", "instruction fetches that hit"),
+      instrMisses(&statsGroup, "instrMisses",
+                  "instruction fetches that missed"),
+      victimHits(&statsGroup, "victimHits",
+                 "accesses satisfied by the victim buffer"),
+      evictions(&statsGroup, "evictions", "lines pushed out of the node"),
+      dirtyEvictions(&statsGroup, "dirtyEvictions",
+                     "evictions requiring a writeback"),
+      _victimEntries(victim_entries)
+{
+    SWEX_ASSERT(isPowerOf2(cache_bytes) && cache_bytes >= blockBytes,
+                "cache size must be a power of two");
+    _numSets = cache_bytes / blockBytes;
+    _sets.resize(_numSets);
+}
+
+CacheLine *
+Cache::probeMain(Addr block_addr)
+{
+    CacheLine &line = _sets[indexOf(block_addr)];
+    if (line.valid() && line.blockAddr == block_addr)
+        return &line;
+    return nullptr;
+}
+
+CacheLine *
+Cache::access(Addr block_addr, bool &victim_hit)
+{
+    victim_hit = false;
+    if (CacheLine *line = probeMain(block_addr))
+        return line;
+
+    for (auto it = _victim.begin(); it != _victim.end(); ++it) {
+        if (it->blockAddr == block_addr && it->valid()) {
+            // Swap the victim line back into its set; the displaced
+            // occupant takes its place in the victim buffer.
+            victim_hit = true;
+            CacheLine incoming = *it;
+            _victim.erase(it);
+            CacheLine &slot = _sets[indexOf(block_addr)];
+            if (slot.valid())
+                _victim.push_back(slot);
+            slot = incoming;
+            return &slot;
+        }
+    }
+    return nullptr;
+}
+
+Eviction
+Cache::pushToVictim(const CacheLine &line)
+{
+    Eviction ev;
+    if (_victimEntries == 0) {
+        ev.valid = true;
+        ev.blockAddr = line.blockAddr;
+        ev.dirty = line.dirty();
+        ev.data = line.data;
+        return ev;
+    }
+    _victim.push_back(line);
+    if (_victim.size() > _victimEntries) {
+        CacheLine oldest = _victim.front();
+        _victim.pop_front();
+        ev.valid = true;
+        ev.blockAddr = oldest.blockAddr;
+        ev.dirty = oldest.dirty();
+        ev.data = oldest.data;
+    }
+    return ev;
+}
+
+Eviction
+Cache::fill(Addr block_addr, LineState state, const DataBlock &data)
+{
+    SWEX_ASSERT(state != LineState::Invalid, "filling an invalid line");
+    SWEX_ASSERT(block_addr == blockAlign(block_addr),
+                "fill address not block aligned");
+
+    CacheLine &slot = _sets[indexOf(block_addr)];
+    Eviction ev;
+    if (slot.valid() && slot.blockAddr != block_addr)
+        ev = pushToVictim(slot);
+
+    if (ev.valid) {
+        ++evictions;
+        if (ev.dirty)
+            ++dirtyEvictions;
+    }
+
+    slot.blockAddr = block_addr;
+    slot.state = state;
+    slot.data = data;
+    return ev;
+}
+
+RemovalResult
+Cache::remove(Addr block_addr)
+{
+    RemovalResult res;
+    CacheLine &slot = _sets[indexOf(block_addr)];
+    if (slot.valid() && slot.blockAddr == block_addr) {
+        res.wasPresent = true;
+        res.wasDirty = slot.dirty();
+        res.data = slot.data;
+        slot.state = LineState::Invalid;
+        return res;
+    }
+    for (auto it = _victim.begin(); it != _victim.end(); ++it) {
+        if (it->valid() && it->blockAddr == block_addr) {
+            res.wasPresent = true;
+            res.wasDirty = it->dirty();
+            res.data = it->data;
+            _victim.erase(it);
+            return res;
+        }
+    }
+    return res;
+}
+
+RemovalResult
+Cache::downgrade(Addr block_addr)
+{
+    RemovalResult res;
+    CacheLine &slot = _sets[indexOf(block_addr)];
+    CacheLine *line = nullptr;
+    if (slot.valid() && slot.blockAddr == block_addr) {
+        line = &slot;
+    } else {
+        for (auto &vl : _victim)
+            if (vl.valid() && vl.blockAddr == block_addr)
+                line = &vl;
+    }
+    if (!line)
+        return res;
+    res.wasPresent = true;
+    res.wasDirty = line->dirty();
+    res.data = line->data;
+    if (line->state == LineState::Modified)
+        line->state = LineState::Shared;
+    return res;
+}
+
+const CacheLine *
+Cache::peek(Addr block_addr) const
+{
+    const CacheLine &slot = _sets[indexOf(block_addr)];
+    if (slot.valid() && slot.blockAddr == block_addr)
+        return &slot;
+    for (const auto &line : _victim)
+        if (line.valid() && line.blockAddr == block_addr)
+            return &line;
+    return nullptr;
+}
+
+bool
+Cache::holds(Addr block_addr) const
+{
+    const CacheLine &slot = _sets[indexOf(block_addr)];
+    if (slot.valid() && slot.blockAddr == block_addr)
+        return true;
+    return std::any_of(_victim.begin(), _victim.end(),
+                       [&](const CacheLine &l) {
+                           return l.valid() && l.blockAddr == block_addr;
+                       });
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : _sets)
+        line.state = LineState::Invalid;
+    _victim.clear();
+}
+
+} // namespace swex

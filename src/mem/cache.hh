@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Combined instruction/data direct-mapped cache with an optional
+ * victim cache, modeled after the Alewife node: 64 KB direct-mapped
+ * with 16-byte lines, plus a small fully-associative victim buffer
+ * (implemented in Alewife via the transaction store) that supplies the
+ * extra associativity the paper shows is necessary to avoid
+ * instruction/data thrashing.
+ *
+ * Coherence state lives in the lines; a line parked in the victim
+ * buffer still holds a valid coherent copy, so invalidations and
+ * fetches search both structures.
+ */
+
+#ifndef SWEX_MEM_CACHE_HH
+#define SWEX_MEM_CACHE_HH
+
+#include <deque>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mem/block.hh"
+
+namespace swex
+{
+
+/** Per-line coherence state. Instr lines are never coherent. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,     ///< clean, read-only copy
+    Modified,   ///< dirty, exclusive copy
+    Instr,      ///< instruction line (read-only, non-coherent)
+};
+
+/** One cache line. */
+struct CacheLine
+{
+    Addr blockAddr = 0;
+    LineState state = LineState::Invalid;
+    DataBlock data;
+
+    bool valid() const { return state != LineState::Invalid; }
+    bool dirty() const { return state == LineState::Modified; }
+};
+
+/** Result of evicting a line to make room. */
+struct Eviction
+{
+    bool valid = false;   ///< a line was displaced out of the cache
+    Addr blockAddr = 0;
+    bool dirty = false;   ///< displaced line needs a writeback
+    DataBlock data;
+};
+
+/** Result of removing a block for an invalidation or fetch. */
+struct RemovalResult
+{
+    bool wasPresent = false;
+    bool wasDirty = false;
+    DataBlock data;
+};
+
+/**
+ * The cache proper. All timing is charged by the cache controller;
+ * this class implements state and replacement only.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param cache_bytes total capacity (power of two)
+     * @param victim_entries victim buffer size; 0 disables it
+     */
+    Cache(unsigned cache_bytes, unsigned victim_entries,
+          stats::Group *stats_parent);
+
+    /** Number of direct-mapped sets. */
+    unsigned numSets() const { return _numSets; }
+
+    /** Set index for a block address. */
+    unsigned
+    indexOf(Addr block_addr) const
+    {
+        return static_cast<unsigned>(
+            (block_addr / blockBytes) & (_numSets - 1));
+    }
+
+    /** Look up a block in the main array only. */
+    CacheLine *probeMain(Addr block_addr);
+
+    /**
+     * Full lookup for a processor access. If the block sits in the
+     * victim buffer it is swapped back into the main array (the
+     * displaced occupant moves to the victim buffer).
+     *
+     * @param[out] victim_hit set if the access was satisfied by a swap
+     * @return the line, or nullptr on miss
+     */
+    CacheLine *access(Addr block_addr, bool &victim_hit);
+
+    /**
+     * Install a block. Displaces the current occupant of the set into
+     * the victim buffer (if enabled) or out of the cache.
+     *
+     * @return eviction record for any line pushed fully out
+     */
+    Eviction fill(Addr block_addr, LineState state,
+                  const DataBlock &data);
+
+    /** Remove a block wherever it lives (invalidation/FetchI). */
+    RemovalResult remove(Addr block_addr);
+
+    /** Downgrade Modified -> Shared (FetchS); returns data if dirty. */
+    RemovalResult downgrade(Addr block_addr);
+
+    /** True if any valid copy (main or victim) exists. */
+    bool holds(Addr block_addr) const;
+
+    /** Non-perturbing lookup across main array and victim buffer. */
+    const CacheLine *peek(Addr block_addr) const;
+
+    /** Visit every valid line (main array, then victim buffer). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const auto &line : _sets)
+            if (line.valid())
+                fn(line);
+        for (const auto &line : _victim)
+            if (line.valid())
+                fn(line);
+    }
+
+    /** Victim buffer occupancy (for tests). */
+    unsigned victimSize() const { return _victim.size(); }
+
+    /** Flush everything (used when resetting between benchmark runs). */
+    void flushAll();
+
+    stats::Group statsGroup;
+    stats::Scalar dataHits;
+    stats::Scalar dataMisses;
+    stats::Scalar instrHits;
+    stats::Scalar instrMisses;
+    stats::Scalar victimHits;
+    stats::Scalar evictions;
+    stats::Scalar dirtyEvictions;
+
+  private:
+    Eviction pushToVictim(const CacheLine &line);
+
+    unsigned _numSets;
+    unsigned _victimEntries;
+    std::vector<CacheLine> _sets;
+    std::deque<CacheLine> _victim;   ///< FIFO, front = oldest
+};
+
+} // namespace swex
+
+#endif // SWEX_MEM_CACHE_HH

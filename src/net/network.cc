@@ -1,0 +1,137 @@
+#include "net/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+
+namespace swex
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq: return "ReadReq";
+      case MsgType::WriteReq: return "WriteReq";
+      case MsgType::ReadData: return "ReadData";
+      case MsgType::WriteData: return "WriteData";
+      case MsgType::Inv: return "Inv";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::Busy: return "Busy";
+      case MsgType::FetchS: return "FetchS";
+      case MsgType::FetchI: return "FetchI";
+      case MsgType::FetchReply: return "FetchReply";
+      case MsgType::Writeback: return "Writeback";
+      default: return "?";
+    }
+}
+
+std::string
+Message::describe() const
+{
+    return strfmt("%s %d->%d addr=%#llx%s", msgTypeName(type),
+                  static_cast<int>(src), static_cast<int>(dst),
+                  static_cast<unsigned long long>(addr),
+                  hasData ? " +data" : "");
+}
+
+namespace
+{
+
+/** Pick a near-square grid that tiles @p n exactly. */
+std::pair<int, int>
+gridShape(int n)
+{
+    int best_w = 1;
+    for (int w = 1; w * w <= n; ++w)
+        if (n % w == 0)
+            best_w = w;
+    return {n / best_w, best_w};
+}
+
+} // anonymous namespace
+
+MeshNetwork::MeshNetwork(EventQueue &eq, int nodes, NetworkConfig cfg,
+                         stats::Group *statsParent)
+    : statsGroup(statsParent, "network"),
+      msgCount(&statsGroup, "msgCount", "messages injected"),
+      flitCount(&statsGroup, "flitCount", "flits injected"),
+      txQueueWait(&statsGroup, "txQueueWait",
+                  "cycles spent waiting for the transmit serializer"),
+      transitLatency(&statsGroup, "transitLatency",
+                     "inject-to-deliver latency in cycles"),
+      eventq(eq), config(cfg), numNodes(nodes),
+      receivers(static_cast<size_t>(nodes), nullptr),
+      txPorts(static_cast<size_t>(nodes))
+{
+    SWEX_ASSERT(nodes > 0, "network needs at least one node");
+    auto [w, h] = gridShape(nodes);
+    _width = w;
+    _height = h;
+}
+
+void
+MeshNetwork::setReceiver(NodeId node, MsgReceiver *recv)
+{
+    receivers.at(static_cast<size_t>(node)) = recv;
+}
+
+unsigned
+MeshNetwork::hopCount(NodeId a, NodeId b) const
+{
+    int ax = a % _width, ay = a / _width;
+    int bx = b % _width, by = b / _width;
+    return static_cast<unsigned>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+void
+MeshNetwork::send(Message msg)
+{
+    SWEX_ASSERT(msg.src >= 0 && msg.src < numNodes &&
+                msg.dst >= 0 && msg.dst < numNodes,
+                "bad endpoints in %s", msg.describe().c_str());
+
+    ++msgCount;
+    flitCount += msg.flits();
+
+    Tick now = eventq.curTick();
+
+    if (msg.src == msg.dst) {
+        // CMMU loopback path: no mesh traversal, no serialization.
+        eventq.scheduleIn(config.loopback,
+                          [this, msg] { deliver(msg); },
+                          EventPrio::Network);
+        transitLatency.sample(static_cast<double>(config.loopback));
+        return;
+    }
+
+    TxPort &port = txPorts[static_cast<size_t>(msg.src)];
+    Tick start = std::max(now, port.freeAt);
+    txQueueWait.sample(static_cast<double>(start - now));
+
+    Tick tx_done = start + msg.flits();   // 1 flit/cycle serialization
+    port.freeAt = tx_done;
+
+    Tick arrive = tx_done + config.routerEntry +
+                  config.hopLatency * hopCount(msg.src, msg.dst);
+    transitLatency.sample(static_cast<double>(arrive - now));
+
+    eventq.schedule(arrive, [this, msg] { deliver(msg); },
+                    EventPrio::Network);
+}
+
+void
+MeshNetwork::deliver(const Message &msg)
+{
+    SWEX_TRACE_EVENT("[%8llu] net: deliver %s",
+                     static_cast<unsigned long long>(eventq.curTick()),
+                     msg.describe().c_str());
+    MsgReceiver *recv = receivers[static_cast<size_t>(msg.dst)];
+    SWEX_ASSERT(recv, "no receiver registered for node %d",
+                static_cast<int>(msg.dst));
+    recv->receiveMessage(msg);
+}
+
+} // namespace swex

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * 2-D mesh interconnect with dimension-ordered routing. Following the
+ * paper (Section 3.2), contention is modeled at the per-node transmit
+ * and receive queues of the CMMU; contention inside network switches
+ * is not modeled. A packet therefore experiences: transmit-queue wait
+ * + serialization at one flit per cycle + per-hop wire latency, and is
+ * then handed to the destination's receiver (whose input queue models
+ * the receive side).
+ */
+
+#ifndef SWEX_NET_NETWORK_HH
+#define SWEX_NET_NETWORK_HH
+
+#include <deque>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+
+namespace swex
+{
+
+/** Sink for messages arriving at a node (implemented by the CMMU). */
+class MsgReceiver
+{
+  public:
+    virtual ~MsgReceiver() = default;
+
+    /** A message has fully arrived at this node. */
+    virtual void receiveMessage(const Message &msg) = 0;
+};
+
+/** Configuration knobs for the mesh. */
+struct NetworkConfig
+{
+    Cycles hopLatency = 1;      ///< wire/switch latency per hop
+    Cycles routerEntry = 2;     ///< fixed cost to enter/exit the mesh
+    Cycles loopback = 2;        ///< latency for src == dst messages
+};
+
+/**
+ * The mesh network. Nodes are laid out on a W x H grid with W chosen
+ * as the largest power-of-two divisor <= sqrt(n) that tiles n.
+ */
+class MeshNetwork
+{
+  public:
+    MeshNetwork(EventQueue &eq, int numNodes, NetworkConfig cfg,
+                stats::Group *statsParent);
+
+    /** Register the receiver for @p node. */
+    void setReceiver(NodeId node, MsgReceiver *recv);
+
+    /**
+     * Inject a message. The transmit queue of msg.src serializes at
+     * one flit per cycle; delivery is scheduled after transit.
+     */
+    void send(Message msg);
+
+    /** Grid geometry. */
+    int width() const { return _width; }
+    int height() const { return _height; }
+
+    /** Manhattan distance between two nodes. */
+    unsigned hopCount(NodeId a, NodeId b) const;
+
+    /** Statistics. */
+    stats::Group statsGroup;
+    stats::Scalar msgCount;
+    stats::Scalar flitCount;
+    stats::Distribution txQueueWait;
+    stats::Distribution transitLatency;
+
+  private:
+    struct TxPort
+    {
+        Tick freeAt = 0;        ///< when the serializer is next free
+    };
+
+    void deliver(const Message &msg);
+
+    EventQueue &eventq;
+    NetworkConfig config;
+    int numNodes;
+    int _width;
+    int _height;
+    std::vector<MsgReceiver *> receivers;
+    std::vector<TxPort> txPorts;
+};
+
+} // namespace swex
+
+#endif // SWEX_NET_NETWORK_HH

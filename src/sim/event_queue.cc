@@ -1,0 +1,43 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace swex
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPrio prio)
+{
+    SWEX_ASSERT(when >= _curTick,
+                "scheduling into the past: %llu < %llu",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(_curTick));
+    _events.push(Entry{when, prio, _nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (_events.empty())
+        return false;
+    // std::priority_queue::top() is const; moving the callback out
+    // requires a copy otherwise, so keep the extraction explicit.
+    Entry e = _events.top();
+    _events.pop();
+    _curTick = e.when;
+    ++_numExecuted;
+    e.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!_events.empty() && _events.top().when <= limit)
+        runOne();
+    return _curTick;
+}
+
+} // namespace swex

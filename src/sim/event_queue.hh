@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. NWO stepped every Alewife component
+ * on every cycle; we use an event queue at cycle resolution with fully
+ * deterministic ordering (tick, priority, insertion sequence), which is
+ * behaviorally equivalent for our component models and much faster.
+ */
+
+#ifndef SWEX_SIM_EVENT_QUEUE_HH
+#define SWEX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace swex
+{
+
+/**
+ * Event priorities; lower values run first within a tick. The ordering
+ * mirrors the hardware: the network moves flits, then memory-side
+ * controllers consume them, then processors observe completions.
+ */
+enum class EventPrio : std::uint8_t
+{
+    Network = 0,
+    Controller = 1,
+    Processor = 2,
+    Default = 3,
+};
+
+/**
+ * The central event queue. All simulated components schedule callbacks
+ * here; the queue is strictly single-threaded and deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in cycles. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedule @p cb at absolute time @p when (>= curTick). */
+    void schedule(Tick when, Callback cb,
+                  EventPrio prio = EventPrio::Default);
+
+    /** Schedule @p cb @p delay cycles from now. */
+    void
+    scheduleIn(Cycles delay, Callback cb,
+               EventPrio prio = EventPrio::Default)
+    {
+        schedule(_curTick + delay, std::move(cb), prio);
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _events.size(); }
+
+    /** Execute the single next event; returns false if queue empty. */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or curTick would exceed @p limit.
+     * @return the final value of curTick.
+     */
+    Tick run(Tick limit = tickNever);
+
+    /** Total number of events executed over the queue's lifetime. */
+    std::uint64_t numExecuted() const { return _numExecuted; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventPrio prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _events;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _numExecuted = 0;
+};
+
+} // namespace swex
+
+#endif // SWEX_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Coroutine plumbing for simulated threads. Application kernels and
+ * runtime primitives are written as C++20 coroutines returning
+ * Task<T>; awaiting a memory operation suspends the simulated thread
+ * until the coherence protocol delivers the result, at which point the
+ * event queue resumes it. Nested Task awaits use symmetric transfer, so
+ * deep call chains (e.g. recursive adaptive quadrature) cost no stack.
+ */
+
+#ifndef SWEX_SIM_TASK_HH
+#define SWEX_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace swex
+{
+
+template <typename T>
+class Task;
+
+namespace detail
+{
+
+/** State shared by all Task promises: continuation + error capture. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation = std::noop_coroutine();
+    std::exception_ptr error;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            return h.promise().continuation;
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { error = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase
+{
+    T value{};
+
+    Task<T> get_return_object();
+
+    template <typename U>
+    void return_value(U &&v) { value = std::forward<U>(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase
+{
+    Task<void> get_return_object();
+
+    void return_void() {}
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine. Ownership of the coroutine frame lives
+ * with the Task object; a Task is either co_awaited by a parent
+ * coroutine or started at top level with start() (the simulated
+ * processor does the latter for each thread's main function).
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = detail::Promise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : _handle(h) {}
+
+    Task(Task &&other) noexcept
+        : _handle(std::exchange(other._handle, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            _handle = std::exchange(other._handle, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True once the coroutine has run to completion. */
+    bool done() const { return !_handle || _handle.done(); }
+
+    /** True if this Task owns a live coroutine frame. */
+    bool valid() const { return static_cast<bool>(_handle); }
+
+    /**
+     * Kick off a top-level task: runs until its first suspension (or
+     * completion). Only for tasks not being co_awaited.
+     */
+    void
+    start()
+    {
+        SWEX_ASSERT(_handle && !_handle.done(), "starting dead task");
+        _handle.resume();
+    }
+
+    /** Rethrow any exception that escaped the coroutine body. */
+    void
+    rethrowIfFailed() const
+    {
+        if (_handle && _handle.promise().error)
+            std::rethrow_exception(_handle.promise().error);
+    }
+
+    /** Result accessor, valid after completion (void tasks: no-op). */
+    T
+    result() const
+    {
+        rethrowIfFailed();
+        if constexpr (!std::is_void_v<T>)
+            return _handle.promise().value;
+    }
+
+    /** Awaiter: suspend parent, run child, resume parent on finish. */
+    auto
+    operator co_await() && noexcept
+    {
+        struct Awaiter
+        {
+            Handle handle;
+
+            bool await_ready() const noexcept { return !handle; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent) noexcept
+            {
+                handle.promise().continuation = parent;
+                return handle;
+            }
+
+            T
+            await_resume()
+            {
+                if (handle.promise().error)
+                    std::rethrow_exception(handle.promise().error);
+                if constexpr (!std::is_void_v<T>)
+                    return std::move(handle.promise().value);
+            }
+        };
+        return Awaiter{_handle};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (_handle) {
+            _handle.destroy();
+            _handle = nullptr;
+        }
+    }
+
+    Handle _handle = nullptr;
+};
+
+namespace detail
+{
+
+template <typename T>
+Task<T>
+Promise<T>::get_return_object()
+{
+    return Task<T>(
+        std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+Promise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace swex
+
+#endif // SWEX_SIM_TASK_HH

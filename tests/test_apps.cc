@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Application tests: every case-study application must produce its
+ * host-verified result when run sequentially and in parallel, under
+ * representative protocols, with the machine coherent at quiescence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/aq.hh"
+#include "apps/evolve.hh"
+#include "apps/mp3d.hh"
+#include "apps/smgrid.hh"
+#include "apps/tsp.hh"
+#include "apps/water.hh"
+#include "core/spectrum.hh"
+
+using namespace swex;
+
+namespace
+{
+
+MachineConfig
+appConfig(ProtocolConfig p, int nodes)
+{
+    MachineConfig mc;
+    mc.numNodes = nodes;
+    mc.protocol = p;
+    mc.cacheCtrl.victimEntries = 6;   // victim caching on (Section 6)
+    return mc;
+}
+
+} // anonymous namespace
+
+// ------------------------------------------------------------------
+// TSP
+// ------------------------------------------------------------------
+
+TEST(Tsp, GroundTruthIsConsistent)
+{
+    TspConfig tc;
+    tc.numCities = 7;
+    TspApp app(tc);
+    EXPECT_GT(app.optimalCost(), 0);
+    EXPECT_GT(app.expectedExpansions(), 1u);
+}
+
+TEST(Tsp, SequentialMatchesGroundTruth)
+{
+    TspConfig tc;
+    tc.numCities = 7;
+    TspApp app(tc);
+    Machine m(appConfig(ProtocolConfig::fullMap(), 1));
+    Tick t = app.runSequential(m);
+    EXPECT_GT(t, 0u);
+    EXPECT_TRUE(app.verify(m));
+    m.checkInvariants();
+}
+
+TEST(Tsp, ParallelMatchesAcrossProtocols)
+{
+    for (const char *which : {"H0", "H1LACK", "H5", "FULL"}) {
+        SCOPED_TRACE(which);
+        ProtocolConfig p =
+            which == std::string("H0") ? ProtocolConfig::h0()
+            : which == std::string("H1LACK") ? ProtocolConfig::h1Lack()
+            : which == std::string("H5") ? ProtocolConfig::hw(5)
+            : ProtocolConfig::fullMap();
+        TspConfig tc;
+        tc.numCities = 7;
+        TspApp app(tc);
+        Machine m(appConfig(p, 8));
+        Tick t = app.runParallel(m);
+        EXPECT_GT(t, 0u);
+        EXPECT_TRUE(app.verify(m));
+        m.checkInvariants();
+    }
+}
+
+TEST(Tsp, CollidingLayoutThrashesWithoutVictimCache)
+{
+    // The paper's Figure 3 mechanism: with the colliding layout and
+    // no victim cache, the hot blocks thrash against the instruction
+    // footprint; a small victim cache recovers the performance.
+    auto run = [](bool collide, unsigned victim) {
+        TspConfig tc;
+        tc.numCities = 8;
+        tc.expandWork = 400;
+        tc.collideLayout = collide;
+        TspApp app(tc);
+        MachineConfig mc = appConfig(ProtocolConfig::hw(5), 8);
+        mc.cacheCtrl.victimEntries = victim;
+        Machine m(mc);
+        Tick t = app.runParallel(m);
+        EXPECT_TRUE(app.verify(m));
+        return t;
+    };
+    Tick thrash = run(true, 0);
+    Tick with_victim = run(true, 6);
+    Tick no_collide = run(false, 0);
+    EXPECT_GT(thrash, with_victim * 3 / 2);
+    EXPECT_GT(thrash, no_collide * 3 / 2);
+}
+
+// ------------------------------------------------------------------
+// AQ
+// ------------------------------------------------------------------
+
+TEST(Aq, GroundTruthNearClosedForm)
+{
+    AqConfig ac;
+    ac.maxDepth = 8;
+    AqApp app(ac);
+    EXPECT_GT(app.expectedTasks(), 50u);
+}
+
+TEST(Aq, SequentialAndParallelMatch)
+{
+    AqConfig ac;
+    ac.maxDepth = 7;
+    {
+        AqApp app(ac);
+        Machine m(appConfig(ProtocolConfig::fullMap(), 1));
+        app.runSequential(m);
+        EXPECT_TRUE(app.verify(m));
+    }
+    for (const auto &pt : {SpectrumPoint{"H1", ProtocolConfig::h1()},
+                           SpectrumPoint{"H5", ProtocolConfig::hw(5)}}) {
+        SCOPED_TRACE(pt.label);
+        AqApp app(ac);
+        Machine m(appConfig(pt.protocol, 8));
+        app.runParallel(m);
+        EXPECT_TRUE(app.verify(m));
+        m.checkInvariants();
+    }
+}
+
+// ------------------------------------------------------------------
+// SMGRID
+// ------------------------------------------------------------------
+
+TEST(Smgrid, SequentialReducesResidual)
+{
+    SmgridConfig sc;
+    sc.fineSize = 17;
+    SmgridApp app(sc);
+    Machine m(appConfig(ProtocolConfig::fullMap(), 1));
+    app.runSequential(m);
+    EXPECT_TRUE(app.verify(m));
+}
+
+TEST(Smgrid, ParallelMatchesSequentialResidual)
+{
+    SmgridConfig sc;
+    sc.fineSize = 17;
+
+    SmgridApp seq_app(sc);
+    Machine seq(appConfig(ProtocolConfig::fullMap(), 1));
+    seq_app.runSequential(seq);
+    double seq_res = seq_app.finalResidual(seq);
+
+    for (const auto &pt :
+         {SpectrumPoint{"H2", ProtocolConfig::hw(2)},
+          SpectrumPoint{"FULL", ProtocolConfig::fullMap()}}) {
+        SCOPED_TRACE(pt.label);
+        SmgridApp app(sc);
+        Machine m(appConfig(pt.protocol, 8));
+        app.runParallel(m);
+        EXPECT_TRUE(app.verify(m));
+        // Jacobi with barriers is deterministic: the residual matches
+        // the sequential run to accumulation-order noise.
+        EXPECT_NEAR(app.finalResidual(m), seq_res,
+                    1e-9 * (1 + seq_res));
+        m.checkInvariants();
+    }
+}
+
+// ------------------------------------------------------------------
+// EVOLVE
+// ------------------------------------------------------------------
+
+TEST(Evolve, WalksTerminateAtLocalMaxima)
+{
+    EvolveConfig ec;
+    ec.dimensions = 8;
+    EvolveApp app(ec);
+    app.computeGroundTruth(8);
+    Machine m(appConfig(ProtocolConfig::fullMap(), 8));
+    app.runParallel(m);
+    EXPECT_TRUE(app.verify(m));
+    m.checkInvariants();
+}
+
+TEST(Evolve, SequentialMatchesParallel)
+{
+    EvolveConfig ec;
+    ec.dimensions = 8;
+    {
+        EvolveApp app(ec);
+        app.computeGroundTruth(8);
+        Machine m(appConfig(ProtocolConfig::hw(2), 1));
+        app.runSequential(m);
+        EXPECT_TRUE(app.verify(m));
+    }
+    {
+        EvolveApp app(ec);
+        app.computeGroundTruth(8);
+        Machine m(appConfig(ProtocolConfig::h1Lack(), 8));
+        app.runParallel(m);
+        EXPECT_TRUE(app.verify(m));
+    }
+}
+
+// ------------------------------------------------------------------
+// MP3D
+// ------------------------------------------------------------------
+
+TEST(Mp3d, ChecksumMatchesHostModel)
+{
+    Mp3dConfig pc;
+    pc.particles = 96;
+    pc.steps = 3;
+    {
+        Mp3dApp app(pc);
+        Machine m(appConfig(ProtocolConfig::fullMap(), 1));
+        app.runSequential(m);
+        EXPECT_TRUE(app.verify(m));
+    }
+    for (const auto &pt :
+         {SpectrumPoint{"H0", ProtocolConfig::h0()},
+          SpectrumPoint{"H5", ProtocolConfig::hw(5)}}) {
+        SCOPED_TRACE(pt.label);
+        Mp3dApp app(pc);
+        Machine m(appConfig(pt.protocol, 8));
+        app.runParallel(m);
+        EXPECT_TRUE(app.verify(m));
+        m.checkInvariants();
+    }
+}
+
+// ------------------------------------------------------------------
+// WATER
+// ------------------------------------------------------------------
+
+TEST(Water, ChecksumMatchesHostModel)
+{
+    WaterConfig wc;
+    wc.molecules = 16;
+    wc.steps = 2;
+    {
+        WaterApp app(wc);
+        Machine m(appConfig(ProtocolConfig::fullMap(), 1));
+        app.runSequential(m);
+        EXPECT_TRUE(app.verify(m));
+    }
+    for (const auto &pt :
+         {SpectrumPoint{"H1ACK", ProtocolConfig::h1Ack()},
+          SpectrumPoint{"H5", ProtocolConfig::hw(5)}}) {
+        SCOPED_TRACE(pt.label);
+        WaterApp app(wc);
+        Machine m(appConfig(pt.protocol, 8));
+        app.runParallel(m);
+        EXPECT_TRUE(app.verify(m));
+        m.checkInvariants();
+    }
+}
+
+// ------------------------------------------------------------------
+// Cross-cutting: parallel runs beat sequential runs (sanity of the
+// whole speedup methodology).
+// ------------------------------------------------------------------
+
+TEST(Speedup, ParallelFasterThanSequentialOnFullMap)
+{
+    WaterConfig wc;
+    wc.molecules = 48;
+    wc.steps = 2;
+    wc.pairWork = 40;
+
+    WaterApp seq_app(wc);
+    Machine seq(appConfig(ProtocolConfig::fullMap(), 1));
+    Tick t_seq = seq_app.runSequential(seq);
+
+    WaterApp par_app(wc);
+    Machine par(appConfig(ProtocolConfig::fullMap(), 8));
+    Tick t_par = par_app.runParallel(par);
+
+    EXPECT_TRUE(par_app.verify(par));
+    double speedup =
+        static_cast<double>(t_seq) / static_cast<double>(t_par);
+    EXPECT_GT(speedup, 2.0);
+    EXPECT_LT(speedup, 8.5);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the foundation library: logging format helpers,
+ * integer math, deterministic RNG, and the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+
+using namespace swex;
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 7, "abc"), "x=7 y=abc");
+    EXPECT_EQ(strfmt("%#llx", 0x10ULL), "0x10");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(IntMath, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+}
+
+TEST(IntMath, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+}
+
+TEST(IntMath, DivCeilAndRoundUp)
+{
+    EXPECT_EQ(divCeil(10, 4), 3u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs |= (a2.next() != c.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::Group g;
+    stats::Scalar s(&g, "s", "a scalar");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Group g;
+    stats::Distribution d(&g, "d", "a distribution");
+    d.sample(1);
+    d.sample(3);
+    d.sample(5);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 5.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    stats::Group g;
+    stats::Histogram h(&g, "h", "a histogram");
+    h.init(4, 10.0);
+    h.sample(0);
+    h.sample(9.9);
+    h.sample(10);
+    h.sample(1000);   // clamps to last bucket
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.totalCount(), 4u);
+}
+
+TEST(Stats, GroupFindByDottedPath)
+{
+    stats::Group root;
+    stats::Group child(&root, "node0");
+    stats::Scalar s(&child, "hits", "hits");
+    s += 4;
+    const stats::Stat *found = root.find("node0.hits");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(
+        dynamic_cast<const stats::Scalar *>(found)->value(), 4.0);
+    EXPECT_EQ(root.find("node0.misses"), nullptr);
+    EXPECT_EQ(root.find("nodeX.hits"), nullptr);
+}
+
+TEST(Stats, DumpFormat)
+{
+    stats::Group root;
+    stats::Group child(&root, "net");
+    stats::Scalar s(&child, "msgs", "messages");
+    s += 12;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("net.msgs 12"), std::string::npos);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the combined direct-mapped cache and its victim
+ * buffer: placement, conflict eviction, victim swap-back, coherence
+ * removals/downgrades across both structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace swex;
+
+namespace
+{
+
+DataBlock
+blk(Word a, Word b)
+{
+    DataBlock d;
+    d.words = {a, b};
+    return d;
+}
+
+struct CacheTest : ::testing::Test
+{
+    stats::Group root;
+    // Tiny cache: 16 sets (256 B), victim buffer of 2.
+    Cache c{256, 2, &root};
+
+    Addr
+    addrAtSet(unsigned set, unsigned way)
+    {
+        // Same set, different tags.
+        return static_cast<Addr>(set) * blockBytes +
+               static_cast<Addr>(way) * 256;
+    }
+};
+
+} // anonymous namespace
+
+TEST(BlockGeometry, AlignAndWordIndex)
+{
+    EXPECT_EQ(blockAlign(0x1234), 0x1230u);
+    EXPECT_EQ(blockAlign(0x1230), 0x1230u);
+    EXPECT_EQ(wordInBlock(0x1230), 0u);
+    EXPECT_EQ(wordInBlock(0x1238), 1u);
+    DataBlock d;
+    d.write(0x1238, 99);
+    EXPECT_EQ(d.read(0x1238), 99u);
+    EXPECT_EQ(d.read(0x1230), 0u);
+}
+
+TEST_F(CacheTest, FillThenHit)
+{
+    Addr a = addrAtSet(3, 0);
+    Eviction ev = c.fill(a, LineState::Shared, blk(7, 8));
+    EXPECT_FALSE(ev.valid);
+    bool vh = false;
+    CacheLine *line = c.access(a, vh);
+    ASSERT_NE(line, nullptr);
+    EXPECT_FALSE(vh);
+    EXPECT_EQ(line->data.words[0], 7u);
+    EXPECT_EQ(line->state, LineState::Shared);
+}
+
+TEST_F(CacheTest, MissOnUntouchedAddress)
+{
+    bool vh = false;
+    EXPECT_EQ(c.access(0x40, vh), nullptr);
+}
+
+TEST_F(CacheTest, ConflictGoesToVictimAndSwapsBack)
+{
+    Addr a = addrAtSet(5, 0);
+    Addr b = addrAtSet(5, 1);
+    c.fill(a, LineState::Shared, blk(1, 1));
+    Eviction ev = c.fill(b, LineState::Shared, blk(2, 2));
+    EXPECT_FALSE(ev.valid);   // a went to the victim buffer
+    EXPECT_EQ(c.victimSize(), 1u);
+
+    bool vh = false;
+    CacheLine *line = c.access(a, vh);
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(vh);
+    EXPECT_EQ(line->data.words[0], 1u);
+    // b was displaced into the victim buffer by the swap.
+    EXPECT_TRUE(c.holds(b));
+    CacheLine *main_b = c.probeMain(b);
+    EXPECT_EQ(main_b, nullptr);
+}
+
+TEST_F(CacheTest, VictimOverflowEvictsOldest)
+{
+    Addr a0 = addrAtSet(2, 0), a1 = addrAtSet(2, 1);
+    Addr a2 = addrAtSet(2, 2), a3 = addrAtSet(2, 3);
+    c.fill(a0, LineState::Modified, blk(10, 0));
+    c.fill(a1, LineState::Shared, blk(11, 0));   // a0 -> victim
+    c.fill(a2, LineState::Shared, blk(12, 0));   // a1 -> victim
+    Eviction ev = c.fill(a3, LineState::Shared, blk(13, 0));
+    // Victim holds 2; pushing a2's displacement evicts oldest (a0).
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.blockAddr, a0);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.data.words[0], 10u);
+    EXPECT_FALSE(c.holds(a0));
+}
+
+TEST_F(CacheTest, NoVictimCacheEvictsDirectly)
+{
+    stats::Group g;
+    Cache direct(256, 0, &g);
+    Addr a = 0 * blockBytes;
+    Addr b = 256;
+    direct.fill(a, LineState::Modified, blk(5, 6));
+    Eviction ev = direct.fill(b, LineState::Shared, blk(7, 8));
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.blockAddr, a);
+    EXPECT_FALSE(direct.holds(a));
+}
+
+TEST_F(CacheTest, RemoveFindsVictimLines)
+{
+    Addr a = addrAtSet(7, 0);
+    Addr b = addrAtSet(7, 1);
+    c.fill(a, LineState::Modified, blk(3, 4));
+    c.fill(b, LineState::Shared, blk(5, 6));   // a in victim
+    RemovalResult r = c.remove(a);
+    EXPECT_TRUE(r.wasPresent);
+    EXPECT_TRUE(r.wasDirty);
+    EXPECT_EQ(r.data.words[1], 4u);
+    EXPECT_FALSE(c.holds(a));
+    // Removing again reports absence.
+    EXPECT_FALSE(c.remove(a).wasPresent);
+}
+
+TEST_F(CacheTest, DowngradeKeepsLineShared)
+{
+    Addr a = addrAtSet(9, 0);
+    c.fill(a, LineState::Modified, blk(1, 2));
+    RemovalResult r = c.downgrade(a);
+    EXPECT_TRUE(r.wasPresent);
+    EXPECT_TRUE(r.wasDirty);
+    CacheLine *line = c.probeMain(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::Shared);
+    // Downgrading an already-shared line reports clean.
+    EXPECT_FALSE(c.downgrade(a).wasDirty);
+}
+
+TEST_F(CacheTest, PeekDoesNotPerturb)
+{
+    Addr a = addrAtSet(4, 0);
+    Addr b = addrAtSet(4, 1);
+    c.fill(a, LineState::Shared, blk(1, 1));
+    c.fill(b, LineState::Shared, blk(2, 2));
+    const CacheLine *p = c.peek(a);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->data.words[0], 1u);
+    // a stays in the victim buffer (no swap).
+    EXPECT_EQ(c.probeMain(a), nullptr);
+}
+
+TEST_F(CacheTest, FlushAllEmptiesEverything)
+{
+    c.fill(addrAtSet(1, 0), LineState::Shared, blk(1, 1));
+    c.fill(addrAtSet(1, 1), LineState::Shared, blk(2, 2));
+    c.flushAll();
+    EXPECT_FALSE(c.holds(addrAtSet(1, 0)));
+    EXPECT_FALSE(c.holds(addrAtSet(1, 1)));
+    EXPECT_EQ(c.victimSize(), 0u);
+}
+
+TEST_F(CacheTest, IndexMasksBlockAddress)
+{
+    EXPECT_EQ(c.numSets(), 16u);
+    EXPECT_EQ(c.indexOf(0), 0u);
+    EXPECT_EQ(c.indexOf(15 * blockBytes), 15u);
+    EXPECT_EQ(c.indexOf(16 * blockBytes), 0u);
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the mesh network: geometry, latency composition,
+ * per-pair FIFO ordering, serialization contention, and loopback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+using namespace swex;
+
+namespace
+{
+
+struct Sink : MsgReceiver
+{
+    EventQueue &eq;
+    std::vector<std::pair<Tick, Message>> got;
+
+    explicit Sink(EventQueue &q) : eq(q) {}
+
+    void
+    receiveMessage(const Message &msg) override
+    {
+        got.emplace_back(eq.curTick(), msg);
+    }
+};
+
+struct NetFixture : ::testing::Test
+{
+    EventQueue eq;
+    stats::Group root;
+    NetworkConfig cfg;
+    std::unique_ptr<MeshNetwork> net;
+    std::vector<std::unique_ptr<Sink>> sinks;
+
+    void
+    build(int n)
+    {
+        net = std::make_unique<MeshNetwork>(eq, n, cfg, &root);
+        for (int i = 0; i < n; ++i) {
+            sinks.push_back(std::make_unique<Sink>(eq));
+            net->setReceiver(i, sinks.back().get());
+        }
+    }
+
+    Message
+    msg(NodeId src, NodeId dst, bool data = false)
+    {
+        Message m;
+        m.type = data ? MsgType::ReadData : MsgType::ReadReq;
+        m.src = src;
+        m.dst = dst;
+        m.addr = 0x100;
+        m.hasData = data;
+        return m;
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(NetFixture, GridShapeIsNearSquare)
+{
+    build(16);
+    EXPECT_EQ(net->width() * net->height(), 16);
+    EXPECT_EQ(net->width(), 4);
+    EXPECT_EQ(net->height(), 4);
+}
+
+TEST_F(NetFixture, GridShapeNonSquareCounts)
+{
+    build(8);
+    EXPECT_EQ(net->width() * net->height(), 8);
+    EXPECT_LE(std::max(net->width(), net->height()),
+              2 * std::min(net->width(), net->height()));
+}
+
+TEST_F(NetFixture, HopCountIsManhattan)
+{
+    build(16);   // 4x4
+    EXPECT_EQ(net->hopCount(0, 0), 0u);
+    EXPECT_EQ(net->hopCount(0, 3), 3u);
+    EXPECT_EQ(net->hopCount(0, 15), 6u);
+    EXPECT_EQ(net->hopCount(5, 6), 1u);
+    EXPECT_EQ(net->hopCount(5, 9), 1u);
+}
+
+TEST_F(NetFixture, DeliveryLatencyComposition)
+{
+    build(16);
+    // 3 header flits serialize, then routerEntry + hops * hopLatency.
+    net->send(msg(0, 1));
+    eq.run();
+    ASSERT_EQ(sinks[1]->got.size(), 1u);
+    Tick expect = 3 + cfg.routerEntry + cfg.hopLatency * 1;
+    EXPECT_EQ(sinks[1]->got[0].first, expect);
+}
+
+TEST_F(NetFixture, DataMessagesSerializeLonger)
+{
+    build(16);
+    net->send(msg(0, 1, true));   // 3 + 8 flits
+    eq.run();
+    ASSERT_EQ(sinks[1]->got.size(), 1u);
+    Tick expect = 11 + cfg.routerEntry + cfg.hopLatency * 1;
+    EXPECT_EQ(sinks[1]->got[0].first, expect);
+}
+
+TEST_F(NetFixture, TransmitPortSerializesBackToBack)
+{
+    build(16);
+    net->send(msg(0, 1));
+    net->send(msg(0, 1));
+    eq.run();
+    ASSERT_EQ(sinks[1]->got.size(), 2u);
+    // Second message waits 3 flits behind the first.
+    EXPECT_EQ(sinks[1]->got[1].first - sinks[1]->got[0].first, 3u);
+}
+
+TEST_F(NetFixture, SamePairFifoOrdering)
+{
+    build(16);
+    for (int i = 0; i < 5; ++i) {
+        Message m = msg(0, 5);
+        m.addr = static_cast<Addr>(i);
+        net->send(m);
+    }
+    eq.run();
+    ASSERT_EQ(sinks[5]->got.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(sinks[5]->got[static_cast<size_t>(i)].second.addr,
+                  static_cast<Addr>(i));
+}
+
+TEST_F(NetFixture, LoopbackBypassesMesh)
+{
+    build(4);
+    net->send(msg(2, 2));
+    eq.run();
+    ASSERT_EQ(sinks[2]->got.size(), 1u);
+    EXPECT_EQ(sinks[2]->got[0].first, cfg.loopback);
+}
+
+TEST_F(NetFixture, StatsCountMessagesAndFlits)
+{
+    build(4);
+    net->send(msg(0, 1));
+    net->send(msg(1, 0, true));
+    eq.run();
+    EXPECT_DOUBLE_EQ(net->msgCount.value(), 2.0);
+    EXPECT_DOUBLE_EQ(net->flitCount.value(), 3.0 + 11.0);
+}
+
+TEST(MessageMeta, FlitsAndNames)
+{
+    Message m;
+    m.type = MsgType::Inv;
+    EXPECT_EQ(m.flits(), 3u);
+    m.hasData = true;
+    EXPECT_EQ(m.flits(), 11u);
+    EXPECT_STREQ(msgTypeName(MsgType::WriteData), "WriteData");
+    EXPECT_STREQ(msgTypeName(MsgType::FetchReply), "FetchReply");
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue determinism and
+ * the coroutine Task machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+using namespace swex;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenSequence)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, EventPrio::Processor);
+    eq.schedule(5, [&] { order.push_back(0); }, EventPrio::Network);
+    eq.schedule(5, [&] { order.push_back(1); }, EventPrio::Network);
+    eq.schedule(5, [&] { order.push_back(3); }, EventPrio::Default);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(4, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 5u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.run(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.numExecuted(), 7u);
+}
+
+namespace
+{
+
+Task<int>
+makeFortyTwo()
+{
+    co_return 42;
+}
+
+Task<int>
+addOne(int x)
+{
+    int v = co_await makeFortyTwo();
+    co_return v + x - 42 + 42;
+}
+
+Task<void>
+chain(std::vector<int> &log)
+{
+    log.push_back(1);
+    int v = co_await addOne(8);
+    log.push_back(v);
+}
+
+/** Awaitable that parks the handle for manual resumption. */
+struct ManualGate
+{
+    std::coroutine_handle<> parked;
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            ManualGate &gate;
+            bool await_ready() const noexcept { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h) noexcept
+            {
+                gate.parked = h;
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+};
+
+Task<void>
+suspender(ManualGate &gate, std::vector<int> &log)
+{
+    log.push_back(1);
+    co_await gate.wait();
+    log.push_back(2);
+    co_await gate.wait();
+    log.push_back(3);
+}
+
+Task<void>
+thrower()
+{
+    co_await makeFortyTwo();
+    throw std::runtime_error("boom");
+}
+
+} // anonymous namespace
+
+TEST(Task, LazyStartAndNestedAwait)
+{
+    std::vector<int> log;
+    Task<void> t = chain(log);
+    EXPECT_TRUE(log.empty());   // lazy: nothing ran yet
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(log, (std::vector<int>{1, 50}));
+}
+
+TEST(Task, SuspendAndManualResume)
+{
+    ManualGate gate;
+    std::vector<int> log;
+    Task<void> t = suspender(gate, log);
+    t.start();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_FALSE(t.done());
+    gate.parked.resume();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    gate.parked.resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Task, ValueResult)
+{
+    Task<int> t = makeFortyTwo();
+    t.start();
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 42);
+}
+
+TEST(Task, ExceptionPropagatesToOwner)
+{
+    Task<void> t = thrower();
+    t.start();
+    ASSERT_TRUE(t.done());
+    EXPECT_THROW(t.rethrowIfFailed(), std::runtime_error);
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    Task<int> a = makeFortyTwo();
+    Task<int> b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    ASSERT_TRUE(b.valid());
+    b.start();
+    EXPECT_EQ(b.result(), 42);
+}

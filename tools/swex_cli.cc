@@ -1,0 +1,206 @@
+/**
+ * @file
+ * swex_cli: command-line experiment driver. Runs any of the paper's
+ * workloads on any protocol/machine configuration and reports run
+ * time, speedup, and memory-system statistics -- the repository's
+ * equivalent of driving NWO by hand.
+ *
+ * Usage examples:
+ *   swex_cli --app worker --nodes 16 --protocol h5 --wss 8
+ *   swex_cli --app water --nodes 64 --protocol h1lack --victim 6
+ *   swex_cli --app tsp --nodes 64 --protocol h0 --stats
+ *   swex_cli --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "apps/aq.hh"
+#include "apps/evolve.hh"
+#include "apps/mp3d.hh"
+#include "apps/smgrid.hh"
+#include "apps/tsp.hh"
+#include "apps/water.hh"
+#include "apps/worker.hh"
+#include "core/spectrum.hh"
+#include "machine/mem_api.hh"
+
+using namespace swex;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "swex_cli -- software-extended shared memory experiment "
+        "driver\n\n"
+        "  --app <name>       worker|tsp|aq|smgrid|evolve|mp3d|water\n"
+        "  --nodes <n>        machine size (default 16, max 256)\n"
+        "  --protocol <p>     h0|h1ack|h1lack|h1|h2|h3|h4|h5|dir1sw|"
+        "full (default h5)\n"
+        "  --profile <p>      c|asm handler cost profile (default c)\n"
+        "  --victim <n>       victim cache entries (default 6)\n"
+        "  --wss <n>          WORKER worker-set size (default 4)\n"
+        "  --iters <n>        WORKER iterations (default 10)\n"
+        "  --perfect-ifetch   one-cycle instruction fetch\n"
+        "  --no-local-bit     disable the one-bit local pointer\n"
+        "  --parallel-inv     Section 7 parallel invalidation\n"
+        "  --seq              also run the sequential reference and\n"
+        "                     report speedup\n"
+        "  --stats            dump the full statistics tree\n"
+        "  --list             list protocols and exit\n");
+}
+
+ProtocolConfig
+parseProtocol(const std::string &s)
+{
+    if (s == "h0") return ProtocolConfig::h0();
+    if (s == "h1ack") return ProtocolConfig::h1Ack();
+    if (s == "h1lack") return ProtocolConfig::h1Lack();
+    if (s == "h1") return ProtocolConfig::h1();
+    if (s == "h2") return ProtocolConfig::hw(2);
+    if (s == "h3") return ProtocolConfig::hw(3);
+    if (s == "h4") return ProtocolConfig::hw(4);
+    if (s == "h5") return ProtocolConfig::hw(5);
+    if (s == "dir1sw") return ProtocolConfig::dir1sw();
+    if (s == "full") return ProtocolConfig::fullMap();
+    fatal("unknown protocol '%s' (try --list)", s.c_str());
+}
+
+std::unique_ptr<App>
+makeApp(const std::string &name, int nodes)
+{
+    if (name == "tsp")
+        return std::make_unique<TspApp>(TspConfig{});
+    if (name == "aq")
+        return std::make_unique<AqApp>(AqConfig{});
+    if (name == "smgrid") {
+        SmgridConfig c;
+        c.fineSize = 65;
+        return std::make_unique<SmgridApp>(c);
+    }
+    if (name == "evolve") {
+        auto app = std::make_unique<EvolveApp>(EvolveConfig{});
+        app->computeGroundTruth(nodes);
+        return app;
+    }
+    if (name == "mp3d")
+        return std::make_unique<Mp3dApp>(Mp3dConfig{});
+    if (name == "water")
+        return std::make_unique<WaterApp>(WaterConfig{});
+    fatal("unknown app '%s'", name.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = "worker";
+    std::string proto = "h5";
+    MachineConfig mc;
+    mc.numNodes = 16;
+    mc.cacheCtrl.victimEntries = 6;
+    WorkerConfig wc;
+    bool want_seq = false;
+    bool want_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--app") app_name = next();
+        else if (a == "--nodes") mc.numNodes = std::stoi(next());
+        else if (a == "--protocol") proto = next();
+        else if (a == "--profile")
+            mc.profile = next() == "asm" ? HandlerProfile::TunedAsm
+                                         : HandlerProfile::FlexibleC;
+        else if (a == "--victim")
+            mc.cacheCtrl.victimEntries =
+                static_cast<unsigned>(std::stoi(next()));
+        else if (a == "--wss") wc.workerSetSize = std::stoi(next());
+        else if (a == "--iters") wc.iterations = std::stoi(next());
+        else if (a == "--perfect-ifetch") mc.perfectIfetch = true;
+        else if (a == "--no-local-bit") mc.protocol.localBit = false;
+        else if (a == "--parallel-inv") mc.parallelInv = true;
+        else if (a == "--seq") want_seq = true;
+        else if (a == "--stats") want_stats = true;
+        else if (a == "--list") {
+            for (const auto &pt : protocolSpectrum())
+                std::printf("%-10s %s\n", pt.label.c_str(),
+                            pt.protocol.name().c_str());
+            return 0;
+        } else {
+            usage();
+            return a == "--help" || a == "-h" ? 0 : 1;
+        }
+    }
+
+    bool keep_local_bit_off = !mc.protocol.localBit;
+    mc.protocol = parseProtocol(proto);
+    if (keep_local_bit_off)
+        mc.protocol.localBit = false;
+
+    setQuiet(true);
+    std::printf("app=%s nodes=%d protocol=%s profile=%s victim=%u\n",
+                app_name.c_str(), mc.numNodes,
+                mc.protocol.name().c_str(),
+                mc.profile == HandlerProfile::TunedAsm ? "asm" : "C",
+                mc.cacheCtrl.victimEntries);
+
+    Tick t_par = 0;
+    double traps = 0, handler_cycles = 0, msgs = 0;
+    bool ok = true;
+
+    if (app_name == "worker") {
+        Machine m(mc);
+        WorkerApp app(m, wc);
+        t_par = app.run(m);
+        ok = app.verify(m);
+        m.checkInvariants();
+        traps = m.sumStat("home.trapsRaised");
+        handler_cycles = m.sumStat("home.handlerCycles");
+        msgs = m.network.msgCount.value();
+        if (want_stats)
+            m.dumpStats(std::cout);
+    } else {
+        auto app = makeApp(app_name, mc.numNodes);
+        Machine m(mc);
+        t_par = app->runParallel(m);
+        ok = app->verify(m);
+        m.checkInvariants();
+        traps = m.sumStat("home.trapsRaised");
+        handler_cycles = m.sumStat("home.handlerCycles");
+        msgs = m.network.msgCount.value();
+        if (want_stats)
+            m.dumpStats(std::cout);
+
+        if (want_seq) {
+            auto seq_app = makeApp(app_name, mc.numNodes);
+            MachineConfig sc = mc;
+            sc.numNodes = 1;
+            Machine sm(sc);
+            Tick t_seq = seq_app->runSequential(sm);
+            std::printf("sequential: %llu cycles; speedup %.2f\n",
+                        static_cast<unsigned long long>(t_seq),
+                        static_cast<double>(t_seq) /
+                            static_cast<double>(t_par));
+        }
+    }
+
+    std::printf("run time: %llu cycles (%.3f s at 33 MHz)\n",
+                static_cast<unsigned long long>(t_par),
+                static_cast<double>(t_par) / 33.0e6);
+    std::printf("traps: %.0f; handler cycles: %.0f; messages: %.0f\n",
+                traps, handler_cycles, msgs);
+    std::printf("verification: %s\n", ok ? "PASSED" : "FAILED");
+    return ok ? 0 : 1;
+}
