@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Machine-readable bench trajectory. Every benchmark harness appends
+ * its results to a small JSON file (one entry per line, merged by
+ * entry name) so successive commits leave a diffable performance
+ * record next to the human-readable tables.
+ *
+ * Format (schema "swex-bench-v1"):
+ *
+ *   {"schema":"swex-bench-v1","entries":[
+ *    {"name":"BM_Foo","metrics":{"ns_per_op":123.4,...}},
+ *    ...
+ *   ]}
+ *
+ * Writers merge: an entry replaces the previous entry of the same
+ * name and all other entries are preserved, so harnesses covering
+ * different benches can share one file, and baseline entries (named
+ * with a "[seed-<sha>]" suffix) survive reruns. The environment
+ * variable SWEX_BENCH_JSON overrides the output path.
+ */
+
+#ifndef SWEX_BENCH_BENCH_JSON_HH
+#define SWEX_BENCH_BENCH_JSON_HH
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swex::bench
+{
+
+/** Peak resident set size of this process, in kilobytes. */
+inline long
+peakRssKb()
+{
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+/** One named result: a flat bag of numeric metrics. */
+struct BenchEntry
+{
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+class JsonTrajectory
+{
+  public:
+    void
+    record(std::string name,
+           std::vector<std::pair<std::string, double>> metrics)
+    {
+        _entries.push_back({std::move(name), std::move(metrics)});
+    }
+
+    /**
+     * Merge the recorded entries into @p path (or $SWEX_BENCH_JSON
+     * when set): existing entries with other names are kept in
+     * place, same-name entries are replaced, new names are appended.
+     * @return true on success.
+     */
+    bool
+    updateFile(const std::string &path) const
+    {
+        std::string out = resolvePath(path);
+        std::vector<BenchEntry> merged = readFile(out);
+        for (const BenchEntry &e : _entries) {
+            bool replaced = false;
+            for (BenchEntry &old : merged) {
+                if (old.name == e.name) {
+                    old = e;
+                    replaced = true;
+                    break;
+                }
+            }
+            if (!replaced)
+                merged.push_back(e);
+        }
+
+        std::ofstream f(out, std::ios::trunc);
+        if (!f)
+            return false;
+        f << "{\"schema\":\"swex-bench-v1\",\"entries\":[\n";
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+            f << ' ' << entryLine(merged[i])
+              << (i + 1 < merged.size() ? "," : "") << '\n';
+        }
+        f << "]}\n";
+        return static_cast<bool>(f);
+    }
+
+    static std::string
+    resolvePath(const std::string &fallback)
+    {
+        const char *env = std::getenv("SWEX_BENCH_JSON");
+        return (env != nullptr && *env != '\0') ? env : fallback;
+    }
+
+  private:
+    static std::string
+    jsonNumber(double v)
+    {
+        if (!(v == v) || v > 1e308 || v < -1e308)
+            return "0";   // JSON has no NaN/Inf
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return buf;
+    }
+
+    static std::string
+    entryLine(const BenchEntry &e)
+    {
+        std::ostringstream os;
+        os << "{\"name\":\"" << e.name << "\",\"metrics\":{";
+        for (std::size_t i = 0; i < e.metrics.size(); ++i) {
+            os << (i ? "," : "") << '"' << e.metrics[i].first
+               << "\":" << jsonNumber(e.metrics[i].second);
+        }
+        os << "}}";
+        return os.str();
+    }
+
+    /**
+     * Line-oriented reader for exactly the format updateFile emits
+     * (one entry per line). Anything it cannot parse is dropped; the
+     * file is regenerated from scratch in that case.
+     */
+    static std::vector<BenchEntry>
+    readFile(const std::string &path)
+    {
+        std::vector<BenchEntry> entries;
+        std::ifstream f(path);
+        if (!f)
+            return entries;
+        std::string line;
+        while (std::getline(f, line)) {
+            std::size_t n = line.find("{\"name\":\"");
+            if (n == std::string::npos)
+                continue;
+            n += 9;
+            std::size_t nEnd = line.find('"', n);
+            std::size_t m = line.find("\"metrics\":{", n);
+            if (nEnd == std::string::npos || m == std::string::npos)
+                continue;
+            BenchEntry e;
+            e.name = line.substr(n, nEnd - n);
+            std::size_t p = m + 11;
+            while (p < line.size() && line[p] != '}') {
+                std::size_t kBeg = line.find('"', p);
+                if (kBeg == std::string::npos)
+                    break;
+                std::size_t kEnd = line.find('"', kBeg + 1);
+                std::size_t colon = line.find(':', kEnd);
+                if (kEnd == std::string::npos ||
+                    colon == std::string::npos) {
+                    break;
+                }
+                char *end = nullptr;
+                double v = std::strtod(line.c_str() + colon + 1, &end);
+                e.metrics.emplace_back(
+                    line.substr(kBeg + 1, kEnd - kBeg - 1), v);
+                p = static_cast<std::size_t>(end - line.c_str());
+                if (p < line.size() && line[p] == ',')
+                    ++p;
+            }
+            entries.push_back(std::move(e));
+        }
+        return entries;
+    }
+
+    std::vector<BenchEntry> _entries;
+};
+
+} // namespace swex::bench
+
+#endif // SWEX_BENCH_BENCH_JSON_HH

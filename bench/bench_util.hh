@@ -8,6 +8,7 @@
 #ifndef SWEX_BENCH_BENCH_UTIL_HH
 #define SWEX_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +25,30 @@ namespace swex::bench
 /** Alewife's clock; used to convert cycles to seconds for Table 3. */
 constexpr double clockHz = 33.0e6;
 
+/**
+ * Host-side cost of one simulation run, for the bench trajectory:
+ * how long the simulator itself took and how many kernel events it
+ * dispatched doing it.
+ */
+struct HostRun
+{
+    double wallSeconds = 0;
+    double events = 0;
+
+    void
+    add(const HostRun &o)
+    {
+        wallSeconds += o.wallSeconds;
+        events += o.events;
+    }
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0 ? events / wallSeconds : 0;
+    }
+};
+
 /** Machine configuration used by the application studies. */
 inline MachineConfig
 appMachine(ProtocolConfig p, int nodes, bool victim = true)
@@ -36,13 +61,20 @@ appMachine(ProtocolConfig p, int nodes, bool victim = true)
     return mc;
 }
 
-/** Run WORKER and return elapsed cycles. */
+/** Run WORKER and return elapsed cycles (host cost via @p host). */
 inline Tick
-runWorker(const MachineConfig &mc, const WorkerConfig &wc)
+runWorker(const MachineConfig &mc, const WorkerConfig &wc,
+          HostRun *host = nullptr)
 {
+    auto t0 = std::chrono::steady_clock::now();
     Machine m(mc);
     WorkerApp app(m, wc);
     Tick t = app.run(m);
+    if (host != nullptr) {
+        host->wallSeconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+        host->events = static_cast<double>(m.eventq.numExecuted());
+    }
     if (!app.verify(m))
         fatal("WORKER verification failed under %s",
               mc.protocol.name().c_str());
@@ -57,15 +89,20 @@ struct AppRun
     bool ok = false;
     double trapsRaised = 0;
     double handlerCycles = 0;
+    HostRun host;
 };
 
 /** Run an application's parallel kernel on a fresh machine. */
 inline AppRun
 runApp(App &app, const MachineConfig &mc)
 {
+    auto t0 = std::chrono::steady_clock::now();
     Machine m(mc);
     AppRun r;
     r.cycles = app.runParallel(m);
+    r.host.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    r.host.events = static_cast<double>(m.eventq.numExecuted());
     r.ok = app.verify(m);
     m.checkInvariants();
     r.trapsRaised = m.sumStat("home.trapsRaised");

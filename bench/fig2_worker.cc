@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hh"
 #include "bench_util.hh"
 
 using namespace swex;
@@ -46,19 +47,29 @@ main()
     std::printf(" %9s\n", "FULL(cyc)");
     rule(90);
 
+    // Host-side totals per protocol column, summed over all sizes,
+    // for the machine-readable trajectory.
+    std::vector<double> cycleTotals(protos.size() + 1, 0);
+    std::vector<HostRun> hostTotals(protos.size() + 1);
+
     for (int s : sizes) {
         wc.workerSetSize = s;
         MachineConfig full;
         full.numNodes = nodes;
         full.protocol = ProtocolConfig::fullMap();
-        Tick base = runWorker(full, wc);
+        HostRun host;
+        Tick base = runWorker(full, wc, &host);
+        cycleTotals.back() += static_cast<double>(base);
+        hostTotals.back().add(host);
 
         std::printf("%8d", s);
-        for (const auto &p : protos) {
+        for (std::size_t i = 0; i < protos.size(); ++i) {
             MachineConfig mc;
             mc.numNodes = nodes;
-            mc.protocol = p.protocol;
-            Tick t = runWorker(mc, wc);
+            mc.protocol = protos[i].protocol;
+            Tick t = runWorker(mc, wc, &host);
+            cycleTotals[i] += static_cast<double>(t);
+            hostTotals[i].add(host);
             std::printf(" %9.2f",
                         static_cast<double>(t) /
                             static_cast<double>(base));
@@ -69,5 +80,24 @@ main()
     std::printf("Expected: columns ordered H0-ACK >> H1-ACK > "
                 "H1-LACK >= H1 ~= H2 > H5;\nH5 == 1.00 while the "
                 "worker set fits the 5 pointers + local bit.\n");
+
+    JsonTrajectory traj;
+    for (std::size_t i = 0; i <= protos.size(); ++i) {
+        const std::string label =
+            i < protos.size() ? protos[i].label : "FULL";
+        const HostRun &h = hostTotals[i];
+        traj.record("fig2/worker16/" + label,
+                    {{"cycles", cycleTotals[i]},
+                     {"wall_s", h.wallSeconds},
+                     {"events", h.events},
+                     {"events_per_sec", h.eventsPerSec()},
+                     {"sim_cycles_per_sec",
+                      h.wallSeconds > 0 ? cycleTotals[i] / h.wallSeconds
+                                        : 0}});
+    }
+    traj.record("fig2_worker",
+                {{"peak_rss_kb", static_cast<double>(peakRssKb())}});
+    if (!traj.updateFile("BENCH_FIGS.json"))
+        std::fprintf(stderr, "warning: could not write bench JSON\n");
     return 0;
 }

@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "apps/aq.hh"
@@ -18,6 +19,7 @@
 #include "apps/smgrid.hh"
 #include "apps/tsp.hh"
 #include "apps/water.hh"
+#include "bench_json.hh"
 #include "bench_util.hh"
 
 using namespace swex;
@@ -73,7 +75,7 @@ makeWater()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     const std::pair<const char *, Factory> apps[] = {
@@ -81,6 +83,19 @@ main()
         {"SMGRID", makeSmgrid}, {"EVOLVE", makeEvolve},
         {"MP3D", makeMp3d},   {"WATER", makeWater},
     };
+
+    // Optional positional filters: run only the named apps
+    // (case-sensitive, e.g. `fig4_speedups TSP WATER`).
+    auto selected = [&](const char *name) {
+        if (argc <= 1)
+            return true;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], name) == 0)
+                return true;
+        }
+        return false;
+    };
+    JsonTrajectory traj;
 
     std::printf("Figure 4: application speedups over sequential, "
                 "64 nodes, victim caching on\n");
@@ -94,6 +109,8 @@ main()
     rule(86);
 
     for (const auto &[name, make] : apps) {
+        if (!selected(name))
+            continue;
         auto seq_app = make();
         Tick t_seq = runAppSequential(*seq_app);
 
@@ -113,6 +130,17 @@ main()
                 full = speedup;
             std::printf(" %8.1f", speedup);
             std::fflush(stdout);
+            traj.record(std::string("fig4/") + name + "/h" + pt.label,
+                        {{"cycles", static_cast<double>(r.cycles)},
+                         {"speedup", speedup},
+                         {"wall_s", r.host.wallSeconds},
+                         {"events", r.host.events},
+                         {"events_per_sec", r.host.eventsPerSec()},
+                         {"sim_cycles_per_sec",
+                          r.host.wallSeconds > 0
+                              ? static_cast<double>(r.cycles) /
+                                    r.host.wallSeconds
+                              : 0}});
         }
         std::printf(" %7.0f%%\n", 100.0 * h5 / full);
     }
@@ -120,5 +148,9 @@ main()
     std::printf("Paper: H5 within 71-100%% of full-map on every "
                 "application; H0 as low as 11%%\n(MP3D) and as high "
                 "as ~70%% (TSP, WATER).\n");
+    traj.record("fig4_speedups",
+                {{"peak_rss_kb", static_cast<double>(peakRssKb())}});
+    if (!traj.updateFile("BENCH_FIGS.json"))
+        std::fprintf(stderr, "warning: could not write bench JSON\n");
     return 0;
 }

@@ -1,17 +1,25 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the simulator substrates: event
- * queue throughput, cache lookup/fill, extended-directory operations,
- * network injection, and a whole-machine WORKER iteration. These
- * track the host-side performance of the simulator itself.
+ * queue throughput (callback shim, intrusive events, spill heap, and
+ * a fig2-like delay mix), message pooling, cache lookup/fill,
+ * extended-directory operations, network injection, and a
+ * whole-machine WORKER iteration. These track the host-side
+ * performance of the simulator itself.
+ *
+ * Besides the console table, results are merged into
+ * BENCH_SUBSTRATES.json (override with SWEX_BENCH_JSON) so the
+ * repository carries a machine-readable performance trajectory.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "apps/worker.hh"
 #include "base/rng.hh"
+#include "bench_json.hh"
 #include "core/ext_directory.hh"
 #include "machine/mem_api.hh"
+#include "net/message_pool.hh"
 #include "net/network.hh"
 #include "sim/event_queue.hh"
 
@@ -20,19 +28,166 @@ using namespace swex;
 namespace
 {
 
+constexpr int batch = 1000;   ///< events per measured batch
+
+void
+addEventRate(benchmark::State &state)
+{
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * batch,
+        benchmark::Counter::kIsRate);
+}
+
+/**
+ * Cold-path throughput through the std::function shim: each
+ * iteration pays queue construction (wheel init, pool warm-up) on
+ * top of the schedule/run work, as a fresh Machine would.
+ */
 void
 BM_EventQueueScheduleRun(benchmark::State &state)
 {
     for (auto _ : state) {
         EventQueue eq;
         int sink = 0;
-        for (int i = 0; i < 1000; ++i)
+        for (int i = 0; i < batch; ++i)
             eq.schedule(static_cast<Tick>(i % 97), [&] { ++sink; });
         eq.run();
         benchmark::DoNotOptimize(sink);
     }
+    addEventRate(state);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+/**
+ * Steady-state shim throughput: one long-lived queue, as in an
+ * application run (one EventQueue per Machine, millions of events).
+ */
+void
+BM_EventQueueWarm(benchmark::State &state)
+{
+    EventQueue eq;
+    int sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i)
+            eq.scheduleIn(static_cast<Cycles>(i % 97), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    addEventRate(state);
+}
+BENCHMARK(BM_EventQueueWarm);
+
+struct CountEvent final : Event
+{
+    void process() override { ++*sink; }
+
+    int *sink = nullptr;
+};
+
+/** The allocation-free component path: statically-owned events. */
+void
+BM_EventQueueIntrusive(benchmark::State &state)
+{
+    EventQueue eq;
+    int sink = 0;
+    std::vector<CountEvent> events(batch);
+    for (CountEvent &e : events)
+        e.sink = &sink;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i)
+            eq.scheduleIn(events[static_cast<std::size_t>(i)],
+                          static_cast<Cycles>(i % 97));
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    addEventRate(state);
+}
+BENCHMARK(BM_EventQueueIntrusive);
+
+/** Delays beyond the wheel horizon: everything takes the spill heap. */
+void
+BM_EventQueueFarFuture(benchmark::State &state)
+{
+    EventQueue eq;
+    int sink = 0;
+    std::vector<CountEvent> events(batch);
+    for (CountEvent &e : events)
+        e.sink = &sink;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            eq.scheduleIn(events[static_cast<std::size_t>(i)],
+                          EventQueue::wheelSize +
+                              static_cast<Cycles>((i * 37) % 4096));
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    addEventRate(state);
+}
+BENCHMARK(BM_EventQueueFarFuture);
+
+/**
+ * A delay mix shaped like the protocol benches: mostly 1-20 cycle
+ * network/controller latencies, some 100-900 cycle compute segments,
+ * a tail of multi-thousand-cycle waits that spill to the heap.
+ */
+void
+BM_EventQueueMixedDelays(benchmark::State &state)
+{
+    std::vector<Cycles> delays(batch);
+    Rng rng(7);
+    for (Cycles &d : delays) {
+        std::uint64_t pick = rng.below(10);
+        if (pick < 7)
+            d = 1 + rng.below(20);
+        else if (pick < 9)
+            d = 100 + rng.below(800);
+        else
+            d = 2000 + rng.below(6000);
+    }
+    EventQueue eq;
+    int sink = 0;
+    std::vector<CountEvent> events(batch);
+    for (CountEvent &e : events)
+        e.sink = &sink;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            eq.scheduleIn(events[static_cast<std::size_t>(i)],
+                          delays[static_cast<std::size_t>(i)]);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    addEventRate(state);
+}
+BENCHMARK(BM_EventQueueMixedDelays);
+
+/** Message send/deliver through the free-list message pool. */
+void
+BM_MessagePoolSendRecv(benchmark::State &state)
+{
+    EventQueue eq;
+    MessagePool pool;
+    int delivered = 0;
+    auto handler = +[](void *ctx, Message &) {
+        ++*static_cast<int *>(ctx);
+    };
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            PooledMsgEvent &ev = pool.acquire(&delivered, handler,
+                                              EventPrio::Network);
+            ev.msg.type = MsgType::ReadReq;
+            ev.msg.addr = static_cast<Addr>(i) << 4;
+            eq.scheduleIn(ev, static_cast<Cycles>(i % 13));
+        }
+        eq.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    addEventRate(state);
+    state.counters["pool_events"] =
+        static_cast<double>(pool.capacity());
+}
+BENCHMARK(BM_MessagePoolSendRecv);
 
 void
 BM_CacheFillAccess(benchmark::State &state)
@@ -95,6 +250,8 @@ void
 BM_WorkerIteration16(benchmark::State &state)
 {
     setQuiet(true);
+    double cycles = 0;
+    double events = 0;
     for (auto _ : state) {
         MachineConfig mc;
         mc.numNodes = 16;
@@ -104,11 +261,66 @@ BM_WorkerIteration16(benchmark::State &state)
         wc.workerSetSize = 8;
         wc.iterations = 2;
         WorkerApp app(m, wc);
-        benchmark::DoNotOptimize(app.run(m));
+        Tick t = app.run(m);
+        benchmark::DoNotOptimize(t);
+        cycles += static_cast<double>(t);
+        events += static_cast<double>(m.eventq.numExecuted());
     }
+    state.counters["sim_cycles_per_sec"] =
+        benchmark::Counter(cycles, benchmark::Counter::kIsRate);
+    state.counters["events_per_sec"] =
+        benchmark::Counter(events, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_WorkerIteration16)->Unit(benchmark::kMillisecond);
 
+/**
+ * Console output as usual, plus every finished run recorded into the
+ * JSON trajectory. Counters reach the reporter already finalized
+ * (rates divided by elapsed time), so they can be stored verbatim.
+ */
+class JsonReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            std::vector<std::pair<std::string, double>> m;
+            m.emplace_back("ns_per_op",
+                           r.iterations > 0
+                               ? r.real_accumulated_time * 1e9 /
+                                     static_cast<double>(r.iterations)
+                               : 0.0);
+            m.emplace_back("iterations",
+                           static_cast<double>(r.iterations));
+            for (const auto &[name, counter] : r.counters)
+                m.emplace_back(name, counter.value);
+            traj.record(r.benchmark_name(), std::move(m));
+        }
+    }
+
+    swex::bench::JsonTrajectory traj;
+};
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    reporter.traj.record("micro_substrates",
+                         {{"peak_rss_kb",
+                           static_cast<double>(
+                               swex::bench::peakRssKb())}});
+    if (!reporter.traj.updateFile("BENCH_SUBSTRATES.json"))
+        std::fprintf(stderr, "warning: could not write bench JSON\n");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -143,11 +143,16 @@ CacheController::sendRequest()
 }
 
 void
+CacheController::CompleteEvent::process()
+{
+    ctrl.node.proc.completeMemOp(value);
+}
+
+void
 CacheController::complete(Word value, Cycles delay)
 {
-    node.eventq().scheduleIn(delay, [this, value] {
-        node.proc.completeMemOp(value);
-    }, EventPrio::Processor);
+    completeEvent.value = value;
+    node.eventq().scheduleIn(completeEvent, delay);
 }
 
 void
@@ -212,8 +217,7 @@ CacheController::handleMessage(const Message &msg, Cycles resume_extra)
         Cycles backoff = std::min<Cycles>(
             cfg.retryBase << std::min(mshr.retries, 8u), cfg.retryCap);
         backoff += rng.below(8);
-        node.eventq().scheduleIn(backoff, [this] { sendRequest(); },
-                                 EventPrio::Processor);
+        node.eventq().scheduleIn(retryEvent, backoff);
         return;
       }
 

@@ -15,6 +15,7 @@
 #include "machine/processor.hh"
 #include "mem/cache.hh"
 #include "net/message.hh"
+#include "sim/event.hh"
 
 namespace swex
 {
@@ -102,10 +103,32 @@ class CacheController
     void complete(Word value, Cycles delay);
     void writebackEvicted(const Eviction &ev);
 
+    /**
+     * Completion of the single outstanding memory operation. Owned
+     * statically: the MSHR admits one transaction at a time, so one
+     * event (carrying the result value) suffices.
+     */
+    struct CompleteEvent final : Event
+    {
+        explicit CompleteEvent(CacheController &c)
+            : Event(EventPrio::Processor), ctrl(c)
+        {
+        }
+
+        void process() override;
+
+        CacheController &ctrl;
+        Word value = 0;
+    };
+
     Node &node;
     CacheCtrlConfig cfg;
     Mshr mshr;
     Rng rng;
+    CompleteEvent completeEvent{*this};
+    /** Busy-backoff retransmission of the MSHR's request. */
+    MemberEvent<&CacheController::sendRequest> retryEvent{
+        *this, EventPrio::Processor};
 };
 
 } // namespace swex

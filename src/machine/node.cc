@@ -81,11 +81,18 @@ Node::sendMsg(const Message &msg, Cycles delay)
     if (delay == 0) {
         _machine.network.send(msg);
     } else {
-        Message copy = msg;
-        eventq().scheduleIn(delay, [this, copy] {
-            _machine.network.send(copy);
-        }, EventPrio::Controller);
+        PooledMsgEvent &ev = _machine.network.msgPool().acquire(
+            this, &Node::delayedSendHandler, EventPrio::Controller);
+        ev.msg = msg;
+        eventq().scheduleIn(ev, delay);
     }
+}
+
+void
+Node::delayedSendHandler(void *ctx, Message &msg)
+{
+    Node *node = static_cast<Node *>(ctx);
+    node->_machine.network.send(msg);
 }
 
 void
@@ -96,28 +103,40 @@ Node::receiveMessage(const Message &msg)
     Tick now = eventq().curTick();
     Tick start = std::max(now, rxFreeAt);
     rxFreeAt = start + _machine.config().rxOccupancy;
-    Message copy = msg;
-    eventq().schedule(rxFreeAt, [this, copy] {
-        switch (copy.type) {
-          case MsgType::ReadReq:
-          case MsgType::WriteReq:
-          case MsgType::InvAck:
-          case MsgType::Writeback:
-          case MsgType::FetchReply:
-            home.handleMessage(copy);
-            break;
-          case MsgType::ReadData:
-          case MsgType::WriteData:
-          case MsgType::Busy:
-          case MsgType::Inv:
-          case MsgType::FetchS:
-          case MsgType::FetchI:
-            cacheCtrl.handleMessage(copy);
-            break;
-          default:
-            panic("unroutable message %s", copy.describe().c_str());
-        }
-    }, EventPrio::Controller);
+    PooledMsgEvent &ev = _machine.network.msgPool().acquire(
+        this, &Node::rxDispatchHandler, EventPrio::Controller);
+    ev.msg = msg;
+    eventq().schedule(ev, rxFreeAt);
+}
+
+void
+Node::rxDispatchHandler(void *ctx, Message &msg)
+{
+    static_cast<Node *>(ctx)->dispatchRx(msg);
+}
+
+void
+Node::dispatchRx(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq:
+      case MsgType::InvAck:
+      case MsgType::Writeback:
+      case MsgType::FetchReply:
+        home.handleMessage(msg);
+        break;
+      case MsgType::ReadData:
+      case MsgType::WriteData:
+      case MsgType::Busy:
+      case MsgType::Inv:
+      case MsgType::FetchS:
+      case MsgType::FetchI:
+        cacheCtrl.handleMessage(msg);
+        break;
+      default:
+        panic("unroutable message %s", msg.describe().c_str());
+    }
 }
 
 void

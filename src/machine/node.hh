@@ -52,6 +52,10 @@ class Node : public MsgReceiver, public NodeServices
     HomeController home;
 
   private:
+    void dispatchRx(const Message &msg);
+    static void rxDispatchHandler(void *ctx, Message &msg);
+    static void delayedSendHandler(void *ctx, Message &msg);
+
     Machine &_machine;
     NodeId _id;
     Tick rxFreeAt = 0;

@@ -32,14 +32,18 @@ Processor::runThread(Task<void> t)
     SWEX_ASSERT(t.valid(), "runThread: invalid task");
     mainTask = std::move(t);
     finished = false;
-    _node.eventq().scheduleIn(0, [this] {
-        mainTask.start();
-        if (mainTask.done() && !finished) {
-            finished = true;
-            mainTask.rethrowIfFailed();
-            _node.machine().threadFinished();
-        }
-    }, EventPrio::Processor);
+    _node.eventq().scheduleIn(startEvent, 0);
+}
+
+void
+Processor::onThreadStart()
+{
+    mainTask.start();
+    if (mainTask.done() && !finished) {
+        finished = true;
+        mainTask.rethrowIfFailed();
+        _node.machine().threadFinished();
+    }
 }
 
 void
@@ -148,18 +152,15 @@ Processor::tryRunUser()
         }
         userComputing = true;
         workStart = _node.eventq().curTick();
-        std::uint64_t epoch = ++workEpoch;
-        _node.eventq().scheduleIn(workRemaining, [this, epoch] {
-            onWorkDone(epoch);
-        }, EventPrio::Processor);
+        _node.eventq().scheduleIn(workDoneEvent, workRemaining);
     }
 }
 
 void
-Processor::onWorkDone(std::uint64_t epoch)
+Processor::onWorkDone()
 {
-    if (epoch != workEpoch || !userComputing)
-        return;   // preempted; a later event will finish the work
+    SWEX_ASSERT(userComputing,
+                "work completion fired while not computing");
     userComputing = false;
     userCycles += static_cast<double>(workRemaining);
     workRemaining = 0;
@@ -170,22 +171,28 @@ Processor::onWorkDone(std::uint64_t epoch)
 }
 
 void
+Processor::preemptWork()
+{
+    // Preempt the user's compute; remember the remainder.
+    Tick now = _node.eventq().curTick();
+    Cycles elapsed = now - workStart;
+    if (elapsed > workRemaining)
+        elapsed = workRemaining;
+    userCycles += static_cast<double>(elapsed);
+    workRemaining -= elapsed;
+    if (workDoneEvent.scheduled())
+        _node.eventq().deschedule(workDoneEvent);
+    userComputing = false;
+}
+
+void
 Processor::raiseTrap(const TrapItem &item)
 {
     trapQueue.push_back(item);
     if (watchdogActive || handlerActive)
         return;   // deferred / will chain
-    if (userComputing) {
-        // Preempt the user's compute; remember the remainder.
-        Tick now = _node.eventq().curTick();
-        Cycles elapsed = now - workStart;
-        if (elapsed > workRemaining)
-            elapsed = workRemaining;
-        userCycles += static_cast<double>(elapsed);
-        workRemaining -= elapsed;
-        ++workEpoch;   // cancels the pending completion event
-        userComputing = false;
-    }
+    if (userComputing)
+        preemptWork();
     startNextHandler();
 }
 
@@ -207,22 +214,7 @@ Processor::startNextHandler()
         watchdogActive = true;
         handlerActive = false;
         handlersSinceUser = 0;
-        _node.eventq().scheduleIn(cfg.watchdogWindow, [this] {
-            watchdogActive = false;
-            if (handlerActive || trapQueue.empty())
-                return;
-            if (userComputing) {
-                Tick now = _node.eventq().curTick();
-                Cycles elapsed = now - workStart;
-                if (elapsed > workRemaining)
-                    elapsed = workRemaining;
-                userCycles += static_cast<double>(elapsed);
-                workRemaining -= elapsed;
-                ++workEpoch;
-                userComputing = false;
-            }
-            startNextHandler();
-        }, EventPrio::Processor);
+        _node.eventq().scheduleIn(watchdogEvent, cfg.watchdogWindow);
         tryRunUser();
         return;
     }
@@ -235,10 +227,25 @@ Processor::startNextHandler()
 
     Cycles c = _node.home.runTrap(item);
     handlerCycles += static_cast<double>(c);
-    _node.eventq().scheduleIn(c, [this] {
-        handlerActive = false;
-        startNextHandler();
-    }, EventPrio::Processor);
+    _node.eventq().scheduleIn(handlerDoneEvent, c);
+}
+
+void
+Processor::onWatchdogExpire()
+{
+    watchdogActive = false;
+    if (handlerActive || trapQueue.empty())
+        return;
+    if (userComputing)
+        preemptWork();
+    startNextHandler();
+}
+
+void
+Processor::onHandlerDone()
+{
+    handlerActive = false;
+    startNextHandler();
 }
 
 } // namespace swex

@@ -27,6 +27,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "core/node_services.hh"
+#include "sim/event.hh"
 #include "sim/task.hh"
 
 namespace swex
@@ -160,7 +161,11 @@ class Processor
                     std::coroutine_handle<> h);
     void startNextHandler();
     void tryRunUser();
-    void onWorkDone(std::uint64_t epoch);
+    void onThreadStart();
+    void onWorkDone();
+    void onWatchdogExpire();
+    void onHandlerDone();
+    void preemptWork();
     void resumeUser(std::coroutine_handle<> h);
     Cycles instrFetchPenalty();
 
@@ -181,7 +186,6 @@ class Processor
     Cycles workRemaining = 0;
     bool userComputing = false;
     Tick workStart = 0;
-    std::uint64_t workEpoch = 0;
 
     // Deferred memory-op resume (completion during a handler)
     std::coroutine_handle<> memCont = nullptr;
@@ -190,6 +194,18 @@ class Processor
 
     // Instruction stream
     std::vector<Addr> footprint;
+
+    // Statically-owned events: scheduling them never allocates, and
+    // preemption cancels via deschedule instead of the old
+    // epoch-guarded stale firings.
+    MemberEvent<&Processor::onThreadStart> startEvent{
+        *this, EventPrio::Processor};
+    MemberEvent<&Processor::onWorkDone> workDoneEvent{
+        *this, EventPrio::Processor};
+    MemberEvent<&Processor::onWatchdogExpire> watchdogEvent{
+        *this, EventPrio::Processor};
+    MemberEvent<&Processor::onHandlerDone> handlerDoneEvent{
+        *this, EventPrio::Processor};
 
   public:
     /** Result slot for the most recent memory operation. */

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Free-list pool of message-carrying events. Every in-flight protocol
+ * message used to ride in a heap-allocated std::function capture; a
+ * PooledMsgEvent instead recycles a fixed buffer holding the Message
+ * payload plus the intrusive scheduling links, so the send/receive
+ * hot path performs no allocation after warm-up.
+ */
+
+#ifndef SWEX_NET_MESSAGE_POOL_HH
+#define SWEX_NET_MESSAGE_POOL_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "net/message.hh"
+#include "sim/event.hh"
+
+namespace swex
+{
+
+class MessagePool;
+
+/**
+ * A pooled event carrying one protocol message. The handler is a
+ * plain function pointer plus context (no std::function), chosen by
+ * the component that acquired the event; after the handler runs the
+ * event returns itself to its pool.
+ */
+class PooledMsgEvent final : public Event
+{
+  public:
+    using Handler = void (*)(void *ctx, Message &msg);
+
+    Message msg;
+
+    void process() override;
+
+  private:
+    friend class MessagePool;
+
+    using Event::setPrio;
+
+    MessagePool *_pool = nullptr;
+    Handler _handler = nullptr;
+    void *_ctx = nullptr;
+    PooledMsgEvent *_nextFree = nullptr;
+};
+
+/**
+ * The free list itself. Backing storage is a deque so event addresses
+ * stay stable while the pool grows; the pool only ever grows to the
+ * peak number of simultaneously in-flight messages.
+ */
+class MessagePool
+{
+  public:
+    PooledMsgEvent &
+    acquire(void *ctx, PooledMsgEvent::Handler handler, EventPrio prio)
+    {
+        PooledMsgEvent *e;
+        if (_free != nullptr) {
+            e = _free;
+            _free = e->_nextFree;
+        } else {
+            _storage.emplace_back();
+            e = &_storage.back();
+            e->_pool = this;
+        }
+        e->_ctx = ctx;
+        e->_handler = handler;
+        e->setPrio(prio);
+        return *e;
+    }
+
+    void
+    release(PooledMsgEvent &e)
+    {
+        e._nextFree = _free;
+        _free = &e;
+    }
+
+    /** Peak number of simultaneously in-flight messages seen. */
+    std::size_t capacity() const { return _storage.size(); }
+
+  private:
+    std::deque<PooledMsgEvent> _storage;
+    PooledMsgEvent *_free = nullptr;
+};
+
+inline void
+PooledMsgEvent::process()
+{
+    _handler(_ctx, msg);
+    _pool->release(*this);
+}
+
+} // namespace swex
+
+#endif // SWEX_NET_MESSAGE_POOL_HH

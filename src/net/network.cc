@@ -100,9 +100,10 @@ MeshNetwork::send(Message msg)
 
     if (msg.src == msg.dst) {
         // CMMU loopback path: no mesh traversal, no serialization.
-        eventq.scheduleIn(config.loopback,
-                          [this, msg] { deliver(msg); },
-                          EventPrio::Network);
+        PooledMsgEvent &ev = _msgPool.acquire(
+            this, &MeshNetwork::deliverHandler, EventPrio::Network);
+        ev.msg = msg;
+        eventq.scheduleIn(ev, config.loopback);
         transitLatency.sample(static_cast<double>(config.loopback));
         return;
     }
@@ -118,8 +119,16 @@ MeshNetwork::send(Message msg)
                   config.hopLatency * hopCount(msg.src, msg.dst);
     transitLatency.sample(static_cast<double>(arrive - now));
 
-    eventq.schedule(arrive, [this, msg] { deliver(msg); },
-                    EventPrio::Network);
+    PooledMsgEvent &ev = _msgPool.acquire(
+        this, &MeshNetwork::deliverHandler, EventPrio::Network);
+    ev.msg = msg;
+    eventq.schedule(ev, arrive);
+}
+
+void
+MeshNetwork::deliverHandler(void *ctx, Message &msg)
+{
+    static_cast<MeshNetwork *>(ctx)->deliver(msg);
 }
 
 void

@@ -18,6 +18,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "net/message.hh"
+#include "net/message_pool.hh"
 #include "sim/event_queue.hh"
 
 namespace swex
@@ -67,6 +68,12 @@ class MeshNetwork
     /** Manhattan distance between two nodes. */
     unsigned hopCount(NodeId a, NodeId b) const;
 
+    /**
+     * Shared pool of message-carrying events; the nodes draw from it
+     * too, so one free list serves all in-flight messages.
+     */
+    MessagePool &msgPool() { return _msgPool; }
+
     /** Statistics. */
     stats::Group statsGroup;
     stats::Scalar msgCount;
@@ -81,6 +88,7 @@ class MeshNetwork
     };
 
     void deliver(const Message &msg);
+    static void deliverHandler(void *ctx, Message &msg);
 
     EventQueue &eventq;
     NetworkConfig config;
@@ -89,6 +97,7 @@ class MeshNetwork
     int _height;
     std::vector<MsgReceiver *> receivers;
     std::vector<TxPort> txPorts;
+    MessagePool _msgPool;
 };
 
 } // namespace swex

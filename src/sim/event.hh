@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Intrusive simulation events (gem5 style). Components own their
+ * events as members, so scheduling is pointer manipulation only and
+ * the hot path of the simulator never allocates. A `LambdaEvent` shim
+ * keeps the old std::function-based API available for tests, benches,
+ * and cold paths.
+ */
+
+#ifndef SWEX_SIM_EVENT_HH
+#define SWEX_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "base/types.hh"
+
+namespace swex
+{
+
+class EventQueue;
+
+/**
+ * Event priorities; lower values run first within a tick. The ordering
+ * mirrors the hardware: the network moves flits, then memory-side
+ * controllers consume them, then processors observe completions.
+ */
+enum class EventPrio : std::uint8_t
+{
+    Network = 0,
+    Controller = 1,
+    Processor = 2,
+    Default = 3,
+};
+
+constexpr unsigned numEventPrios = 4;
+
+/**
+ * Base class for all simulated events. An Event is intrusive: the
+ * scheduling links live inside the object, so an instance can be
+ * pending on at most one queue at a time and scheduling it performs
+ * no allocation. Destroying a still-scheduled event deschedules it.
+ */
+class Event
+{
+  public:
+    explicit Event(EventPrio prio = EventPrio::Default) : _prio(prio) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called by the queue when the event's tick arrives. */
+    virtual void process() = 0;
+
+    bool scheduled() const { return _queue != nullptr; }
+    Tick when() const { return _when; }
+    EventPrio prio() const { return _prio; }
+
+  protected:
+    /** Change the priority; only legal while unscheduled. */
+    void setPrio(EventPrio p);
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _seq = 0;
+    Event *_next = nullptr;        ///< wheel-bucket FIFO link
+    EventQueue *_queue = nullptr;  ///< non-null while scheduled
+    std::int32_t _heapIndex = -1;  ///< spill-heap slot; -1 = in wheel
+    EventPrio _prio;
+};
+
+namespace detail
+{
+
+template <class F> struct MemberEventOwner;
+
+template <class T>
+struct MemberEventOwner<void (T::*)()>
+{
+    using type = T;
+};
+
+} // namespace detail
+
+/**
+ * An event that invokes a member function on its owner, e.g.
+ *   MemberEvent<&Processor::onWorkDone> workDoneEvent{*this, prio};
+ * The event object is a component member, so it costs nothing to
+ * schedule and is descheduled automatically on destruction.
+ */
+template <auto F>
+class MemberEvent final : public Event
+{
+    using Owner = typename detail::MemberEventOwner<decltype(F)>::type;
+
+  public:
+    explicit MemberEvent(Owner &owner,
+                         EventPrio prio = EventPrio::Default)
+        : Event(prio), _owner(owner)
+    {
+    }
+
+    void process() override { (_owner.*F)(); }
+
+  private:
+    Owner &_owner;
+};
+
+/**
+ * std::function shim for tests, benches, and cold call sites that
+ * want ad-hoc callbacks. The object itself is still intrusive; only
+ * the captured state may allocate (subject to the small-object
+ * optimization of std::function).
+ */
+class LambdaEvent : public Event
+{
+  public:
+    using Fn = std::function<void()>;
+
+    explicit LambdaEvent(Fn fn = {},
+                         EventPrio prio = EventPrio::Default)
+        : Event(prio), _fn(std::move(fn))
+    {
+    }
+
+    using Event::setPrio;
+
+    void setCallback(Fn fn) { _fn = std::move(fn); }
+
+    void process() override { _fn(); }
+
+  private:
+    Fn _fn;
+};
+
+} // namespace swex
+
+#endif // SWEX_SIM_EVENT_HH

@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "base/rng.hh"
 #include "sim/event_queue.hh"
 #include "sim/task.hh"
 
@@ -70,6 +74,236 @@ TEST(EventQueue, CountsExecutedEvents)
         eq.schedule(static_cast<Tick>(i), [] {});
     eq.run();
     EXPECT_EQ(eq.numExecuted(), 7u);
+}
+
+TEST(IntrusiveEvent, ScheduleAndRun)
+{
+    EventQueue eq;
+    int fired = 0;
+    LambdaEvent e([&] { ++fired; });
+    EXPECT_FALSE(e.scheduled());
+    eq.schedule(e, 12);
+    EXPECT_TRUE(e.scheduled());
+    EXPECT_EQ(e.when(), 12u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(e.scheduled());
+    // The object is reusable once it has run.
+    eq.scheduleIn(e, 3);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 15u);
+}
+
+TEST(IntrusiveEvent, DescheduleCancels)
+{
+    EventQueue eq;
+    int fired = 0;
+    LambdaEvent near([&] { ++fired; });
+    LambdaEvent far([&] { ++fired; });
+    eq.schedule(near, 4);
+    eq.schedule(far, EventQueue::wheelSize + 100);   // spill heap
+    EXPECT_EQ(eq.size(), 2u);
+    eq.deschedule(near);
+    eq.deschedule(far);
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.numExecuted(), 0u);
+}
+
+TEST(IntrusiveEvent, RescheduleMovesIncludingSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    LambdaEvent a([&] { order.push_back(0); });
+    LambdaEvent b([&] { order.push_back(1); });
+    eq.schedule(a, 10);
+    eq.schedule(b, 20);
+    // Move a later and b earlier; then a again onto b's tick. A
+    // same-tick reschedule reassigns the sequence number, so a now
+    // runs after b.
+    eq.reschedule(a, 30);
+    eq.reschedule(b, 25);
+    eq.reschedule(a, 25);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 0}));
+    EXPECT_EQ(eq.curTick(), 25u);
+}
+
+TEST(IntrusiveEvent, DestructorDeschedules)
+{
+    EventQueue eq;
+    int fired = 0;
+    {
+        LambdaEvent near([&] { ++fired; });
+        LambdaEvent far([&] { ++fired; });
+        eq.schedule(near, 5);
+        eq.schedule(far, EventQueue::wheelSize + 9);
+        EXPECT_EQ(eq.size(), 2u);
+    }
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+namespace
+{
+
+struct Widget
+{
+    int fired = 0;
+
+    void tick() { ++fired; }
+
+    MemberEvent<&Widget::tick> ev{*this, EventPrio::Controller};
+};
+
+} // anonymous namespace
+
+TEST(IntrusiveEvent, MemberEventFires)
+{
+    EventQueue eq;
+    Widget w;
+    EXPECT_EQ(w.ev.prio(), EventPrio::Controller);
+    eq.scheduleIn(w.ev, 7);
+    eq.run();
+    EXPECT_EQ(w.fired, 1);
+}
+
+/**
+ * Determinism across the wheel/heap boundary: an event that waited
+ * on the spill heap and one scheduled later directly into the wheel
+ * can share a tick; (prio, seq) must still decide the order.
+ */
+TEST(EventQueue, WheelHeapBoundaryOrdering)
+{
+    EventQueue eq;
+    std::vector<int> order;
+
+    // Same priority: the far (heap-resident) event has the lower
+    // sequence number and must run first.
+    const Tick t1 = EventQueue::wheelSize + 5;
+    LambdaEvent far1([&] { order.push_back(0); });
+    LambdaEvent near1([&] { order.push_back(1); });
+    LambdaEvent trig1([&] { eq.schedule(near1, t1); });
+    eq.schedule(far1, t1);    // horizon exceeded: spill heap
+    eq.schedule(trig1, 10);   // by tick 10, t1 is within the wheel
+    eq.run();
+    ASSERT_EQ(order, (std::vector<int>{0, 1}));
+
+    // Priority beats sequence: a later-scheduled Network-priority
+    // wheel event overtakes the Default-priority heap event.
+    order.clear();
+    const Tick t2 = eq.curTick() + EventQueue::wheelSize + 7;
+    LambdaEvent far2([&] { order.push_back(0); });
+    LambdaEvent near2([&] { order.push_back(1); }, EventPrio::Network);
+    LambdaEvent trig2([&] { eq.schedule(near2, t2); });
+    eq.schedule(far2, t2);
+    eq.scheduleIn(trig2, 3);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+/**
+ * Randomized replay: drive the two-level queue with a mixed stream
+ * of schedules, cancels, reschedules (including same-tick), and
+ * pops, with delays straddling the wheel horizon, and check every
+ * execution against a naive reference model ordered by the global
+ * (tick, priority, sequence) contract.
+ */
+TEST(EventQueue, DeterminismReplayAgainstReference)
+{
+    struct RefEv
+    {
+        Tick when;
+        unsigned prio;
+        std::uint64_t seq;
+        int id;
+    };
+
+    constexpr int numEvents = 48;
+    EventQueue eq;
+    std::vector<std::pair<Tick, int>> fired;
+    std::vector<std::unique_ptr<LambdaEvent>> evs;
+    for (int i = 0; i < numEvents; ++i) {
+        evs.push_back(std::make_unique<LambdaEvent>(
+            [&fired, &eq, i] { fired.emplace_back(eq.curTick(), i); }));
+    }
+
+    std::vector<RefEv> ref;
+    std::uint64_t nextSeq = 0;
+    auto refPopMin = [&ref] {
+        auto it = std::min_element(
+            ref.begin(), ref.end(), [](const RefEv &a, const RefEv &b) {
+                return std::tie(a.when, a.prio, a.seq) <
+                       std::tie(b.when, b.prio, b.seq);
+            });
+        RefEv e = *it;
+        ref.erase(it);
+        return e;
+    };
+    auto refErase = [&ref](int id) {
+        auto it = std::find_if(ref.begin(), ref.end(),
+                               [id](const RefEv &e) {
+                                   return e.id == id;
+                               });
+        ASSERT_NE(it, ref.end());
+        ref.erase(it);
+    };
+
+    Rng rng(99);
+    auto randDelay = [&rng]() -> Cycles {
+        std::uint64_t k = rng.below(10);
+        if (k == 0)
+            return 0;                               // same tick
+        if (k < 7)
+            return rng.below(64);                   // wheel, near
+        if (k < 9)
+            return 1000 + rng.below(100);           // straddles horizon
+        return EventQueue::wheelSize + rng.below(4096);   // heap
+    };
+
+    auto popAndCheck = [&] {
+        std::size_t before = fired.size();
+        ASSERT_TRUE(eq.runOne());
+        ASSERT_EQ(fired.size(), before + 1);
+        RefEv expect = refPopMin();
+        EXPECT_EQ(fired.back().first, expect.when);
+        EXPECT_EQ(fired.back().second, expect.id);
+        EXPECT_EQ(eq.curTick(), expect.when);
+    };
+
+    for (int step = 0; step < 4000; ++step) {
+        if (rng.below(100) < 55) {
+            int i = static_cast<int>(rng.below(numEvents));
+            LambdaEvent &e = *evs[static_cast<std::size_t>(i)];
+            if (!e.scheduled()) {
+                Cycles d = randDelay();
+                auto p = static_cast<EventPrio>(rng.below(4));
+                e.setPrio(p);
+                eq.scheduleIn(e, d);
+                ref.push_back({eq.curTick() + d,
+                               static_cast<unsigned>(p), nextSeq++, i});
+            } else if (rng.below(3) == 0) {
+                eq.deschedule(e);
+                refErase(i);
+            } else {
+                Cycles d = randDelay();
+                eq.reschedule(e, eq.curTick() + d);
+                refErase(i);
+                ref.push_back({eq.curTick() + d,
+                               static_cast<unsigned>(e.prio()),
+                               nextSeq++, i});
+            }
+        } else if (!eq.empty()) {
+            popAndCheck();
+        }
+        ASSERT_EQ(eq.size(), ref.size());
+    }
+    while (!eq.empty())
+        popAndCheck();
+    EXPECT_TRUE(ref.empty());
 }
 
 namespace

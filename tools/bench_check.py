@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Smoke-check the bench trajectory machinery.
+
+Runs micro_substrates with a tiny measurement budget, pointing
+SWEX_BENCH_JSON at a scratch file, then validates the emitted JSON:
+it must parse, carry the expected schema tag, provide the required
+entries, and every metric must be a finite number. Exits non-zero on
+any malformed or missing output, so CI catches a broken reporting
+layer before anyone trusts a checked-in trajectory.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_ENTRIES = [
+    "BM_EventQueueScheduleRun",
+    "BM_EventQueueWarm",
+    "BM_EventQueueIntrusive",
+    "BM_EventQueueFarFuture",
+    "BM_EventQueueMixedDelays",
+    "BM_MessagePoolSendRecv",
+    "micro_substrates",
+]
+
+
+def run_bench(binary, json_path):
+    """Run the bench binary; old google-benchmark releases only accept
+    a bare double for --benchmark_min_time, newer ones want a suffixed
+    form, so try the suffixed spelling first and fall back."""
+    env = dict(os.environ, SWEX_BENCH_JSON=json_path)
+    for min_time in ("0.05x", "0.05"):
+        try:
+            proc = subprocess.run(
+                [binary, f"--benchmark_min_time={min_time}"],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+        except OSError as e:
+            sys.exit(f"FAIL: cannot run {binary}: {e}")
+        if proc.returncode == 0:
+            return proc.stdout
+    sys.exit(f"FAIL: {binary} exited with {proc.returncode}:\n"
+             f"{proc.stdout}")
+
+
+def check_json(json_path):
+    if not os.path.exists(json_path):
+        sys.exit(f"FAIL: bench run produced no {json_path}")
+    with open(json_path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"FAIL: {json_path} is not valid JSON: {e}")
+
+    if doc.get("schema") != "swex-bench-v1":
+        sys.exit(f"FAIL: unexpected schema tag {doc.get('schema')!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        sys.exit("FAIL: 'entries' missing or empty")
+
+    by_name = {}
+    for e in entries:
+        if not isinstance(e.get("name"), str) or \
+                not isinstance(e.get("metrics"), dict):
+            sys.exit(f"FAIL: malformed entry {e!r}")
+        for k, v in e["metrics"].items():
+            if not isinstance(v, (int, float)) or \
+                    not math.isfinite(v):
+                sys.exit(f"FAIL: {e['name']}: metric {k!r} is not a "
+                         f"finite number: {v!r}")
+        by_name[e["name"]] = e["metrics"]
+
+    missing = [n for n in REQUIRED_ENTRIES if n not in by_name]
+    if missing:
+        sys.exit(f"FAIL: required entries missing: {missing}")
+
+    for name, metrics in by_name.items():
+        if name.startswith("BM_") and \
+                metrics.get("ns_per_op", 0) <= 0:
+            sys.exit(f"FAIL: {name}: ns_per_op not positive")
+    return len(entries)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("binary", help="path to the micro_substrates binary")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = os.path.join(tmp, "bench.json")
+        run_bench(args.binary, json_path)
+        # A second run must merge, not mangle, the existing file.
+        run_bench(args.binary, json_path)
+        n = check_json(json_path)
+    print(f"OK: {n} entries validated")
+
+
+if __name__ == "__main__":
+    main()
