@@ -8,35 +8,34 @@
  */
 
 #include <cstdio>
+#include <string>
 
-#include "apps/water.hh"
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
-
-namespace
-{
-
-Tick
-runWorkerProfile(HandlerProfile prof, int wss)
-{
-    MachineConfig mc;
-    mc.numNodes = 16;
-    mc.protocol = ProtocolConfig::hw(5);
-    mc.profile = prof;
-    WorkerConfig wc;
-    wc.workerSetSize = wss;
-    wc.iterations = 8;
-    return runWorker(mc, wc);
-}
-
-} // anonymous namespace
 
 int
 main()
 {
     setQuiet(true);
+    Runner runner;
+    auto runWorkerProfile = [&](HandlerProfile prof, int wss) {
+        ExperimentSpec spec{
+            .id = std::string("ablation/handler_cost/worker/wss") +
+                  std::to_string(wss) + "/" +
+                  (prof == HandlerProfile::TunedAsm ? "asm" : "c"),
+            .app = "worker",
+            .params = {{"wss", std::to_string(wss)},
+                       {"iterations", "8"}},
+            .protocol = ProtocolConfig::hw(5),
+            .nodes = 16,
+            .profile = prof};
+        return runner.run(spec).simCycles;
+    };
+
     std::printf("Ablation: flexible C vs hand-tuned assembly "
                 "handlers (Section 4)\n");
     rule();
@@ -52,23 +51,25 @@ main()
                     static_cast<double>(c) / static_cast<double>(a));
     }
     {
-        WaterConfig wcfg;
-        WaterApp a1(wcfg);
-        MachineConfig mc = appMachine(ProtocolConfig::hw(5), 64);
-        mc.profile = HandlerProfile::FlexibleC;
-        AppRun rc = runApp(a1, mc);
-        WaterApp a2(wcfg);
-        mc.profile = HandlerProfile::TunedAsm;
-        AppRun ra = runApp(a2, mc);
+        ExperimentSpec spec{.id = "ablation/handler_cost/water64/c",
+                            .app = "water",
+                            .protocol = ProtocolConfig::hw(5),
+                            .nodes = 64,
+                            .victimEntries = 6,
+                            .profile = HandlerProfile::FlexibleC};
+        Tick c = runner.run(spec).simCycles;
+        spec.id = "ablation/handler_cost/water64/asm";
+        spec.profile = HandlerProfile::TunedAsm;
+        Tick a = runner.run(spec).simCycles;
         std::printf("%-28s %12llu %12llu %8.2f\n", "WATER 64 nodes",
-                    static_cast<unsigned long long>(rc.cycles),
-                    static_cast<unsigned long long>(ra.cycles),
-                    static_cast<double>(rc.cycles) /
-                        static_cast<double>(ra.cycles));
+                    static_cast<unsigned long long>(c),
+                    static_cast<unsigned long long>(a),
+                    static_cast<double>(c) / static_cast<double>(a));
     }
     rule();
     std::printf("Expected: ~2x per-handler gap compresses to a small "
                 "application-level gap\nwhen worker sets mostly fit "
                 "in hardware.\n");
+    runner.emitRecords();
     return 0;
 }

@@ -7,9 +7,11 @@
  */
 
 #include <cstdio>
+#include <string>
 
-#include "apps/water.hh"
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
@@ -21,20 +23,25 @@ main()
     std::printf("Ablation: the one-bit local pointer (Section 3.1)\n");
     rule();
 
+    Runner runner;
+
     // WORKER at worker-set size = numNodes: the writer is also a
     // reader, so without the local bit the home's own copy consumes a
     // hardware pointer.
     for (int wss : {5, 16}) {
-        WorkerConfig wc;
-        wc.workerSetSize = wss;
-        wc.iterations = 8;
-        MachineConfig with = {};
-        with.numNodes = 16;
-        with.protocol = ProtocolConfig::hw(5);
-        MachineConfig without = with;
-        without.protocol.localBit = false;
-        Tick t_with = runWorker(with, wc);
-        Tick t_without = runWorker(without, wc);
+        ExperimentSpec spec{
+            .id = "ablation/local_bit/worker/wss" +
+                  std::to_string(wss) + "/with",
+            .app = "worker",
+            .params = {{"wss", std::to_string(wss)},
+                       {"iterations", "8"}},
+            .protocol = ProtocolConfig::hw(5),
+            .nodes = 16};
+        Tick t_with = runner.run(spec).simCycles;
+        spec.id = "ablation/local_bit/worker/wss" +
+                  std::to_string(wss) + "/without";
+        spec.protocol.localBit = false;
+        Tick t_without = runner.run(spec).simCycles;
         std::printf("WORKER wss=%2d: with=%8llu without=%8llu "
                     "(local bit saves %.1f%%)\n", wss,
                     static_cast<unsigned long long>(t_with),
@@ -45,24 +52,26 @@ main()
     }
 
     {
-        WaterConfig c;
-        WaterApp a1(c);
-        MachineConfig with = appMachine(ProtocolConfig::hw(5), 64);
-        AppRun r1 = runApp(a1, with);
-        WaterApp a2(c);
-        MachineConfig without = with;
-        without.protocol.localBit = false;
-        AppRun r2 = runApp(a2, without);
+        ExperimentSpec spec{.id = "ablation/local_bit/water64/with",
+                            .app = "water",
+                            .protocol = ProtocolConfig::hw(5),
+                            .nodes = 64,
+                            .victimEntries = 6};
+        Tick t_with = runner.run(spec).simCycles;
+        spec.id = "ablation/local_bit/water64/without";
+        spec.protocol.localBit = false;
+        Tick t_without = runner.run(spec).simCycles;
         std::printf("WATER 64 nodes: with=%8llu without=%8llu "
                     "(local bit saves %.1f%%)\n",
-                    static_cast<unsigned long long>(r1.cycles),
-                    static_cast<unsigned long long>(r2.cycles),
-                    100.0 * (static_cast<double>(r2.cycles) -
-                             static_cast<double>(r1.cycles)) /
-                        static_cast<double>(r2.cycles));
+                    static_cast<unsigned long long>(t_with),
+                    static_cast<unsigned long long>(t_without),
+                    100.0 * (static_cast<double>(t_without) -
+                             static_cast<double>(t_with)) /
+                        static_cast<double>(t_without));
     }
     rule();
     std::printf("Paper: about 2%% on applications; the bit mainly "
                 "avoids self-overflow.\n");
+    runner.emitRecords();
     return 0;
 }

@@ -10,8 +10,11 @@
  */
 
 #include <cstdio>
+#include <string>
 
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
@@ -27,30 +30,38 @@ main()
                 "DIR1SW", "H5", "H5+par-inv", "FULL(cyc)");
     rule(84);
 
+    Runner runner;
     for (int wss : {2, 4, 8, 12, 16}) {
-        WorkerConfig wc;
-        wc.workerSetSize = wss;
-        wc.iterations = 8;
+        const AppParams params = {{"wss", std::to_string(wss)},
+                                  {"iterations", "8"}};
+        ExperimentSpec full{
+            .id = "ablation/variants/wss" + std::to_string(wss) +
+                  "/FULL",
+            .app = "worker",
+            .params = params,
+            .protocol = ProtocolConfig::fullMap(),
+            .nodes = 16};
+        Tick base = runner.run(full).simCycles;
 
-        MachineConfig full;
-        full.numNodes = 16;
-        full.protocol = ProtocolConfig::fullMap();
-        Tick base = runWorker(full, wc);
-
-        auto rel = [&](ProtocolConfig p, bool par_inv = false) {
-            MachineConfig mc;
-            mc.numNodes = 16;
-            mc.protocol = p;
-            mc.parallelInv = par_inv;
-            return static_cast<double>(runWorker(mc, wc)) /
+        auto rel = [&](const char *label, ProtocolConfig p,
+                       bool par_inv = false) {
+            ExperimentSpec spec{
+                .id = "ablation/variants/wss" + std::to_string(wss) +
+                      "/" + label,
+                .app = "worker",
+                .params = params,
+                .protocol = p,
+                .nodes = 16,
+                .parallelInv = par_inv};
+            return static_cast<double>(runner.run(spec).simCycles) /
                    static_cast<double>(base);
         };
 
         std::printf("%6d %10.2f %10.2f %10.2f %10.2f %12llu\n", wss,
-                    rel(ProtocolConfig::h1Lack()),
-                    rel(ProtocolConfig::dir1sw()),
-                    rel(ProtocolConfig::hw(5)),
-                    rel(ProtocolConfig::hw(5), true),
+                    rel("H1-LACK", ProtocolConfig::h1Lack()),
+                    rel("DIR1SW", ProtocolConfig::dir1sw()),
+                    rel("H5", ProtocolConfig::hw(5)),
+                    rel("H5+par-inv", ProtocolConfig::hw(5), true),
                     static_cast<unsigned long long>(base));
     }
     rule(84);
@@ -58,5 +69,6 @@ main()
                 "but pays n-1 broadcast\ninvalidations at large ones; "
                 "parallel invalidation helps H5 once worker\nsets "
                 "overflow the pointers.\n");
+    runner.emitRecords();
     return 0;
 }

@@ -11,9 +11,13 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "bench_json.hh"
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "core/spectrum.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
@@ -33,8 +37,15 @@ main()
         {"H5", ProtocolConfig::hw(5)},
     };
 
-    WorkerConfig wc;
-    wc.iterations = 8;
+    Runner runner;
+    auto spec = [&](const ProtocolConfig &p, int wss) {
+        return ExperimentSpec{
+            .app = "worker",
+            .params = {{"wss", std::to_string(wss)},
+                       {"iterations", "8"}},
+            .protocol = p,
+            .nodes = nodes};
+    };
 
     std::printf("Figure 2: protocol performance vs worker set size "
                 "(WORKER, %d nodes)\n", nodes);
@@ -50,31 +61,33 @@ main()
     // Host-side totals per protocol column, summed over all sizes,
     // for the machine-readable trajectory.
     std::vector<double> cycleTotals(protos.size() + 1, 0);
-    std::vector<HostRun> hostTotals(protos.size() + 1);
+    std::vector<double> wallTotals(protos.size() + 1, 0);
+    std::vector<double> eventTotals(protos.size() + 1, 0);
 
     for (int s : sizes) {
-        wc.workerSetSize = s;
-        MachineConfig full;
-        full.numNodes = nodes;
-        full.protocol = ProtocolConfig::fullMap();
-        HostRun host;
-        Tick base = runWorker(full, wc, &host);
-        cycleTotals.back() += static_cast<double>(base);
-        hostTotals.back().add(host);
+        ExperimentSpec full = spec(ProtocolConfig::fullMap(), s);
+        full.id = "fig2/worker16/FULL/wss" + std::to_string(s);
+        const RunRecord &base = runner.run(full);
+        Tick base_cycles = base.simCycles;
+        cycleTotals.back() += static_cast<double>(base.simCycles);
+        wallTotals.back() += base.hostWallSeconds;
+        eventTotals.back() += base.hostEvents;
 
         std::printf("%8d", s);
         for (std::size_t i = 0; i < protos.size(); ++i) {
-            MachineConfig mc;
-            mc.numNodes = nodes;
-            mc.protocol = protos[i].protocol;
-            Tick t = runWorker(mc, wc, &host);
-            cycleTotals[i] += static_cast<double>(t);
-            hostTotals[i].add(host);
+            ExperimentSpec sp = spec(protos[i].protocol, s);
+            sp.id = "fig2/worker16/" + protos[i].label + "/wss" +
+                    std::to_string(s);
+            const RunRecord &r = runner.run(sp);
+            cycleTotals[i] += static_cast<double>(r.simCycles);
+            wallTotals[i] += r.hostWallSeconds;
+            eventTotals[i] += r.hostEvents;
             std::printf(" %9.2f",
-                        static_cast<double>(t) /
-                            static_cast<double>(base));
+                        static_cast<double>(r.simCycles) /
+                            static_cast<double>(base_cycles));
         }
-        std::printf(" %9llu\n", static_cast<unsigned long long>(base));
+        std::printf(" %9llu\n",
+                    static_cast<unsigned long long>(base_cycles));
     }
     rule(90);
     std::printf("Expected: columns ordered H0-ACK >> H1-ACK > "
@@ -85,19 +98,20 @@ main()
     for (std::size_t i = 0; i <= protos.size(); ++i) {
         const std::string label =
             i < protos.size() ? protos[i].label : "FULL";
-        const HostRun &h = hostTotals[i];
+        double wall = wallTotals[i];
         traj.record("fig2/worker16/" + label,
                     {{"cycles", cycleTotals[i]},
-                     {"wall_s", h.wallSeconds},
-                     {"events", h.events},
-                     {"events_per_sec", h.eventsPerSec()},
+                     {"wall_s", wall},
+                     {"events", eventTotals[i]},
+                     {"events_per_sec",
+                      wall > 0 ? eventTotals[i] / wall : 0},
                      {"sim_cycles_per_sec",
-                      h.wallSeconds > 0 ? cycleTotals[i] / h.wallSeconds
-                                        : 0}});
+                      wall > 0 ? cycleTotals[i] / wall : 0}});
     }
     traj.record("fig2_worker",
                 {{"peak_rss_kb", static_cast<double>(peakRssKb())}});
     if (!traj.updateFile("BENCH_FIGS.json"))
         std::fprintf(stderr, "warning: could not write bench JSON\n");
+    runner.emitRecords();
     return 0;
 }

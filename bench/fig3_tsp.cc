@@ -13,35 +13,16 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "apps/tsp.hh"
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "core/spectrum.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
-
-namespace
-{
-
-Tick
-runTsp(ProtocolConfig p, bool perfect_ifetch, unsigned victim)
-{
-    TspConfig tc;
-    TspApp app(tc);
-    MachineConfig mc;
-    mc.numNodes = 64;
-    mc.protocol = p;
-    mc.perfectIfetch = perfect_ifetch;
-    mc.cacheCtrl.victimEntries = victim;
-    Machine m(mc);
-    Tick t = app.runParallel(m);
-    if (!app.verify(m))
-        fatal("TSP failed under %s", p.name().c_str());
-    m.checkInvariants();
-    return t;
-}
-
-} // anonymous namespace
 
 int
 main()
@@ -55,6 +36,19 @@ main()
         {"FULL", ProtocolConfig::fullMap()},
     };
 
+    Runner runner;
+    auto runTsp = [&](const SpectrumPoint &p, const char *variant,
+                      bool perfect_ifetch, unsigned victim) -> Tick {
+        ExperimentSpec spec{
+            .id = "fig3/tsp64/" + p.label + "/" + variant,
+            .app = "tsp",
+            .protocol = p.protocol,
+            .nodes = 64,
+            .victimEntries = victim,
+            .perfectIfetch = perfect_ifetch};
+        return runner.run(spec).simCycles;
+    };
+
     std::printf("Figure 3: TSP detailed 64-node performance "
                 "(run time in cycles; lower is better)\n");
     rule(78);
@@ -64,9 +58,9 @@ main()
     Tick full_victim = 0;
     Tick h5_base = 0, full_base = 0;
     for (const auto &p : protos) {
-        Tick base = runTsp(p.protocol, false, 0);
-        Tick pif = runTsp(p.protocol, true, 0);
-        Tick vic = runTsp(p.protocol, false, 6);
+        Tick base = runTsp(p, "base", false, 0);
+        Tick pif = runTsp(p, "perfect-if", true, 0);
+        Tick vic = runTsp(p, "victim", false, 6);
         std::printf("%8s %12llu %12llu %12llu\n", p.label.c_str(),
                     static_cast<unsigned long long>(base),
                     static_cast<unsigned long long>(pif),
@@ -87,5 +81,6 @@ main()
                 "equal across protocols\n(except H0); victim FULL "
                 "improves over base FULL (paper: 16%%).\n");
     (void)full_victim;
+    runner.emitRecords();
     return 0;
 }

@@ -11,16 +11,12 @@
 
 #include <cstdio>
 #include <cstring>
-#include <memory>
+#include <string>
 
-#include "apps/aq.hh"
-#include "apps/evolve.hh"
-#include "apps/mp3d.hh"
-#include "apps/smgrid.hh"
-#include "apps/tsp.hh"
-#include "apps/water.hh"
-#include "bench_json.hh"
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "core/spectrum.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
@@ -30,47 +26,22 @@ namespace
 
 constexpr int nodes = 64;
 
-using Factory = std::unique_ptr<App> (*)();
-
-std::unique_ptr<App>
-makeTsp()
+/** One Figure 4 row: display name, registry name, parameters. */
+struct Fig4Row
 {
-    return std::make_unique<TspApp>(TspConfig{});
-}
+    const char *label;
+    const char *app;
+    AppParams params;
+};
 
-std::unique_ptr<App>
-makeAq()
-{
-    return std::make_unique<AqApp>(AqConfig{});
-}
-
-std::unique_ptr<App>
-makeSmgrid()
-{
-    SmgridConfig c;
-    c.fineSize = 65;
-    return std::make_unique<SmgridApp>(c);
-}
-
-std::unique_ptr<App>
-makeEvolve()
-{
-    auto app = std::make_unique<EvolveApp>(EvolveConfig{});
-    app->computeGroundTruth(nodes);
-    return app;
-}
-
-std::unique_ptr<App>
-makeMp3d()
-{
-    return std::make_unique<Mp3dApp>(Mp3dConfig{});
-}
-
-std::unique_ptr<App>
-makeWater()
-{
-    return std::make_unique<WaterApp>(WaterConfig{});
-}
+const Fig4Row rows[] = {
+    {"TSP", "tsp", {}},
+    {"AQ", "aq", {}},
+    {"SMGRID", "smgrid", {{"fine", "65"}}},
+    {"EVOLVE", "evolve", {}},
+    {"MP3D", "mp3d", {}},
+    {"WATER", "water", {}},
+};
 
 } // anonymous namespace
 
@@ -78,11 +49,6 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::pair<const char *, Factory> apps[] = {
-        {"TSP", makeTsp},     {"AQ", makeAq},
-        {"SMGRID", makeSmgrid}, {"EVOLVE", makeEvolve},
-        {"MP3D", makeMp3d},   {"WATER", makeWater},
-    };
 
     // Optional positional filters: run only the named apps
     // (case-sensitive, e.g. `fig4_speedups TSP WATER`).
@@ -96,6 +62,7 @@ main(int argc, char **argv)
         return false;
     };
     JsonTrajectory traj;
+    Runner runner;
 
     std::printf("Figure 4: application speedups over sequential, "
                 "64 nodes, victim caching on\n");
@@ -108,39 +75,42 @@ main(int argc, char **argv)
     std::printf(" %8s\n", "H5/FULL");
     rule(86);
 
-    for (const auto &[name, make] : apps) {
-        if (!selected(name))
+    for (const Fig4Row &row : rows) {
+        if (!selected(row.label))
             continue;
-        auto seq_app = make();
-        Tick t_seq = runAppSequential(*seq_app);
+        ExperimentSpec base{.id = std::string("fig4/") + row.label,
+                            .app = row.app,
+                            .params = row.params,
+                            .nodes = nodes,
+                            .victimEntries = 6};
+        Tick t_seq = runner.runSequential(base).simCycles;
 
-        std::printf("%-8s", name);
+        std::printf("%-8s", row.label);
         double h5 = 0, full = 0;
         for (const auto &pt : pointerAxis()) {
-            auto app = make();
-            AppRun r = runApp(*app, appMachine(pt.protocol, nodes));
-            if (!r.ok)
-                fatal("%s failed verification under %s", name,
-                      pt.protocol.name().c_str());
+            ExperimentSpec spec = base;
+            spec.id += "/h" + pt.label;
+            spec.protocol = pt.protocol;
+            RunRecord &r = runner.run(spec);
+            r.seqCycles = static_cast<double>(t_seq);
             double speedup = static_cast<double>(t_seq) /
-                             static_cast<double>(r.cycles);
+                             static_cast<double>(r.simCycles);
+            r.speedup = speedup;
             if (pt.label == "5")
                 h5 = speedup;
             if (pt.label == "n")
                 full = speedup;
             std::printf(" %8.1f", speedup);
             std::fflush(stdout);
-            traj.record(std::string("fig4/") + name + "/h" + pt.label,
-                        {{"cycles", static_cast<double>(r.cycles)},
+            traj.record(std::string("fig4/") + row.label + "/h" +
+                            pt.label,
+                        {{"cycles",
+                          static_cast<double>(r.simCycles)},
                          {"speedup", speedup},
-                         {"wall_s", r.host.wallSeconds},
-                         {"events", r.host.events},
-                         {"events_per_sec", r.host.eventsPerSec()},
-                         {"sim_cycles_per_sec",
-                          r.host.wallSeconds > 0
-                              ? static_cast<double>(r.cycles) /
-                                    r.host.wallSeconds
-                              : 0}});
+                         {"wall_s", r.hostWallSeconds},
+                         {"events", r.hostEvents},
+                         {"events_per_sec", r.eventsPerSec()},
+                         {"sim_cycles_per_sec", r.simCyclesPerSec()}});
         }
         std::printf(" %7.0f%%\n", 100.0 * h5 / full);
     }
@@ -152,5 +122,6 @@ main(int argc, char **argv)
                 {{"peak_rss_kb", static_cast<double>(peakRssKb())}});
     if (!traj.updateFile("BENCH_FIGS.json"))
         std::fprintf(stderr, "warning: could not write bench JSON\n");
+    runner.emitRecords();
     return 0;
 }

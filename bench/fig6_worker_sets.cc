@@ -8,8 +8,9 @@
 
 #include <cstdio>
 
-#include "apps/evolve.hh"
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
@@ -19,23 +20,21 @@ main()
 {
     setQuiet(true);
     const int nodes = 64;
-    EvolveConfig ec;
-    ec.walksPerThread = 3;
-    EvolveApp app(ec);
-    app.computeGroundTruth(nodes);
 
-    MachineConfig mc = appMachine(ProtocolConfig::fullMap(), nodes);
-    mc.trackSharing = true;
-    Machine m(mc);
-    Tick t = app.runParallel(m);
-    if (!app.verify(m))
-        fatal("EVOLVE failed verification");
-
-    auto hist = m.tracker.endOfRunHistogram(nodes);
+    Runner runner;
+    ExperimentSpec spec{.id = "fig6/evolve64",
+                        .app = "evolve",
+                        .params = {{"walks", "3"}},
+                        .protocol = ProtocolConfig::fullMap(),
+                        .nodes = nodes,
+                        .victimEntries = 6,
+                        .trackSharing = true};
+    const RunRecord &r = runner.run(spec);
+    const auto &hist = r.workerSets;
 
     std::printf("Figure 6: histogram of worker set sizes for EVOLVE "
                 "(64 nodes, %llu cycles)\n",
-                static_cast<unsigned long long>(t));
+                static_cast<unsigned long long>(r.simCycles));
     std::printf("%6s %10s  (log-scale bar)\n", "size", "sets");
     rule();
     for (std::size_t s = 1; s < hist.size(); ++s) {
@@ -55,5 +54,6 @@ main()
                 "of singleton sets,\nwith a small population of "
                 "machine-wide (size-64) sets from the global\nbest "
                 "record and popular ridge vertices.\n");
+    runner.emitRecords();
     return 0;
 }

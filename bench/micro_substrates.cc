@@ -16,7 +16,7 @@
 
 #include "apps/worker.hh"
 #include "base/rng.hh"
-#include "bench_json.hh"
+#include "bench_support.hh"
 #include "core/ext_directory.hh"
 #include "machine/mem_api.hh"
 #include "net/message_pool.hh"
@@ -260,8 +260,8 @@ BM_WorkerIteration16(benchmark::State &state)
         WorkerConfig wc;
         wc.workerSetSize = 8;
         wc.iterations = 2;
-        WorkerApp app(m, wc);
-        Tick t = app.run(m);
+        WorkerApp app(wc);
+        Tick t = app.runParallel(m);
         benchmark::DoNotOptimize(t);
         cycles += static_cast<double>(t);
         events += static_cast<double>(m.eventq.numExecuted());

@@ -13,55 +13,36 @@
  */
 
 #include <cstdio>
+#include <string>
 
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
-
-namespace
-{
-
-struct Measured
-{
-    double read, write;
-};
-
-Measured
-measure(HandlerProfile profile, int readers)
-{
-    MachineConfig mc;
-    mc.numNodes = 16;
-    mc.protocol = ProtocolConfig::hw(5);
-    mc.profile = profile;
-
-    Machine m(mc);
-    WorkerConfig wc;
-    wc.workerSetSize = readers;
-    wc.iterations = 8;
-    WorkerApp app(m, wc);
-    app.run(m);
-    if (!app.verify(m))
-        fatal("WORKER failed");
-
-    double rsum = 0, rcnt = 0, wsum = 0, wcnt = 0;
-    for (const auto &node : m.nodes) {
-        rsum += node->home.readHandlerCycles.sum();
-        rcnt += static_cast<double>(
-            node->home.readHandlerCycles.count());
-        wsum += node->home.writeHandlerCycles.sum();
-        wcnt += static_cast<double>(
-            node->home.writeHandlerCycles.count());
-    }
-    return {rcnt ? rsum / rcnt : 0, wcnt ? wsum / wcnt : 0};
-}
-
-} // anonymous namespace
 
 int
 main()
 {
     setQuiet(true);
+    Runner runner;
+    auto measure = [&](HandlerProfile profile, int readers)
+        -> const RunRecord & {
+        ExperimentSpec spec{
+            .id = std::string("table1/worker16/") +
+                  (profile == HandlerProfile::TunedAsm ? "asm"
+                                                       : "c") +
+                  "/readers" + std::to_string(readers),
+            .app = "worker",
+            .params = {{"wss", std::to_string(readers)},
+                       {"iterations", "8"}},
+            .protocol = ProtocolConfig::hw(5),
+            .nodes = 16,
+            .profile = profile};
+        return runner.run(spec);
+    };
+
     std::printf("Table 1: average software extension latencies for C "
                 "and assembly (cycles)\n");
     std::printf("Protocol DirnH5SNB, WORKER on 16 nodes\n");
@@ -76,10 +57,13 @@ main()
     };
     int row = 0;
     for (int readers : {8, 12, 16}) {
-        Measured c = measure(HandlerProfile::FlexibleC, readers);
-        Measured a = measure(HandlerProfile::TunedAsm, readers);
+        const RunRecord &c = measure(HandlerProfile::FlexibleC,
+                                     readers);
+        const RunRecord &a = measure(HandlerProfile::TunedAsm,
+                                     readers);
         std::printf("%8d %10.0f %10.0f %10.0f %10.0f\n", readers,
-                    c.read, a.read, c.write, a.write);
+                    c.readHandlerMean, a.readHandlerMean,
+                    c.writeHandlerMean, a.writeHandlerMean);
         std::printf("%8s %10d %10d %10d %10d   (paper)\n", "",
                     paper_r[row][0], paper_r[row][1], paper_r[row][2],
                     paper_r[row][3]);
@@ -89,5 +73,6 @@ main()
     std::printf("Expected shape: C handlers roughly 2x the assembly "
                 "handlers for both\nrequest types; latencies largely "
                 "independent of the reader count.\n");
+    runner.emitRecords();
     return 0;
 }

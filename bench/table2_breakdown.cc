@@ -10,8 +10,10 @@
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
 #include "core/cost_model.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
@@ -86,26 +88,16 @@ main()
 
     // Cross-check: measured median-ish (mean) handler latencies from
     // an actual WORKER run with 8 readers per block.
-    MachineConfig mc;
-    mc.numNodes = 16;
-    mc.protocol = ProtocolConfig::hw(5);
-    Machine m(mc);
-    WorkerConfig wc;
-    wc.workerSetSize = 8;
-    wc.iterations = 8;
-    WorkerApp app(m, wc);
-    app.run(m);
-    double rsum = 0, rcnt = 0, wsum = 0, wcnt = 0;
-    for (const auto &node : m.nodes) {
-        rsum += node->home.readHandlerCycles.sum();
-        rcnt +=
-            static_cast<double>(node->home.readHandlerCycles.count());
-        wsum += node->home.writeHandlerCycles.sum();
-        wcnt +=
-            static_cast<double>(node->home.writeHandlerCycles.count());
-    }
+    Runner runner;
+    ExperimentSpec spec{.id = "table2/worker16/crosscheck",
+                        .app = "worker",
+                        .params = {{"wss", "8"}, {"iterations", "8"}},
+                        .protocol = ProtocolConfig::hw(5),
+                        .nodes = 16};
+    const RunRecord &r = runner.run(spec);
     std::printf("\nCross-check, measured from WORKER (C profile): "
                 "read %.0f, write %.0f cycles\n",
-                rcnt ? rsum / rcnt : 0, wcnt ? wsum / wcnt : 0);
+                r.readHandlerMean, r.writeHandlerMean);
+    runner.emitRecords();
     return 0;
 }

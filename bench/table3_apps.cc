@@ -7,17 +7,39 @@
  */
 
 #include <cstdio>
+#include <string>
 
-#include "apps/aq.hh"
-#include "apps/evolve.hh"
-#include "apps/mp3d.hh"
-#include "apps/smgrid.hh"
-#include "apps/tsp.hh"
-#include "apps/water.hh"
-#include "bench_util.hh"
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 using namespace swex::bench;
+
+namespace
+{
+
+struct Table3Row
+{
+    const char *label;
+    const char *lang;
+    const char *size;
+    double paperSeconds;
+    const char *app;
+    AppParams params;
+};
+
+const Table3Row rows[] = {
+    {"TSP", "Mul-T", "10 city tour", 1.1, "tsp", {}},
+    {"AQ", "Semi-C", "x^4y^4 on (0,2)^2", 0.9, "aq", {}},
+    {"SMGRID", "Mul-T", "65x65 (paper: 129x129)", 3.0, "smgrid",
+     {{"fine", "65"}}},
+    {"EVOLVE", "Mul-T", "12 dimensions", 1.3, "evolve", {}},
+    {"MP3D", "C", "1024 particles (10k)", 0.6, "mp3d", {}},
+    {"WATER", "C", "64 molecules", 2.6, "water", {}},
+};
+
+} // anonymous namespace
 
 int
 main()
@@ -31,62 +53,21 @@ main()
                 "Paper (s)");
     rule(78);
 
-    {
-        TspConfig c;
-        TspApp app(c);
-        Tick t = runAppSequential(app);
-        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n", "TSP",
-                    "Mul-T", "10 city tour",
-                    static_cast<unsigned long long>(t),
-                    static_cast<double>(t) / clockHz, 1.1);
-    }
-    {
-        AqConfig c;
-        AqApp app(c);
-        Tick t = runAppSequential(app);
-        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n", "AQ",
-                    "Semi-C", "x^4y^4 on (0,2)^2",
-                    static_cast<unsigned long long>(t),
-                    static_cast<double>(t) / clockHz, 0.9);
-    }
-    {
-        SmgridConfig c;
-        c.fineSize = 65;
-        SmgridApp app(c);
-        Tick t = runAppSequential(app);
+    Runner runner;
+    for (const Table3Row &row : rows) {
+        ExperimentSpec spec{
+            .id = std::string("table3/") + row.label,
+            .app = row.app,
+            .params = row.params,
+            .nodes = 64};
+        Tick t = runner.runSequential(spec).simCycles;
         std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n",
-                    "SMGRID", "Mul-T", "65x65 (paper: 129x129)",
+                    row.label, row.lang, row.size,
                     static_cast<unsigned long long>(t),
-                    static_cast<double>(t) / clockHz, 3.0);
-    }
-    {
-        EvolveConfig c;
-        EvolveApp app(c);
-        app.computeGroundTruth(64);
-        Tick t = runAppSequential(app);
-        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n",
-                    "EVOLVE", "Mul-T", "12 dimensions",
-                    static_cast<unsigned long long>(t),
-                    static_cast<double>(t) / clockHz, 1.3);
-    }
-    {
-        Mp3dConfig c;
-        Mp3dApp app(c);
-        Tick t = runAppSequential(app);
-        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n", "MP3D",
-                    "C", "1024 particles (10k)",
-                    static_cast<unsigned long long>(t),
-                    static_cast<double>(t) / clockHz, 0.6);
-    }
-    {
-        WaterConfig c;
-        WaterApp app(c);
-        Tick t = runAppSequential(app);
-        std::printf("%-8s %-10s %-22s %12llu %10.3f %10.1f\n",
-                    "WATER", "C", "64 molecules",
-                    static_cast<unsigned long long>(t),
-                    static_cast<double>(t) / clockHz, 2.6);
+                    static_cast<double>(t) / clockHz,
+                    row.paperSeconds);
     }
     rule(78);
+    runner.emitRecords();
     return 0;
 }

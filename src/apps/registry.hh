@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Name-indexed factory for the application case studies. The
+ * registry is the single place that knows how to turn a textual app
+ * name plus key=value parameters into a configured App instance;
+ * benches, the experiment runner, and swex_cli all construct
+ * applications through it, so adding a workload is a one-file edit.
+ */
+
+#ifndef SWEX_APPS_REGISTRY_HH
+#define SWEX_APPS_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace swex
+{
+
+/**
+ * Per-app configuration as an ordered key -> value map of strings
+ * (e.g. {"wss","8"} for WORKER). Each app's factory parses and
+ * validates its own keys; unknown keys are fatal.
+ */
+using AppParams = std::map<std::string, std::string>;
+
+/**
+ * Typed accessor over an AppParams map that tracks which keys were
+ * consumed, so a factory can reject misspelled parameters.
+ */
+class ParamReader
+{
+  public:
+    ParamReader(const AppParams &params, std::string app);
+
+    int getInt(const std::string &key, int def);
+    std::uint64_t getU64(const std::string &key, std::uint64_t def);
+    double getDouble(const std::string &key, double def);
+    bool getBool(const std::string &key, bool def);
+
+    /** Fatal if any parameter key was never consumed. */
+    void finish() const;
+
+  private:
+    const std::string *lookup(const std::string &key);
+
+    const AppParams &_params;
+    std::string _app;
+    std::vector<std::string> _consumed;
+};
+
+/** The process-wide application factory. */
+class AppRegistry
+{
+  public:
+    struct Entry
+    {
+        std::string name;        ///< registry key (lower case)
+        std::string summary;     ///< one-line description
+        /** A tiny configuration every smoke test can afford to run. */
+        AppParams smokeParams;
+        std::function<std::unique_ptr<App>(const AppParams &,
+                                           int nodes)> make;
+    };
+
+    /** The singleton, with the built-in apps already registered. */
+    static AppRegistry &instance();
+
+    /** Register an additional application (name must be unique). */
+    void add(Entry entry);
+
+    bool contains(const std::string &name) const;
+    const Entry &entry(const std::string &name) const;
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Construct a configured app. @p nodes is the machine size the
+     * app will run on (some apps precompute per-thread-count ground
+     * truth). Fatal on unknown names or parameters.
+     */
+    std::unique_ptr<App> make(const std::string &name,
+                              const AppParams &params,
+                              int nodes) const;
+
+  private:
+    AppRegistry();
+
+    std::vector<Entry> _entries;
+};
+
+} // namespace swex
+
+#endif // SWEX_APPS_REGISTRY_HH

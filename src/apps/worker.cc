@@ -3,17 +3,24 @@
 namespace swex
 {
 
-WorkerApp::WorkerApp(Machine &m, const WorkerConfig &config)
-    : cfg(config), numNodes(m.numNodes()),
-      blocks(m, static_cast<std::size_t>(m.numNodes()) * wordsPerBlock,
-             Layout::Blocked)
+WorkerApp::WorkerApp(const WorkerConfig &config, int nodes)
+    : cfg(config), cfgNodes(nodes)
 {
+}
+
+void
+WorkerApp::setup(Machine &m)
+{
+    numNodes = cfgNodes > 0 ? cfgNodes : m.numNodes();
     // At workerSetSize == numNodes the writer is also a reader (the
     // reader ring wraps onto it), matching the paper's 16-readers-on-
     // 16-nodes configuration.
     SWEX_ASSERT(cfg.workerSetSize >= 1 &&
                 cfg.workerSetSize <= numNodes,
                 "worker set size %d out of range", cfg.workerSetSize);
+    blocks = SharedArray(
+        m, static_cast<std::size_t>(numNodes) * wordsPerBlock,
+        Layout::Blocked);
     blocks.fill(m, 0);
 }
 
@@ -47,16 +54,26 @@ WorkerApp::thread(Mem &m, int tid)
     }
 }
 
-Tick
-WorkerApp::run(Machine &m)
+Task<void>
+WorkerApp::sequential(Mem &m)
 {
-    return m.run([this](Mem &mem, int tid) {
-        return thread(mem, tid);
-    });
+    // Single-threaded reference: one node plays every role in turn,
+    // leaving the same final memory image the parallel kernel does.
+    for (int it = 0; it < cfg.iterations; ++it) {
+        for (int b = 0; b < numNodes; ++b)
+            co_await m.read(blocks.at(
+                static_cast<std::size_t>(b) * wordsPerBlock));
+        co_await m.work(cfg.thinkTime);
+        for (int b = 0; b < numNodes; ++b)
+            co_await m.write(blocks.at(
+                static_cast<std::size_t>(b) * wordsPerBlock),
+                static_cast<Word>(it + 1));
+        co_await m.work(cfg.thinkTime);
+    }
 }
 
 bool
-WorkerApp::verify(Machine &m) const
+WorkerApp::verify(Machine &m)
 {
     for (int b = 0; b < numNodes; ++b) {
         Word v = m.debugRead(blocks.at(

@@ -12,7 +12,7 @@
 #ifndef SWEX_APPS_WORKER_HH
 #define SWEX_APPS_WORKER_HH
 
-#include "machine/mem_api.hh"
+#include "apps/app.hh"
 #include "runtime/shmem.hh"
 #include "runtime/sync.hh"
 
@@ -26,24 +26,39 @@ struct WorkerConfig
     Cycles thinkTime = 32;   ///< compute between phases
 };
 
-/** The WORKER benchmark over one machine instance. */
-class WorkerApp
+/** The WORKER benchmark. */
+class WorkerApp : public App
 {
   public:
-    WorkerApp(Machine &m, const WorkerConfig &cfg);
+    /**
+     * @param nodes the parallel machine size the data structure is
+     * laid out for (one block per node). 0 means "the machine I run
+     * on"; the sequential reference passes the parallel size so a
+     * 1-node run touches the same data the parallel run does.
+     */
+    explicit WorkerApp(const WorkerConfig &cfg = {}, int nodes = 0);
 
-    /** The per-thread kernel (one thread per node). */
-    Task<void> thread(Mem &m, int tid);
+    const char *name() const override { return "WORKER"; }
+    void setup(Machine &m) override;
+    Task<void> thread(Mem &m, int tid) override;
+    Task<void> sequential(Mem &m) override;
+    bool verify(Machine &m) override;
 
-    /** Run to completion; returns elapsed cycles. */
-    Tick run(Machine &m);
-
-    /** Check post-run block contents. */
-    bool verify(Machine &m) const;
+    /**
+     * WORKER is a controlled experiment over data references only;
+     * it runs with no instruction footprint (compute segments charge
+     * pure cycles, as the paper's synthetic benchmark does).
+     */
+    std::vector<Addr>
+    footprint(Machine &, int) const override
+    {
+        return {};
+    }
 
   private:
     WorkerConfig cfg;
-    int numNodes;
+    int cfgNodes = 0;               ///< ctor-supplied layout size
+    int numNodes = 0;
     SharedArray blocks;             ///< one block per node, block i @ i
 };
 

@@ -1,12 +1,54 @@
 #include "base/stats.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <ostream>
 
 #include "base/logging.hh"
 
 namespace swex::stats
 {
+
+namespace
+{
+
+/** JSON has no NaN/Inf; clamp them to 0 like the bench trajectory. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!(v == v) || v > 1e308 || v < -1e308) {
+        os << 0;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // anonymous namespace
 
 Stat::Stat(Group *parent, std::string name, std::string desc)
     : _name(std::move(name)), _desc(std::move(desc))
@@ -19,6 +61,12 @@ void
 Scalar::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " " << _value << " # " << desc() << "\n";
+}
+
+void
+Scalar::dumpJson(std::ostream &os) const
+{
+    jsonNumber(os, _value);
 }
 
 void
@@ -57,6 +105,20 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
     os << prefix << name() << "::min " << minValue() << "\n";
     os << prefix << name() << "::max " << maxValue() << "\n";
     os << prefix << name() << "::stddev " << stddev() << "\n";
+}
+
+void
+Distribution::dumpJson(std::ostream &os) const
+{
+    os << "{\"count\":" << _count << ",\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"min\":";
+    jsonNumber(os, minValue());
+    os << ",\"max\":";
+    jsonNumber(os, maxValue());
+    os << ",\"stddev\":";
+    jsonNumber(os, stddev());
+    os << '}';
 }
 
 void
@@ -105,6 +167,17 @@ Histogram::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Histogram::dumpJson(std::ostream &os) const
+{
+    os << "{\"total\":" << _total << ",\"width\":";
+    jsonNumber(os, _width);
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        os << (i ? "," : "") << _buckets[i];
+    os << "]}";
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : _buckets)
@@ -127,6 +200,28 @@ Group::dump(std::ostream &os, const std::string &prefix) const
         s->dump(os, here);
     for (const auto *c : _children)
         c->dump(os, here);
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    for (const auto *s : _stats) {
+        os << (first ? "" : ",");
+        first = false;
+        jsonString(os, s->name());
+        os << ':';
+        s->dumpJson(os);
+    }
+    for (const auto *c : _children) {
+        os << (first ? "" : ",");
+        first = false;
+        jsonString(os, c->name());
+        os << ':';
+        c->dumpJson(os);
+    }
+    os << '}';
 }
 
 void

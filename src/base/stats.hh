@@ -36,6 +36,9 @@ class Stat
     virtual void dump(std::ostream &os, const std::string &prefix)
         const = 0;
 
+    /** Write this statistic's value as a JSON value (no key). */
+    virtual void dumpJson(std::ostream &os) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -57,6 +60,7 @@ class Scalar : public Stat
     double value() const { return _value; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -79,6 +83,7 @@ class Distribution : public Stat
     double stddev() const;
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -110,6 +115,7 @@ class Histogram : public Stat
     std::uint64_t totalCount() const { return _total; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -139,6 +145,14 @@ class Group
 
     /** Dump the whole subtree with dotted-path prefixes. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Dump the whole subtree as one JSON object. Keys appear in
+     * registration order (deterministic for a given machine
+     * configuration), stats before child groups; scalars become
+     * numbers, distributions and histograms become objects.
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Reset every statistic in the subtree. */
     void reset();

@@ -1,0 +1,150 @@
+#include "exp/run_record.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace swex
+{
+
+namespace
+{
+
+/** JSON has no NaN/Inf; clamp them to 0 like the bench trajectory. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!(v == v) || v > 1e308 || v < -1e308) {
+        os << 0;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // anonymous namespace
+
+void
+RunRecord::writeJson(std::ostream &os) const
+{
+    os << "{\"id\":";
+    jsonString(os, id);
+    os << ",\"app\":";
+    jsonString(os, app);
+    os << ",\"protocol\":";
+    jsonString(os, protocol);
+    os << ",\"nodes\":" << nodes
+       << ",\"sequential\":" << (sequential ? "true" : "false")
+       << ",\"sim_cycles\":" << simCycles
+       << ",\"verified\":" << (verified ? "true" : "false");
+
+    os << ",\"metrics\":{\"traps\":";
+    jsonNumber(os, trapsRaised);
+    os << ",\"handler_cycles\":";
+    jsonNumber(os, handlerCycles);
+    os << ",\"messages\":";
+    jsonNumber(os, messages);
+    os << ",\"read_handler_mean\":";
+    jsonNumber(os, readHandlerMean);
+    os << ",\"read_handler_count\":" << readHandlerCount;
+    os << ",\"write_handler_mean\":";
+    jsonNumber(os, writeHandlerMean);
+    os << ",\"write_handler_count\":" << writeHandlerCount;
+    os << '}';
+
+    os << ",\"host\":{\"wall_s\":";
+    jsonNumber(os, hostWallSeconds);
+    os << ",\"events\":";
+    jsonNumber(os, hostEvents);
+    os << ",\"events_per_sec\":";
+    jsonNumber(os, eventsPerSec());
+    os << ",\"sim_cycles_per_sec\":";
+    jsonNumber(os, simCyclesPerSec());
+    os << '}';
+
+    if (seqCycles > 0) {
+        os << ",\"seq_cycles\":";
+        jsonNumber(os, seqCycles);
+        os << ",\"speedup\":";
+        jsonNumber(os, speedup);
+    }
+
+    if (!workerSets.empty()) {
+        os << ",\"worker_sets\":[";
+        for (std::size_t i = 0; i < workerSets.size(); ++i)
+            os << (i ? "," : "") << workerSets[i];
+        os << ']';
+    }
+
+    os << ",\"stats\":"
+       << (statsJson.empty() ? "{}" : statsJson.c_str());
+    os << '}';
+}
+
+RunRecord &
+RunLog::add(RunRecord record)
+{
+    _records.push_back(std::move(record));
+    return _records.back();
+}
+
+void
+RunLog::writeJson(std::ostream &os) const
+{
+    os << "{\"schema\":\"" << schema << "\",\"records\":[\n";
+    bool first = true;
+    for (const RunRecord &r : _records) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << ' ';
+        r.writeJson(os);
+    }
+    os << "\n]}\n";
+}
+
+bool
+RunLog::writeFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        return false;
+    writeJson(f);
+    return static_cast<bool>(f);
+}
+
+bool
+RunLog::writeEnv() const
+{
+    const char *path = std::getenv(envVar);
+    if (path == nullptr || *path == '\0')
+        return true;
+    return writeFile(path);
+}
+
+} // namespace swex

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The structured result of one experiment run, and the "swex-run-v1"
+ * JSON document that carries a sequence of them. Every bench and
+ * swex_cli emit these records, so downstream tooling scripts against
+ * one schema instead of scraping per-bench tables.
+ */
+
+#ifndef SWEX_EXP_RUN_RECORD_HH
+#define SWEX_EXP_RUN_RECORD_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace swex
+{
+
+/** Everything measured from one simulation run. */
+struct RunRecord
+{
+    std::string id;           ///< spec identifier
+    std::string app;          ///< registry name
+    std::string protocol;     ///< ProtocolConfig::name()
+    int nodes = 0;
+    bool sequential = false;  ///< sequential reference run?
+
+    Tick simCycles = 0;       ///< elapsed simulated cycles
+    bool verified = false;    ///< app self-check passed
+
+    // Aggregate memory-system statistics.
+    double trapsRaised = 0;
+    double handlerCycles = 0;
+    double messages = 0;
+    double readHandlerMean = 0;
+    std::uint64_t readHandlerCount = 0;
+    double writeHandlerMean = 0;
+    std::uint64_t writeHandlerCount = 0;
+
+    // Host-side cost of the simulation itself.
+    double hostWallSeconds = 0;
+    double hostEvents = 0;
+
+    // Filled by the caller when a sequential reference pairs with
+    // this parallel run.
+    double seqCycles = 0;
+    double speedup = 0;
+
+    /** Worker-set size histogram (index = set size); trackSharing. */
+    std::vector<std::uint64_t> workerSets;
+
+    /** Full statistics tree, as Group::dumpJson emits it. */
+    std::string statsJson;
+    /** Full statistics tree, text form (for --stats style output). */
+    std::string statsText;
+
+    double
+    eventsPerSec() const
+    {
+        return hostWallSeconds > 0 ? hostEvents / hostWallSeconds : 0;
+    }
+
+    double
+    simCyclesPerSec() const
+    {
+        return hostWallSeconds > 0
+                   ? static_cast<double>(simCycles) / hostWallSeconds
+                   : 0;
+    }
+
+    /** Write this record as one JSON object. */
+    void writeJson(std::ostream &os) const;
+};
+
+/**
+ * An append-only collection of run records that serializes as a
+ * "swex-run-v1" document:
+ *
+ *   {"schema":"swex-run-v1","records":[ {...}, ... ]}
+ */
+class RunLog
+{
+  public:
+    static constexpr const char *schema = "swex-run-v1";
+
+    /** Environment variable naming the output path for writeEnv(). */
+    static constexpr const char *envVar = "SWEX_RUN_JSON";
+
+    RunRecord &add(RunRecord record);
+
+    const std::deque<RunRecord> &records() const { return _records; }
+    bool empty() const { return _records.empty(); }
+
+    void writeJson(std::ostream &os) const;
+
+    /** Write the document to @p path; true on success. */
+    bool writeFile(const std::string &path) const;
+
+    /**
+     * Write to the path named by $SWEX_RUN_JSON, if set. Returns
+     * false only on an actual write failure (unset env is success:
+     * the caller asked for records only when the environment does).
+     */
+    bool writeEnv() const;
+
+  private:
+    std::deque<RunRecord> _records;   ///< deque: stable references
+};
+
+} // namespace swex
+
+#endif // SWEX_EXP_RUN_RECORD_HH

@@ -1,0 +1,124 @@
+#include "exp/runner.hh"
+
+#include <chrono>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "core/home_controller.hh"
+#include "machine/node.hh"
+
+namespace swex
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+}
+
+} // anonymous namespace
+
+RunRecord &
+Runner::finishRun(const ExperimentSpec &spec, Machine &m,
+                  RunRecord record)
+{
+    record.id = spec.id;
+    record.app = spec.app;
+    record.protocol = spec.protocol.name();
+    record.nodes = spec.nodes;
+
+    record.hostEvents = static_cast<double>(m.eventq.numExecuted());
+
+    record.trapsRaised = m.sumStat("home.trapsRaised");
+    record.handlerCycles = m.sumStat("home.handlerCycles");
+    record.messages = m.network.msgCount.value();
+
+    double rsum = 0, wsum = 0;
+    std::uint64_t rcnt = 0, wcnt = 0;
+    for (const auto &node : m.nodes) {
+        rsum += node->home.readHandlerCycles.sum();
+        rcnt += node->home.readHandlerCycles.count();
+        wsum += node->home.writeHandlerCycles.sum();
+        wcnt += node->home.writeHandlerCycles.count();
+    }
+    record.readHandlerMean = rcnt ? rsum / static_cast<double>(rcnt) : 0;
+    record.readHandlerCount = rcnt;
+    record.writeHandlerMean = wcnt ? wsum / static_cast<double>(wcnt) : 0;
+    record.writeHandlerCount = wcnt;
+
+    if (spec.trackSharing)
+        record.workerSets = m.tracker.endOfRunHistogram(spec.nodes);
+
+    {
+        std::ostringstream os;
+        m.root.dumpJson(os);
+        record.statsJson = os.str();
+    }
+    {
+        std::ostringstream os;
+        m.dumpStats(os);
+        record.statsText = os.str();
+    }
+
+    if (failFast && !record.verified) {
+        fatal("%s failed verification under %s (%d nodes%s)",
+              spec.app.c_str(), record.protocol.c_str(), spec.nodes,
+              record.sequential ? ", sequential" : "");
+    }
+    return _log.add(std::move(record));
+}
+
+RunRecord &
+Runner::run(const ExperimentSpec &spec)
+{
+    auto app = AppRegistry::instance().make(spec.app, spec.params,
+                                            spec.nodes);
+    auto t0 = std::chrono::steady_clock::now();
+    Machine m(spec.machine());
+    RunRecord r;
+    r.simCycles = app->runParallel(m);
+    r.hostWallSeconds = secondsSince(t0);
+    r.verified = app->verify(m);
+    m.checkInvariants();
+    return finishRun(spec, m, std::move(r));
+}
+
+RunRecord &
+Runner::runSequential(const ExperimentSpec &spec)
+{
+    auto app = AppRegistry::instance().make(spec.app, spec.params,
+                                            spec.nodes);
+    // The paper's speedup baseline: 1 node, full-map (software
+    // extension never invoked), victim caching on.
+    MachineConfig mc;
+    mc.numNodes = 1;
+    mc.protocol = ProtocolConfig::fullMap();
+    mc.cacheCtrl.victimEntries = 6;
+
+    auto t0 = std::chrono::steady_clock::now();
+    Machine m(mc);
+    RunRecord r;
+    r.sequential = true;
+    r.simCycles = app->runSequential(m);
+    r.hostWallSeconds = secondsSince(t0);
+    r.verified = app->verify(m);
+
+    ExperimentSpec seq_spec = spec;
+    seq_spec.protocol = mc.protocol;
+    RunRecord &logged = finishRun(seq_spec, m, std::move(r));
+    logged.nodes = 1;
+    return logged;
+}
+
+void
+Runner::emitRecords() const
+{
+    if (!_log.writeEnv())
+        warn("could not write run records to $%s", RunLog::envVar);
+}
+
+} // namespace swex

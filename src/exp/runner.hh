@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The single build-run-verify-measure loop behind every bench and
+ * swex_cli. A Runner takes declarative ExperimentSpecs, constructs
+ * the app (through the AppRegistry) and the machine, runs the kernel,
+ * verifies the result, checks coherence invariants, and returns a
+ * structured RunRecord; every record is also collected into a RunLog
+ * that serializes as a "swex-run-v1" document.
+ */
+
+#ifndef SWEX_EXP_RUNNER_HH
+#define SWEX_EXP_RUNNER_HH
+
+#include "exp/run_record.hh"
+#include "exp/spec.hh"
+
+namespace swex
+{
+
+class Runner
+{
+  public:
+    /**
+     * @param fail_fast fatal() as soon as an app fails its own
+     * verification (benches want this; swex_cli reports instead).
+     */
+    explicit Runner(bool fail_fast = true) : failFast(fail_fast) {}
+
+    /**
+     * Run the app's parallel kernel per @p spec on a fresh machine.
+     * The returned reference points into the runner's log and stays
+     * valid for the runner's lifetime, so callers may annotate it
+     * (e.g. fill in speedup once the sequential reference is known).
+     */
+    RunRecord &run(const ExperimentSpec &spec);
+
+    /**
+     * Run the app's sequential reference: a fresh instance of the
+     * same app on a 1-node full-map machine with victim caching, the
+     * paper's "without multiprocessor overhead" speedup baseline.
+     * (The app factory still sees spec.nodes, because apps precompute
+     * ground truth for the parallel thread count.)
+     */
+    RunRecord &runSequential(const ExperimentSpec &spec);
+
+    RunLog &log() { return _log; }
+    const RunLog &log() const { return _log; }
+
+    /**
+     * Emit the collected records to $SWEX_RUN_JSON if set; warn on
+     * write failure. Call once at the end of a bench's main().
+     */
+    void emitRecords() const;
+
+  private:
+    RunRecord &finishRun(const ExperimentSpec &spec, Machine &m,
+                         RunRecord record);
+
+    bool failFast;
+    RunLog _log;
+};
+
+} // namespace swex
+
+#endif // SWEX_EXP_RUNNER_HH

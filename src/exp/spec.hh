@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Declarative description of one experiment: which application, on
+ * which machine, under which protocol and hardware features. Benches
+ * and swex_cli are tables of these; the Runner is the only code that
+ * turns a spec into a Machine and a run.
+ */
+
+#ifndef SWEX_EXP_SPEC_HH
+#define SWEX_EXP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "apps/registry.hh"
+#include "core/protocol.hh"
+#include "machine/machine.hh"
+
+namespace swex
+{
+
+/**
+ * One point in an experiment design. An aggregate, so spec tables
+ * can use designated initializers:
+ *
+ *   ExperimentSpec{.id = "fig4/TSP/h5",
+ *                  .app = "tsp",
+ *                  .protocol = ProtocolConfig::hw(5),
+ *                  .nodes = 64,
+ *                  .victimEntries = 6};
+ */
+struct ExperimentSpec
+{
+    /** Record identifier, e.g. "fig2/worker16/H5". */
+    std::string id;
+
+    /** Registry name of the application ("worker", "tsp", ...). */
+    std::string app = "worker";
+
+    /** App-specific parameters, parsed by the registry factory. */
+    AppParams params;
+
+    ProtocolConfig protocol = ProtocolConfig::hw(5);
+    int nodes = 16;
+
+    unsigned victimEntries = 0;     ///< victim cache size (0 = off)
+    bool perfectIfetch = false;     ///< simulator-only option (Fig. 3)
+    bool parallelInv = false;       ///< Section 7 enhancement
+    bool trackSharing = false;      ///< exact worker-set measurement
+    HandlerProfile profile = HandlerProfile::FlexibleC;
+    std::uint64_t seed = 12345;
+
+    /** The machine configuration this spec describes. */
+    MachineConfig
+    machine() const
+    {
+        MachineConfig mc;
+        mc.numNodes = nodes;
+        mc.protocol = protocol;
+        mc.profile = profile;
+        mc.parallelInv = parallelInv;
+        mc.perfectIfetch = perfectIfetch;
+        mc.trackSharing = trackSharing;
+        mc.cacheCtrl.victimEntries = victimEntries;
+        mc.seed = seed;
+        return mc;
+    }
+};
+
+} // namespace swex
+
+#endif // SWEX_EXP_SPEC_HH

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * A minimal strict JSON parser for tests: just enough to round-trip
+ * the documents the simulator emits (stats trees, run records) and
+ * fail loudly on malformed output. Not for production use.
+ */
+
+#ifndef SWEX_TESTS_MINI_JSON_HH
+#define SWEX_TESTS_MINI_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace minijson
+{
+
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<Value> array;
+    // Parse-order keys, so tests can check key ordering.
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool
+    has(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return true;
+        return false;
+    }
+
+    const Value &
+    at(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return v;
+        throw std::out_of_range("no key: " + key);
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    Value
+    parse()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            fail("unexpected end");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (s.compare(pos, n, lit) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            Value v;
+            v.type = Value::Type::String;
+            v.str = parseString();
+            return v;
+        }
+        Value v;
+        if (consumeLiteral("true")) {
+            v.type = Value::Type::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.type = Value::Type::Bool;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return v;
+        return parseNumber();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                fail("bad escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos + 4 > s.size())
+                      fail("bad \\u escape");
+                  unsigned code = static_cast<unsigned>(
+                      std::strtoul(s.substr(pos, 4).c_str(),
+                                   nullptr, 16));
+                  pos += 4;
+                  // Tests only emit ASCII control escapes.
+                  out += static_cast<char>(code);
+                  break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+        if (pos >= s.size())
+            fail("unterminated string");
+        ++pos;   // closing quote
+        return out;
+    }
+
+    Value
+    parseNumber()
+    {
+        std::size_t start = pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+        }
+        if (pos == start)
+            fail("expected a number");
+        Value v;
+        v.type = Value::Type::Number;
+        v.number = std::strtod(s.substr(start, pos - start).c_str(),
+                               nullptr);
+        return v;
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value v;
+        v.type = Value::Type::Array;
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            break;
+        }
+        return v;
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value v;
+        v.type = Value::Type::Object;
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            break;
+        }
+        return v;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+inline Value
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace minijson
+
+#endif // SWEX_TESTS_MINI_JSON_HH

@@ -13,6 +13,8 @@
 #include "base/rng.hh"
 #include "base/stats.hh"
 
+#include "mini_json.hh"
+
 using namespace swex;
 
 TEST(Strfmt, FormatsLikePrintf)
@@ -139,4 +141,55 @@ TEST(Stats, DumpFormat)
     std::ostringstream os;
     root.dump(os);
     EXPECT_NE(os.str().find("net.msgs 12"), std::string::npos);
+}
+
+TEST(Stats, DumpJsonRoundTrip)
+{
+    stats::Group root;
+    stats::Group net(&root, "net");
+    stats::Scalar msgs(&net, "msgs", "messages");
+    msgs += 12;
+    stats::Group node(&root, "node0");
+    stats::Distribution lat(&node, "lat", "latency");
+    lat.sample(2);
+    lat.sample(4);
+    stats::Histogram hist(&node, "hist", "a histogram");
+    hist.init(2, 10.0);
+    hist.sample(1);
+    hist.sample(15);
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    minijson::Value v = minijson::parse(os.str());
+
+    ASSERT_EQ(v.type, minijson::Value::Type::Object);
+    EXPECT_DOUBLE_EQ(v.at("net").at("msgs").number, 12.0);
+
+    const minijson::Value &d = v.at("node0").at("lat");
+    EXPECT_DOUBLE_EQ(d.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(d.at("mean").number, 3.0);
+    EXPECT_DOUBLE_EQ(d.at("min").number, 2.0);
+    EXPECT_DOUBLE_EQ(d.at("max").number, 4.0);
+
+    const minijson::Value &h = v.at("node0").at("hist");
+    EXPECT_DOUBLE_EQ(h.at("total").number, 2.0);
+    ASSERT_EQ(h.at("buckets").array.size(), 2u);
+    EXPECT_DOUBLE_EQ(h.at("buckets").array[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(h.at("buckets").array[1].number, 1.0);
+
+    // Deterministic key order: children appear in registration order.
+    ASSERT_EQ(v.object.size(), 2u);
+    EXPECT_EQ(v.object[0].first, "net");
+    EXPECT_EQ(v.object[1].first, "node0");
+}
+
+TEST(Stats, DumpJsonEscapesAndNonFinite)
+{
+    stats::Group root;
+    stats::Scalar s(&root, "odd\"name\\x", "an awkward name");
+    s += 1.0 / 0.0;   // infinity must not leak into JSON
+    std::ostringstream os;
+    root.dumpJson(os);
+    minijson::Value v = minijson::parse(os.str());
+    EXPECT_DOUBLE_EQ(v.at("odd\"name\\x").number, 0.0);
 }

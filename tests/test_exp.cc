@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the experiment layer: the app registry constructs and
+ * validates every built-in workload, the runner produces verified
+ * deterministic records, and the swex-run-v1 serialization is valid
+ * JSON with the documented fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "exp/runner.hh"
+
+#include "mini_json.hh"
+
+using namespace swex;
+
+namespace
+{
+
+/** A tiny 4-node spec for one registered app, per smokeParams. */
+ExperimentSpec
+smokeSpec(const std::string &app, ProtocolConfig proto)
+{
+    return ExperimentSpec{
+        .id = "test/" + app,
+        .app = app,
+        .params = AppRegistry::instance().entry(app).smokeParams,
+        .protocol = proto,
+        .nodes = 4,
+        .victimEntries = 6};
+}
+
+class RegistrySmoke : public ::testing::TestWithParam<std::string>
+{};
+
+} // anonymous namespace
+
+TEST(Registry, HasTheBuiltInApps)
+{
+    const auto names = AppRegistry::instance().names();
+    ASSERT_EQ(names.size(), 7u);
+    EXPECT_EQ(names.front(), "worker");
+    for (const char *n :
+         {"tsp", "aq", "smgrid", "evolve", "mp3d", "water"}) {
+        EXPECT_TRUE(AppRegistry::instance().contains(n)) << n;
+    }
+    EXPECT_FALSE(AppRegistry::instance().contains("nosuch"));
+}
+
+TEST(Registry, FactoryAppliesParams)
+{
+    auto app = AppRegistry::instance().make(
+        "worker", {{"wss", "3"}, {"iterations", "4"}}, 4);
+    ASSERT_NE(app, nullptr);
+    EXPECT_STREQ(app->name(), "WORKER");
+}
+
+TEST_P(RegistrySmoke, RunsVerifiedUnderH5)
+{
+    setQuiet(true);
+    Runner runner;
+    const RunRecord &r =
+        runner.run(smokeSpec(GetParam(), ProtocolConfig::hw(5)));
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.simCycles, 0u);
+    EXPECT_EQ(r.nodes, 4);
+}
+
+TEST_P(RegistrySmoke, RunsVerifiedUnderFullMap)
+{
+    setQuiet(true);
+    Runner runner;
+    const RunRecord &r =
+        runner.run(smokeSpec(GetParam(), ProtocolConfig::fullMap()));
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.simCycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, RegistrySmoke,
+    ::testing::ValuesIn(AppRegistry::instance().names()));
+
+TEST(Runner, DeterministicAcrossRepeats)
+{
+    setQuiet(true);
+    Runner runner;
+    ExperimentSpec spec = smokeSpec("worker", ProtocolConfig::hw(5));
+    Tick a = runner.run(spec).simCycles;
+    Tick b = runner.run(spec).simCycles;
+    EXPECT_EQ(a, b);
+}
+
+TEST(Runner, SequentialReferenceAndSpeedupFields)
+{
+    setQuiet(true);
+    Runner runner;
+    ExperimentSpec spec = smokeSpec("worker", ProtocolConfig::hw(5));
+    const RunRecord &seq = runner.runSequential(spec);
+    EXPECT_TRUE(seq.sequential);
+    EXPECT_TRUE(seq.verified);
+    EXPECT_EQ(seq.nodes, 1);
+    EXPECT_GT(seq.simCycles, 0u);
+}
+
+TEST(RunRecord, SerializesAsValidSwexRunV1)
+{
+    setQuiet(true);
+    Runner runner;
+    ExperimentSpec spec = smokeSpec("worker", ProtocolConfig::hw(5));
+    spec.trackSharing = true;
+    RunRecord &r = runner.run(spec);
+    r.seqCycles = static_cast<double>(
+        runner.runSequential(spec).simCycles);
+    r.speedup = r.seqCycles / static_cast<double>(r.simCycles);
+
+    std::ostringstream os;
+    runner.log().writeJson(os);
+    minijson::Value doc = minijson::parse(os.str());
+
+    EXPECT_EQ(doc.at("schema").str, "swex-run-v1");
+    ASSERT_EQ(doc.at("records").array.size(), 2u);
+
+    const minijson::Value &rec = doc.at("records").array[0];
+    EXPECT_EQ(rec.at("id").str, "test/worker");
+    EXPECT_EQ(rec.at("app").str, "worker");
+    EXPECT_EQ(rec.at("nodes").number, 4.0);
+    EXPECT_EQ(rec.at("sequential").boolean, false);
+    EXPECT_TRUE(rec.at("verified").boolean);
+    EXPECT_GT(rec.at("sim_cycles").number, 0.0);
+    EXPECT_TRUE(rec.at("metrics").has("messages"));
+    EXPECT_TRUE(rec.at("host").has("events"));
+    EXPECT_GT(rec.at("speedup").number, 0.0);
+    EXPECT_FALSE(rec.at("worker_sets").array.empty());
+
+    // The embedded stats tree parses and has per-node groups.
+    EXPECT_TRUE(rec.at("stats").has("node0"));
+
+    const minijson::Value &seq = doc.at("records").array[1];
+    EXPECT_TRUE(seq.at("sequential").boolean);
+    EXPECT_FALSE(seq.has("speedup"));
+}
+
+TEST(RunLog, WritesAndMergesNothingWhenEnvUnset)
+{
+    // writeEnv with SWEX_RUN_JSON unset must report success and
+    // write nothing.
+    ASSERT_EQ(::unsetenv(RunLog::envVar), 0);
+    RunLog log;
+    RunRecord r;
+    r.id = "x";
+    log.add(std::move(r));
+    EXPECT_TRUE(log.writeEnv());
+}

@@ -219,8 +219,8 @@ TEST_P(WorkerAllProtocols, RunsCorrectlyOn16Nodes)
     WorkerConfig wc;
     wc.workerSetSize = 8;
     wc.iterations = 3;
-    WorkerApp app(m, wc);
-    Tick t = app.run(m);
+    WorkerApp app(wc);
+    Tick t = app.runParallel(m);
     EXPECT_GT(t, 0u);
     EXPECT_TRUE(app.verify(m));
     m.checkInvariants();
@@ -247,8 +247,8 @@ TEST(WorkerOrdering, FullMapNoSlowerThanSoftwareOnly)
         WorkerConfig wc;
         wc.workerSetSize = 8;
         wc.iterations = 5;
-        WorkerApp app(m, wc);
-        Tick t = app.run(m);
+        WorkerApp app(wc);
+        Tick t = app.runParallel(m);
         EXPECT_TRUE(app.verify(m));
         return t;
     };
@@ -270,8 +270,8 @@ TEST(WorkerOrdering, H5MatchesFullMapForSmallWorkerSets)
         WorkerConfig wc;
         wc.workerSetSize = wss;
         wc.iterations = 5;
-        WorkerApp app(m, wc);
-        return app.run(m);
+        WorkerApp app(wc);
+        return app.runParallel(m);
     };
     // Worker sets that fit in the 5 hw pointers + local bit: no
     // traps; timing matches full-map to within invalidation-ordering
@@ -291,8 +291,8 @@ TEST(MachineStats, TrapsOccurOnlyPastHwCapacity)
     WorkerConfig wc;
     wc.workerSetSize = 4;
     wc.iterations = 3;
-    WorkerApp app(m, wc);
-    app.run(m);
+    WorkerApp app(wc);
+    app.runParallel(m);
     EXPECT_DOUBLE_EQ(m.sumStat("home.trapsRaised"), 0.0);
 
     MachineConfig mc2 = mc;
@@ -300,7 +300,7 @@ TEST(MachineStats, TrapsOccurOnlyPastHwCapacity)
     WorkerConfig wc2;
     wc2.workerSetSize = 12;
     wc2.iterations = 3;
-    WorkerApp app2(m2, wc2);
-    app2.run(m2);
+    WorkerApp app2(wc2);
+    app2.runParallel(m2);
     EXPECT_GT(m2.sumStat("home.trapsRaised"), 0.0);
 }

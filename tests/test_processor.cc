@@ -110,8 +110,8 @@ TEST(Processor, HandlerCyclesAreStolenFromUser)
     WorkerConfig wc;
     wc.workerSetSize = 10;
     wc.iterations = 5;
-    WorkerApp app(m, wc);
-    Tick t = app.run(m);
+    WorkerApp app(wc);
+    Tick t = app.runParallel(m);
     EXPECT_TRUE(app.verify(m));
 
     double handler = m.sumStat("proc.handlerCycles");
@@ -164,8 +164,8 @@ TEST(SharingTrackerTest, WorkerSetsMeasuredExactly)
     WorkerConfig wc;
     wc.workerSetSize = 6;
     wc.iterations = 3;
-    WorkerApp app(m, wc);
-    app.run(m);
+    WorkerApp app(wc);
+    app.runParallel(m);
     EXPECT_TRUE(app.verify(m));
 
     auto hist = m.tracker.endOfRunHistogram(16);

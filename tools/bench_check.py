@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Smoke-check the bench trajectory machinery.
+"""Smoke-check the machine-readable output machinery.
 
-Runs micro_substrates with a tiny measurement budget, pointing
-SWEX_BENCH_JSON at a scratch file, then validates the emitted JSON:
-it must parse, carry the expected schema tag, provide the required
-entries, and every metric must be a finite number. Exits non-zero on
-any malformed or missing output, so CI catches a broken reporting
-layer before anyone trusts a checked-in trajectory.
+Default mode runs micro_substrates with a tiny measurement budget,
+pointing SWEX_BENCH_JSON at a scratch file, then validates the emitted
+swex-bench-v1 trajectory: it must parse, carry the expected schema
+tag, provide the required entries, and every metric must be a finite
+number.
+
+With --cli the positional binary is swex_cli; the script runs a tiny
+experiment with --json and validates the emitted swex-run-v1 document
+(schema tag, per-record required fields, finite metrics), and checks
+that $SWEX_RUN_JSON produces the same document shape.
+
+Both validators reject unknown schema versions outright. Exits
+non-zero on any malformed or missing output, so CI catches a broken
+reporting layer before anyone trusts a checked-in artifact.
 """
 
 import argparse
@@ -26,6 +34,36 @@ REQUIRED_ENTRIES = [
     "BM_MessagePoolSendRecv",
     "micro_substrates",
 ]
+
+RECORD_REQUIRED = ["id", "app", "protocol", "nodes", "sequential",
+                   "sim_cycles", "verified", "metrics", "host"]
+
+
+def load_doc(json_path, expect_schema):
+    if not os.path.exists(json_path):
+        sys.exit(f"FAIL: run produced no {json_path}")
+    with open(json_path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"FAIL: {json_path} is not valid JSON: {e}")
+    schema = doc.get("schema")
+    if schema != expect_schema:
+        sys.exit(f"FAIL: unknown schema tag {schema!r} "
+                 f"(expected {expect_schema!r})")
+    return doc
+
+
+def check_finite_numbers(path, obj):
+    """Every numeric leaf under obj must be finite."""
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            check_finite_numbers(f"{path}.{k}", v)
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            check_finite_numbers(f"{path}[{i}]", v)
+    elif isinstance(obj, float) and not math.isfinite(obj):
+        sys.exit(f"FAIL: {path} is not finite: {obj!r}")
 
 
 def run_bench(binary, json_path):
@@ -50,17 +88,8 @@ def run_bench(binary, json_path):
              f"{proc.stdout}")
 
 
-def check_json(json_path):
-    if not os.path.exists(json_path):
-        sys.exit(f"FAIL: bench run produced no {json_path}")
-    with open(json_path, encoding="utf-8") as f:
-        try:
-            doc = json.load(f)
-        except json.JSONDecodeError as e:
-            sys.exit(f"FAIL: {json_path} is not valid JSON: {e}")
-
-    if doc.get("schema") != "swex-bench-v1":
-        sys.exit(f"FAIL: unexpected schema tag {doc.get('schema')!r}")
+def check_bench_json(json_path):
+    doc = load_doc(json_path, "swex-bench-v1")
     entries = doc.get("entries")
     if not isinstance(entries, list) or not entries:
         sys.exit("FAIL: 'entries' missing or empty")
@@ -88,18 +117,87 @@ def check_json(json_path):
     return len(entries)
 
 
+def check_run_json(json_path, expect_records):
+    doc = load_doc(json_path, "swex-run-v1")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        sys.exit("FAIL: 'records' missing or empty")
+    if len(records) != expect_records:
+        sys.exit(f"FAIL: expected {expect_records} records, "
+                 f"got {len(records)}")
+    for r in records:
+        missing = [k for k in RECORD_REQUIRED if k not in r]
+        if missing:
+            sys.exit(f"FAIL: record {r.get('id')!r} missing "
+                     f"fields: {missing}")
+        if not r["verified"]:
+            sys.exit(f"FAIL: record {r.get('id')!r} not verified")
+        if r["sim_cycles"] <= 0:
+            sys.exit(f"FAIL: record {r.get('id')!r} has "
+                     f"non-positive sim_cycles")
+        if not isinstance(r.get("stats"), dict) or not r["stats"]:
+            sys.exit(f"FAIL: record {r.get('id')!r} has no stats "
+                     f"tree")
+        check_finite_numbers(r.get("id", "?"), r)
+    seq = [r for r in records if r["sequential"]]
+    if len(seq) != 1:
+        sys.exit(f"FAIL: expected exactly 1 sequential record, "
+                 f"got {len(seq)}")
+    par = [r for r in records if not r["sequential"]]
+    if not all(r.get("speedup", 0) > 0 for r in par):
+        sys.exit("FAIL: parallel record missing positive speedup")
+    return len(records)
+
+
+def run_cli(binary, tmp):
+    """One tiny WORKER experiment; --json and $SWEX_RUN_JSON must
+    both carry the same schema-valid document."""
+    json_path = os.path.join(tmp, "run.json")
+    env_path = os.path.join(tmp, "run_env.json")
+    cmd = [binary, "--app", "worker", "--nodes", "4",
+           "--protocol", "h5", "--wss", "2", "--iters", "2",
+           "--seq", "--json", json_path]
+    try:
+        proc = subprocess.run(
+            cmd,
+            env=dict(os.environ, SWEX_RUN_JSON=env_path),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+    except OSError as e:
+        sys.exit(f"FAIL: cannot run {binary}: {e}")
+    if proc.returncode != 0:
+        sys.exit(f"FAIL: {binary} exited with {proc.returncode}:\n"
+                 f"{proc.stdout}")
+    if "verification: PASSED" not in proc.stdout:
+        sys.exit(f"FAIL: cli did not report verification:\n"
+                 f"{proc.stdout}")
+    n = check_run_json(json_path, expect_records=2)
+    check_run_json(env_path, expect_records=2)
+    return n
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("binary", help="path to the micro_substrates binary")
+    ap.add_argument("binary",
+                    help="path to the micro_substrates binary "
+                         "(or swex_cli with --cli)")
+    ap.add_argument("--cli", action="store_true",
+                    help="validate swex-run-v1 records from swex_cli")
     args = ap.parse_args()
 
     with tempfile.TemporaryDirectory() as tmp:
-        json_path = os.path.join(tmp, "bench.json")
-        run_bench(args.binary, json_path)
-        # A second run must merge, not mangle, the existing file.
-        run_bench(args.binary, json_path)
-        n = check_json(json_path)
-    print(f"OK: {n} entries validated")
+        if args.cli:
+            n = run_cli(args.binary, tmp)
+            print(f"OK: {n} run records validated")
+        else:
+            json_path = os.path.join(tmp, "bench.json")
+            run_bench(args.binary, json_path)
+            # A second run must merge, not mangle, the existing file.
+            run_bench(args.binary, json_path)
+            n = check_bench_json(json_path)
+            print(f"OK: {n} entries validated")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Build the tier-1 test suite under ASan and UBSan and run it under
+# each, in separate build trees so sanitized and plain objects never
+# mix. Usage:
+#
+#   tools/ci_sanitize.sh [builddir-prefix]
+#
+# The prefix defaults to build-san; the script creates
+# <prefix>-address/ and <prefix>-undefined/ next to the source tree.
+# Exits non-zero on the first configure, build, or test failure.
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+prefix=${1:-build-san}
+
+for san in address undefined; do
+    build_dir="${prefix}-${san}"
+    echo "== ${san}: configuring ${build_dir}"
+    cmake -S "${src_dir}" -B "${build_dir}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSWEX_SANITIZE="${san}"
+    echo "== ${san}: building"
+    cmake --build "${build_dir}" -j "$(nproc 2>/dev/null || echo 4)"
+    echo "== ${san}: running tier-1 tests"
+    ctest --test-dir "${build_dir}" --output-on-failure
+done
+echo "== sanitizer matrix passed"

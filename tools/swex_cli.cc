@@ -1,32 +1,26 @@
 /**
  * @file
- * swex_cli: command-line experiment driver. Runs any of the paper's
- * workloads on any protocol/machine configuration and reports run
- * time, speedup, and memory-system statistics -- the repository's
- * equivalent of driving NWO by hand.
+ * swex_cli: command-line experiment driver. Runs any registered
+ * workload on any protocol/machine configuration through the
+ * experiment layer and reports run time, speedup, and memory-system
+ * statistics -- the repository's equivalent of driving NWO by hand.
  *
  * Usage examples:
  *   swex_cli --app worker --nodes 16 --protocol h5 --wss 8
  *   swex_cli --app water --nodes 64 --protocol h1lack --victim 6
  *   swex_cli --app tsp --nodes 64 --protocol h0 --stats
+ *   swex_cli --app smgrid --param fine=65 --seq
+ *   swex_cli --app mp3d --json out.json
  *   swex_cli --list
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
-#include <memory>
 #include <string>
 
-#include "apps/aq.hh"
-#include "apps/evolve.hh"
-#include "apps/mp3d.hh"
-#include "apps/smgrid.hh"
-#include "apps/tsp.hh"
-#include "apps/water.hh"
-#include "apps/worker.hh"
+#include "base/logging.hh"
 #include "core/spectrum.hh"
-#include "machine/mem_api.hh"
+#include "exp/runner.hh"
 
 using namespace swex;
 
@@ -45,15 +39,20 @@ usage()
         "full (default h5)\n"
         "  --profile <p>      c|asm handler cost profile (default c)\n"
         "  --victim <n>       victim cache entries (default 6)\n"
-        "  --wss <n>          WORKER worker-set size (default 4)\n"
-        "  --iters <n>        WORKER iterations (default 10)\n"
+        "  --param <k=v>      app parameter (repeatable; see --list)\n"
+        "  --wss <n>          WORKER worker-set size (= --param wss=n)\n"
+        "  --iters <n>        WORKER iterations (= --param "
+        "iterations=n)\n"
+        "  --seed <n>         machine RNG seed (default 12345)\n"
         "  --perfect-ifetch   one-cycle instruction fetch\n"
         "  --no-local-bit     disable the one-bit local pointer\n"
         "  --parallel-inv     Section 7 parallel invalidation\n"
         "  --seq              also run the sequential reference and\n"
         "                     report speedup\n"
         "  --stats            dump the full statistics tree\n"
-        "  --list             list protocols and exit\n");
+        "  --json <path>      write the run record(s) as a "
+        "swex-run-v1 document\n"
+        "  --list             list apps and protocols and exit\n");
 }
 
 ProtocolConfig
@@ -72,28 +71,18 @@ parseProtocol(const std::string &s)
     fatal("unknown protocol '%s' (try --list)", s.c_str());
 }
 
-std::unique_ptr<App>
-makeApp(const std::string &name, int nodes)
+void
+listEverything()
 {
-    if (name == "tsp")
-        return std::make_unique<TspApp>(TspConfig{});
-    if (name == "aq")
-        return std::make_unique<AqApp>(AqConfig{});
-    if (name == "smgrid") {
-        SmgridConfig c;
-        c.fineSize = 65;
-        return std::make_unique<SmgridApp>(c);
+    std::printf("applications:\n");
+    for (const std::string &name : AppRegistry::instance().names()) {
+        const auto &e = AppRegistry::instance().entry(name);
+        std::printf("  %-8s %s\n", name.c_str(), e.summary.c_str());
     }
-    if (name == "evolve") {
-        auto app = std::make_unique<EvolveApp>(EvolveConfig{});
-        app->computeGroundTruth(nodes);
-        return app;
-    }
-    if (name == "mp3d")
-        return std::make_unique<Mp3dApp>(Mp3dConfig{});
-    if (name == "water")
-        return std::make_unique<WaterApp>(WaterConfig{});
-    fatal("unknown app '%s'", name.c_str());
+    std::printf("\nprotocols:\n");
+    for (const auto &pt : protocolSpectrum())
+        std::printf("  %-10s %s\n", pt.label.c_str(),
+                    pt.protocol.name().c_str());
 }
 
 } // anonymous namespace
@@ -101,14 +90,15 @@ makeApp(const std::string &name, int nodes)
 int
 main(int argc, char **argv)
 {
-    std::string app_name = "worker";
+    ExperimentSpec spec;
+    spec.id = "cli";
+    spec.nodes = 16;
+    spec.victimEntries = 6;
     std::string proto = "h5";
-    MachineConfig mc;
-    mc.numNodes = 16;
-    mc.cacheCtrl.victimEntries = 6;
-    WorkerConfig wc;
+    bool local_bit_off = false;
     bool want_seq = false;
     bool want_stats = false;
+    std::string json_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -117,26 +107,34 @@ main(int argc, char **argv)
                 fatal("%s needs a value", a.c_str());
             return argv[++i];
         };
-        if (a == "--app") app_name = next();
-        else if (a == "--nodes") mc.numNodes = std::stoi(next());
+        if (a == "--app") spec.app = next();
+        else if (a == "--nodes") spec.nodes = std::stoi(next());
         else if (a == "--protocol") proto = next();
         else if (a == "--profile")
-            mc.profile = next() == "asm" ? HandlerProfile::TunedAsm
-                                         : HandlerProfile::FlexibleC;
+            spec.profile = next() == "asm" ? HandlerProfile::TunedAsm
+                                           : HandlerProfile::FlexibleC;
         else if (a == "--victim")
-            mc.cacheCtrl.victimEntries =
+            spec.victimEntries =
                 static_cast<unsigned>(std::stoi(next()));
-        else if (a == "--wss") wc.workerSetSize = std::stoi(next());
-        else if (a == "--iters") wc.iterations = std::stoi(next());
-        else if (a == "--perfect-ifetch") mc.perfectIfetch = true;
-        else if (a == "--no-local-bit") mc.protocol.localBit = false;
-        else if (a == "--parallel-inv") mc.parallelInv = true;
+        else if (a == "--param") {
+            std::string kv = next();
+            std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal("--param wants key=value, got '%s'", kv.c_str());
+            spec.params[kv.substr(0, eq)] = kv.substr(eq + 1);
+        }
+        else if (a == "--wss") spec.params["wss"] = next();
+        else if (a == "--iters") spec.params["iterations"] = next();
+        else if (a == "--seed")
+            spec.seed = std::stoull(next());
+        else if (a == "--perfect-ifetch") spec.perfectIfetch = true;
+        else if (a == "--no-local-bit") local_bit_off = true;
+        else if (a == "--parallel-inv") spec.parallelInv = true;
         else if (a == "--seq") want_seq = true;
         else if (a == "--stats") want_stats = true;
+        else if (a == "--json") json_path = next();
         else if (a == "--list") {
-            for (const auto &pt : protocolSpectrum())
-                std::printf("%-10s %s\n", pt.label.c_str(),
-                            pt.protocol.name().c_str());
+            listEverything();
             return 0;
         } else {
             usage();
@@ -144,63 +142,50 @@ main(int argc, char **argv)
         }
     }
 
-    bool keep_local_bit_off = !mc.protocol.localBit;
-    mc.protocol = parseProtocol(proto);
-    if (keep_local_bit_off)
-        mc.protocol.localBit = false;
+    spec.protocol = parseProtocol(proto);
+    if (local_bit_off)
+        spec.protocol.localBit = false;
+    if (!AppRegistry::instance().contains(spec.app))
+        fatal("unknown app '%s' (try --list)", spec.app.c_str());
 
     setQuiet(true);
     std::printf("app=%s nodes=%d protocol=%s profile=%s victim=%u\n",
-                app_name.c_str(), mc.numNodes,
-                mc.protocol.name().c_str(),
-                mc.profile == HandlerProfile::TunedAsm ? "asm" : "C",
-                mc.cacheCtrl.victimEntries);
+                spec.app.c_str(), spec.nodes,
+                spec.protocol.name().c_str(),
+                spec.profile == HandlerProfile::TunedAsm ? "asm" : "C",
+                spec.victimEntries);
 
-    Tick t_par = 0;
-    double traps = 0, handler_cycles = 0, msgs = 0;
-    bool ok = true;
+    Runner runner(/*fail_fast=*/false);
+    RunRecord &r = runner.run(spec);
+    if (want_stats)
+        std::cout << r.statsText;
 
-    if (app_name == "worker") {
-        Machine m(mc);
-        WorkerApp app(m, wc);
-        t_par = app.run(m);
-        ok = app.verify(m);
-        m.checkInvariants();
-        traps = m.sumStat("home.trapsRaised");
-        handler_cycles = m.sumStat("home.handlerCycles");
-        msgs = m.network.msgCount.value();
-        if (want_stats)
-            m.dumpStats(std::cout);
-    } else {
-        auto app = makeApp(app_name, mc.numNodes);
-        Machine m(mc);
-        t_par = app->runParallel(m);
-        ok = app->verify(m);
-        m.checkInvariants();
-        traps = m.sumStat("home.trapsRaised");
-        handler_cycles = m.sumStat("home.handlerCycles");
-        msgs = m.network.msgCount.value();
-        if (want_stats)
-            m.dumpStats(std::cout);
-
-        if (want_seq) {
-            auto seq_app = makeApp(app_name, mc.numNodes);
-            MachineConfig sc = mc;
-            sc.numNodes = 1;
-            Machine sm(sc);
-            Tick t_seq = seq_app->runSequential(sm);
-            std::printf("sequential: %llu cycles; speedup %.2f\n",
-                        static_cast<unsigned long long>(t_seq),
-                        static_cast<double>(t_seq) /
-                            static_cast<double>(t_par));
-        }
+    if (want_seq) {
+        ExperimentSpec seq_spec = spec;
+        seq_spec.id = "cli/seq";
+        RunRecord &s = runner.runSequential(seq_spec);
+        r.seqCycles = static_cast<double>(s.simCycles);
+        r.speedup = static_cast<double>(s.simCycles) /
+                    static_cast<double>(r.simCycles);
+        std::printf("sequential: %llu cycles; speedup %.2f\n",
+                    static_cast<unsigned long long>(s.simCycles),
+                    r.speedup);
     }
 
     std::printf("run time: %llu cycles (%.3f s at 33 MHz)\n",
-                static_cast<unsigned long long>(t_par),
-                static_cast<double>(t_par) / 33.0e6);
+                static_cast<unsigned long long>(r.simCycles),
+                static_cast<double>(r.simCycles) / 33.0e6);
     std::printf("traps: %.0f; handler cycles: %.0f; messages: %.0f\n",
-                traps, handler_cycles, msgs);
-    std::printf("verification: %s\n", ok ? "PASSED" : "FAILED");
-    return ok ? 0 : 1;
+                r.trapsRaised, r.handlerCycles, r.messages);
+    std::printf("verification: %s\n", r.verified ? "PASSED" : "FAILED");
+
+    bool json_ok = true;
+    if (!json_path.empty()) {
+        json_ok = runner.log().writeFile(json_path);
+        if (!json_ok)
+            std::fprintf(stderr, "error: could not write %s\n",
+                         json_path.c_str());
+    }
+    runner.emitRecords();
+    return r.verified && json_ok ? 0 : 1;
 }
