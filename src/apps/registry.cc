@@ -1,6 +1,8 @@
 #include "apps/registry.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 #include "apps/aq.hh"
@@ -34,12 +36,26 @@ ParamReader::getInt(const std::string &key, int def)
     const std::string *v = lookup(key);
     if (!v)
         return def;
+    errno = 0;
     char *end = nullptr;
     long n = std::strtol(v->c_str(), &end, 0);
     if (end == v->c_str() || *end != '\0')
         fatal("%s: parameter %s=%s is not an integer", _app.c_str(),
               key.c_str(), v->c_str());
+    if (errno == ERANGE || n < INT_MIN || n > INT_MAX)
+        fatal("%s: parameter %s=%s is out of range", _app.c_str(),
+              key.c_str(), v->c_str());
     return static_cast<int>(n);
+}
+
+int
+ParamReader::getCount(const std::string &key, int def)
+{
+    int n = getInt(key, def);
+    if (n < 0)
+        fatal("%s: parameter %s must be a non-negative count, got %d",
+              _app.c_str(), key.c_str(), n);
+    return n;
 }
 
 std::uint64_t
@@ -48,10 +64,21 @@ ParamReader::getU64(const std::string &key, std::uint64_t def)
     const std::string *v = lookup(key);
     if (!v)
         return def;
+    // strtoull silently wraps "-1" to 2^64-1; reject the sign early.
+    const char *s = v->c_str();
+    while (*s == ' ' || *s == '\t')
+        ++s;
+    if (*s == '-')
+        fatal("%s: parameter %s=%s must be non-negative",
+              _app.c_str(), key.c_str(), v->c_str());
+    errno = 0;
     char *end = nullptr;
     unsigned long long n = std::strtoull(v->c_str(), &end, 0);
     if (end == v->c_str() || *end != '\0')
         fatal("%s: parameter %s=%s is not an integer", _app.c_str(),
+              key.c_str(), v->c_str());
+    if (errno == ERANGE)
+        fatal("%s: parameter %s=%s is out of range", _app.c_str(),
               key.c_str(), v->c_str());
     return n;
 }
@@ -159,8 +186,8 @@ AppRegistry::AppRegistry()
          [](const AppParams &p, int nodes) -> std::unique_ptr<App> {
              ParamReader r(p, "worker");
              WorkerConfig c;
-             c.workerSetSize = r.getInt("wss", c.workerSetSize);
-             c.iterations = r.getInt("iterations", c.iterations);
+             c.workerSetSize = r.getCount("wss", c.workerSetSize);
+             c.iterations = r.getCount("iterations", c.iterations);
              c.thinkTime = static_cast<Cycles>(
                  r.getU64("think", c.thinkTime));
              r.finish();
@@ -173,7 +200,7 @@ AppRegistry::AppRegistry()
          [](const AppParams &p, int) -> std::unique_ptr<App> {
              ParamReader r(p, "tsp");
              TspConfig c;
-             c.numCities = r.getInt("cities", c.numCities);
+             c.numCities = r.getCount("cities", c.numCities);
              c.seed = r.getU64("seed", c.seed);
              c.expandWork = static_cast<Cycles>(
                  r.getU64("expand_work", c.expandWork));
@@ -191,7 +218,7 @@ AppRegistry::AppRegistry()
              ParamReader r(p, "aq");
              AqConfig c;
              c.tolerance = r.getDouble("tolerance", c.tolerance);
-             c.maxDepth = r.getInt("max_depth", c.maxDepth);
+             c.maxDepth = r.getCount("max_depth", c.maxDepth);
              c.evalWork = static_cast<Cycles>(
                  r.getU64("eval_work", c.evalWork));
              r.finish();
@@ -204,10 +231,10 @@ AppRegistry::AppRegistry()
          [](const AppParams &p, int) -> std::unique_ptr<App> {
              ParamReader r(p, "smgrid");
              SmgridConfig c;
-             c.fineSize = r.getInt("fine", c.fineSize);
-             c.levels = r.getInt("levels", c.levels);
-             c.sweeps = r.getInt("sweeps", c.sweeps);
-             c.vcycles = r.getInt("vcycles", c.vcycles);
+             c.fineSize = r.getCount("fine", c.fineSize);
+             c.levels = r.getCount("levels", c.levels);
+             c.sweeps = r.getCount("sweeps", c.sweeps);
+             c.vcycles = r.getCount("vcycles", c.vcycles);
              c.pointWork = static_cast<Cycles>(
                  r.getU64("point_work", c.pointWork));
              r.finish();
@@ -220,8 +247,8 @@ AppRegistry::AppRegistry()
          [](const AppParams &p, int nodes) -> std::unique_ptr<App> {
              ParamReader r(p, "evolve");
              EvolveConfig c;
-             c.dimensions = r.getInt("dims", c.dimensions);
-             c.walksPerThread = r.getInt("walks", c.walksPerThread);
+             c.dimensions = r.getCount("dims", c.dimensions);
+             c.walksPerThread = r.getCount("walks", c.walksPerThread);
              c.seed = r.getU64("seed", c.seed);
              c.stepWork = static_cast<Cycles>(
                  r.getU64("step_work", c.stepWork));
@@ -237,8 +264,8 @@ AppRegistry::AppRegistry()
          [](const AppParams &p, int) -> std::unique_ptr<App> {
              ParamReader r(p, "mp3d");
              Mp3dConfig c;
-             c.particles = r.getInt("particles", c.particles);
-             c.steps = r.getInt("steps", c.steps);
+             c.particles = r.getCount("particles", c.particles);
+             c.steps = r.getCount("steps", c.steps);
              c.seed = r.getU64("seed", c.seed);
              c.moveWork = static_cast<Cycles>(
                  r.getU64("move_work", c.moveWork));
@@ -252,8 +279,8 @@ AppRegistry::AppRegistry()
          [](const AppParams &p, int) -> std::unique_ptr<App> {
              ParamReader r(p, "water");
              WaterConfig c;
-             c.molecules = r.getInt("molecules", c.molecules);
-             c.steps = r.getInt("steps", c.steps);
+             c.molecules = r.getCount("molecules", c.molecules);
+             c.steps = r.getCount("steps", c.steps);
              c.seed = r.getU64("seed", c.seed);
              c.pairWork = static_cast<Cycles>(
                  r.getU64("pair_work", c.pairWork));

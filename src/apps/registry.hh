@@ -38,6 +38,11 @@ class ParamReader
     ParamReader(const AppParams &params, std::string app);
 
     int getInt(const std::string &key, int def);
+
+    /** getInt restricted to non-negative values, for parameters that
+     *  are counts (sizes, iterations, steps). */
+    int getCount(const std::string &key, int def);
+
     std::uint64_t getU64(const std::string &key, std::uint64_t def);
     double getDouble(const std::string &key, double def);
     bool getBool(const std::string &key, bool def);

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Abstract observation interface the home controller notifies at every
+ * protocol transition. The core layer only depends on this interface;
+ * the concrete CoherenceAuditor (src/audit/) implements it and
+ * cross-checks global protocol invariants. Keeping the interface here
+ * breaks the dependency cycle the same way SharingTracker does for the
+ * worker-set measurements.
+ */
+
+#ifndef SWEX_CORE_AUDIT_HOOKS_HH
+#define SWEX_CORE_AUDIT_HOOKS_HH
+
+#include "base/types.hh"
+
+namespace swex
+{
+
+class HomeController;
+
+/**
+ * Hook points the home controller fires while it runs the protocol.
+ * All hooks are observation-only: implementations must not mutate
+ * protocol state, and none of them charges simulated cycles, so an
+ * attached auditor never changes timing or results.
+ */
+class ProtocolAuditHook
+{
+  public:
+    virtual ~ProtocolAuditHook() = default;
+
+    /**
+     * The directory entry for @p block may have changed: fired after
+     * every hardware message handled and after every software trap
+     * handler completes at home node @p hc.
+     */
+    virtual void onHomeTransition(const HomeController &hc,
+                                  Addr block) = 0;
+
+    /** An invalidation for @p block left home @p home (hw or sw). */
+    virtual void onInvSent(NodeId home, Addr block) = 0;
+
+    /**
+     * Home @p home consumed one invalidation acknowledgment for
+     * @p block (hardware counter decrement or EveryAck software
+     * handler).
+     */
+    virtual void onInvAckCounted(NodeId home, Addr block) = 0;
+};
+
+} // namespace swex
+
+#endif // SWEX_CORE_AUDIT_HOOKS_HH

@@ -70,6 +70,13 @@ class ExtDirectory
     /** Hash-table lookup; nullptr when the block has no entry. */
     ExtEntry *lookup(Addr block_addr);
 
+    /** Read-only lookup (invariant checks and the auditor). */
+    const ExtEntry *
+    lookup(Addr block_addr) const
+    {
+        return const_cast<ExtDirectory *>(this)->lookup(block_addr);
+    }
+
     /** Lookup-or-create. */
     ExtEntry &alloc(Addr block_addr);
 

@@ -8,6 +8,10 @@
 namespace swex
 {
 
+#ifdef SWEX_MUTATIONS
+ProtocolMutation g_protocolMutation = ProtocolMutation::None;
+#endif
+
 const char *
 trapKindName(TrapKind k)
 {
@@ -146,6 +150,8 @@ CoherenceInterface::sendInv(NodeId dst)
     m.dst = dst;
     m.addr = blockAlign(_item.msg.addr);
     hc.node.sendMsg(m, _elapsed);
+    if (hc.audit)
+        hc.audit->onInvSent(hc.homeNode(), m.addr);
 }
 
 void
@@ -330,6 +336,8 @@ HomeController::recordReaderHw(DirEntry &e, NodeId reader)
     if (e.hasPtr(reader))
         return true;
     if (e.ptrCount < p.hwPointers) {
+        if (activeMutation() == ProtocolMutation::DropPointer)
+            return true;   // injected bug: grant without recording
         e.addPtr(reader, p.hwPointers);
         return true;
     }
@@ -429,6 +437,8 @@ HomeController::handleMessage(const Message &msg)
       default:
         panic("home controller received %s", msg.describe().c_str());
     }
+    if (audit)
+        audit->onHomeTransition(*this, blockAlign(msg.addr));
 }
 
 void
@@ -567,6 +577,8 @@ HomeController::onWriteReq(const Message &msg)
             inv.dst = t;
             inv.addr = a;
             node.sendMsg(inv, cfg.hwCtrlLatency);
+            if (audit)
+                audit->onInvSent(home, a);
         }
         if (local_copy) {
             RemovalResult r = node.invalidateLocal(a);
@@ -583,6 +595,8 @@ HomeController::onWriteReq(const Message &msg)
                     "EveryAck protocols cannot count acks in hw");
         e.clearSharers();
         e.ackCount = static_cast<std::uint32_t>(targets.size());
+        if (activeMutation() == ProtocolMutation::AckOvercount)
+            ++e.ackCount;   // injected bug: one phantom ack expected
         e.state = DirState::PendWrite;
         e.pendingNode = msg.src;
         e.pendingIsWrite = true;
@@ -632,8 +646,12 @@ HomeController::onInvAck(const Message &msg)
                 dirStateName(e.state), e.ackCount);
     ++hwHandled;
     --e.ackCount;
+    if (audit)
+        audit->onInvAckCounted(home, a);
     if (e.ackCount == 0) {
         if (e.pendingSwSend) {
+            if (activeMutation() == ProtocolMutation::SkipLastAckTrap)
+                return;   // injected bug: the LACK trap never fires
             raise(TrapKind::LastAck, msg);
         } else {
             NodeId w = e.pendingNode;
@@ -836,6 +854,8 @@ HomeController::runTrap(const TrapItem &item)
       default:
         break;
     }
+    if (audit)
+        audit->onHomeTransition(*this, blockAlign(item.msg.addr));
     return total;
 }
 
@@ -973,6 +993,8 @@ HomeController::handleEveryAck(CoherenceInterface &ci)
     SWEX_ASSERT(e.state == DirState::SwPendWrite && e.ackCount > 0,
                 "bad EveryAck trap");
     --e.ackCount;
+    if (audit)
+        audit->onInvAckCounted(home, blockAlign(ci.item().msg.addr));
     if (e.ackCount == 0) {
         NodeId w = e.pendingNode;
         ci.sendData(w, true);

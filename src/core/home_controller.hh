@@ -16,11 +16,13 @@
 #ifndef SWEX_CORE_HOME_CONTROLLER_HH
 #define SWEX_CORE_HOME_CONTROLLER_HH
 
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <unordered_map>
 
 #include "base/stats.hh"
+#include "core/audit_hooks.hh"
 #include "core/coherence_interface.hh"
 #include "core/cost_model.hh"
 #include "core/directory.hh"
@@ -32,6 +34,42 @@
 
 namespace swex
 {
+
+/**
+ * Deliberate protocol-bug injection used to validate the auditor: a
+ * mutation smoke test enables one bug, runs the protocol, and asserts
+ * the CoherenceAuditor catches it. Compiled only when the build sets
+ * SWEX_MUTATIONS (a CMake option, on by default so the smoke test is
+ * part of tier-1); the injected branches are host-side only and never
+ * charge simulated cycles, so with the mutation set to None every
+ * simulated cycle count is identical to a build without the option.
+ */
+enum class ProtocolMutation : std::uint8_t
+{
+    None,            ///< protocol behaves correctly
+    AckOvercount,    ///< write transaction expects one ack too many
+    DropPointer,     ///< a granted reader is not recorded in the dir
+    SkipLastAckTrap, ///< the final ack fails to raise the LACK trap
+};
+
+#ifdef SWEX_MUTATIONS
+extern ProtocolMutation g_protocolMutation;
+inline ProtocolMutation activeMutation() { return g_protocolMutation; }
+inline void
+setProtocolMutation(ProtocolMutation m)
+{
+    g_protocolMutation = m;
+}
+constexpr bool mutationsCompiled = true;
+#else
+inline ProtocolMutation
+activeMutation()
+{
+    return ProtocolMutation::None;
+}
+inline void setProtocolMutation(ProtocolMutation) {}
+constexpr bool mutationsCompiled = false;
+#endif
 
 /** Timing and behavior knobs for the home-side controller. */
 struct HomeConfig
@@ -62,6 +100,19 @@ class HomeController
 
     /** Optional exact worker-set tracker (shared, machine-wide). */
     void setTracker(SharingTracker *t) { tracker = t; }
+
+    /** Optional protocol auditor (observation-only, machine-wide). */
+    void setAuditHook(ProtocolAuditHook *h) { audit = h; }
+
+    /** Requests currently parked in the CMMU input queue. */
+    std::size_t
+    deferredCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &[addr, q] : deferred)
+            n += q.size();
+        return n;
+    }
 
     /**
      * Hook for custom protocol software (Section 7). Called before
@@ -165,6 +216,7 @@ class HomeController
     NodeServices &node;
     CostModel costs;
     SharingTracker *tracker = nullptr;
+    ProtocolAuditHook *audit = nullptr;
     CustomHandler custom;
 
     /** Requests parked while their block has a trap queued. */

@@ -87,6 +87,11 @@ RunRecord::writeJson(std::ostream &os) const
     jsonNumber(os, simCyclesPerSec());
     os << '}';
 
+    if (audited) {
+        os << ",\"audit\":{\"transitions\":" << auditTransitions
+           << ",\"violations\":" << auditViolations << '}';
+    }
+
     if (seqCycles > 0) {
         os << ",\"seq_cycles\":";
         jsonNumber(os, seqCycles);

@@ -45,6 +45,11 @@ struct RunRecord
     double hostWallSeconds = 0;
     double hostEvents = 0;
 
+    // Coherence auditor results (when the spec enabled it).
+    bool audited = false;
+    std::uint64_t auditTransitions = 0;   ///< transitions checked
+    std::uint64_t auditViolations = 0;    ///< invariant violations
+
     // Filled by the caller when a sequential reference pairs with
     // this parallel run.
     double seqCycles = 0;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "audit/auditor.hh"
 #include "base/logging.hh"
 #include "core/home_controller.hh"
 #include "machine/node.hh"
@@ -69,6 +70,13 @@ Runner::finishRun(const ExperimentSpec &spec, Machine &m,
               spec.app.c_str(), record.protocol.c_str(), spec.nodes,
               record.sequential ? ", sequential" : "");
     }
+    if (failFast && record.auditViolations > 0) {
+        fatal("%s violated %llu coherence invariants under %s "
+              "(%d nodes)",
+              spec.app.c_str(),
+              static_cast<unsigned long long>(record.auditViolations),
+              record.protocol.c_str(), spec.nodes);
+    }
     return _log.add(std::move(record));
 }
 
@@ -79,11 +87,22 @@ Runner::run(const ExperimentSpec &spec)
                                             spec.nodes);
     auto t0 = std::chrono::steady_clock::now();
     Machine m(spec.machine());
+    CoherenceAuditor auditor(CoherenceAuditor::Mode::Collect);
+    if (spec.audit)
+        m.attachAuditor(&auditor);
     RunRecord r;
     r.simCycles = app->runParallel(m);
     r.hostWallSeconds = secondsSince(t0);
     r.verified = app->verify(m);
     m.checkInvariants();
+    if (spec.audit) {
+        r.audited = true;
+        r.auditTransitions = auditor.transitionsChecked();
+        r.auditViolations = auditor.violationCount();
+        for (const AuditViolation &v : auditor.violations())
+            warn("audit: %s", v.describe().c_str());
+        m.attachAuditor(nullptr);
+    }
     return finishRun(spec, m, std::move(r));
 }
 

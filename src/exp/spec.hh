@@ -50,6 +50,17 @@ struct ExperimentSpec
     HandlerProfile profile = HandlerProfile::FlexibleC;
     std::uint64_t seed = 12345;
 
+    /** Attach a CoherenceAuditor to the run (observation-only: the
+     *  simulated cycle counts are identical with it on or off). */
+    bool audit = false;
+
+    /** Network jitter stressor: max extra delivery delay in cycles
+     *  (0 = quiet mesh timing). */
+    Cycles jitterMax = 0;
+
+    /** Seed for the jitter stream; 0 reuses the run seed. */
+    std::uint64_t jitterSeed = 0;
+
     /** The machine configuration this spec describes. */
     MachineConfig
     machine() const
@@ -63,6 +74,8 @@ struct ExperimentSpec
         mc.trackSharing = trackSharing;
         mc.cacheCtrl.victimEntries = victimEntries;
         mc.seed = seed;
+        mc.net.jitterMax = jitterMax;
+        mc.net.jitterSeed = jitterSeed != 0 ? jitterSeed : seed;
         return mc;
     }
 };

@@ -1,8 +1,10 @@
 #include "machine/machine.hh"
 
 #include <ostream>
+#include <set>
 #include <unordered_map>
 
+#include "audit/auditor.hh"
 #include "base/intmath.hh"
 #include "base/logging.hh"
 #include "machine/mem_api.hh"
@@ -103,7 +105,64 @@ Machine::run(const ThreadFn &fn, int num_threads)
     // Drain residual protocol activity (writebacks, late acks) so the
     // machine is quiescent before the caller inspects state.
     eventq.run();
+    if (_auditor)
+        _auditor->checkQuiescent();
     return eventq.curTick() - start;
+}
+
+void
+Machine::attachAuditor(CoherenceAuditor *a)
+{
+    _auditor = a;
+    for (auto &node : nodes)
+        node->home.setAuditHook(a);
+    if (!a)
+        return;
+    a->setHomeOf([this](Addr addr) { return homeOf(addr); });
+    for (auto &node : nodes)
+        a->addNode({node->id(), &node->home, &node->cacheCtrl.cache});
+}
+
+std::uint64_t
+Machine::imageHash() const
+{
+    // Canonical block set: everything any memory or cache has touched,
+    // in address order so the hash is interleaving-independent.
+    std::set<Addr> blocks;
+    for (const auto &node : nodes) {
+        node->mem.forEachBlock(
+            [&](Addr a, const DataBlock &) { blocks.insert(a); });
+        node->cacheCtrl.cache.forEachLine([&](const CacheLine &line) {
+            if (line.state != LineState::Instr)
+                blocks.insert(line.blockAddr);
+        });
+    }
+
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    auto mix = [&h](std::uint64_t v) {
+        std::uint64_t z = h ^ v;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        h = z ^ (z >> 31);
+    };
+
+    for (Addr b : blocks) {
+        Word words[wordsPerBlock];
+        bool nonzero = false;
+        for (unsigned i = 0; i < wordsPerBlock; ++i) {
+            words[i] = debugRead(b + i * sizeof(Word));
+            nonzero = nonzero || words[i] != 0;
+        }
+        // All-zero blocks hash to nothing: which zero blocks were ever
+        // materialized depends on the protocol and interleaving, not
+        // on the program's result.
+        if (!nonzero)
+            continue;
+        mix(b);
+        for (unsigned i = 0; i < wordsPerBlock; ++i)
+            mix(words[i]);
+    }
+    return h;
 }
 
 void

@@ -26,6 +26,7 @@
 namespace swex
 {
 
+class CoherenceAuditor;
 class Mem;
 
 /** Full system configuration. */
@@ -173,6 +174,25 @@ class Machine
     /** Per-node directory invariants. */
     void checkInvariants() const;
 
+    /**
+     * Attach a CoherenceAuditor: registers every node with it, hooks
+     * it into every home controller, and arranges for a full
+     * quiescent audit after each run() drains. The auditor is
+     * observation-only (no simulated cycles); it must outlive the
+     * machine or be detached with attachAuditor(nullptr).
+     */
+    void attachAuditor(CoherenceAuditor *a);
+
+    /**
+     * Order-independent hash of the coherent memory image: every
+     * all-zero block hashes to nothing, every other block contributes
+     * its address and coherent contents (dirty cached copy if one
+     * exists, else home memory). Two runs that computed the same
+     * final data — whatever the interleaving — produce equal hashes.
+     * Call at quiescence.
+     */
+    std::uint64_t imageHash() const;
+
     // ---- statistics ----------------------------------------------------
 
     void dumpStats(std::ostream &os) const;
@@ -191,6 +211,7 @@ class Machine
     void barrierArrive(int node, std::coroutine_handle<> h);
 
     MachineConfig cfg;
+    CoherenceAuditor *_auditor = nullptr;
     std::vector<std::uint64_t> heapPtr;   ///< per-node bump pointers
     int running = 0;
     std::vector<std::pair<int, std::coroutine_handle<>>> barrierWaiters;

@@ -51,6 +51,16 @@ class MemoryModule
 
     std::size_t numBlocksTouched() const { return store.size(); }
 
+    /** Visit every touched block (unordered; callers wanting a
+     *  canonical order must sort the addresses themselves). */
+    template <typename Fn>
+    void
+    forEachBlock(Fn &&fn) const
+    {
+        for (const auto &[addr, data] : store)
+            fn(addr, data);
+    }
+
   private:
     std::unordered_map<Addr, DataBlock> store;
 };

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <deque>
 
+#include "base/logging.hh"
 #include "net/message.hh"
 #include "sim/event.hh"
 
@@ -45,6 +46,7 @@ class PooledMsgEvent final : public Event
     Handler _handler = nullptr;
     void *_ctx = nullptr;
     PooledMsgEvent *_nextFree = nullptr;
+    bool _onFreeList = false;
 };
 
 /**
@@ -62,6 +64,7 @@ class MessagePool
         if (_free != nullptr) {
             e = _free;
             _free = e->_nextFree;
+            e->_onFreeList = false;
         } else {
             _storage.emplace_back();
             e = &_storage.back();
@@ -76,6 +79,15 @@ class MessagePool
     void
     release(PooledMsgEvent &e)
     {
+        SWEX_ASSERT(e._pool == this,
+                    "releasing %s to a pool it does not belong to",
+                    e.msg.describe().c_str());
+        SWEX_ASSERT(!e._onFreeList, "double release of pooled event %s",
+                    e.msg.describe().c_str());
+        SWEX_ASSERT(!e.scheduled(),
+                    "releasing still-scheduled pooled event %s",
+                    e.msg.describe().c_str());
+        e._onFreeList = true;
         e._nextFree = _free;
         _free = &e;
     }

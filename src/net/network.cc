@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 
 #include "base/logging.hh"
 #include "base/trace.hh"
@@ -86,6 +87,22 @@ MeshNetwork::hopCount(NodeId a, NodeId b) const
     return static_cast<unsigned>(std::abs(ax - bx) + std::abs(ay - by));
 }
 
+Cycles
+MeshNetwork::jitterFor()
+{
+    if (config.jitterMax == 0)
+        return 0;
+    // One SplitMix64 step per message: deterministic in (seed,
+    // message index), independent of host state, cheap enough to sit
+    // on the send path.
+    std::uint64_t z = config.jitterSeed + 0x9e3779b97f4a7c15ULL *
+                      ++_jitterCounter;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<Cycles>(z % (config.jitterMax + 1));
+}
+
 void
 MeshNetwork::send(Message msg)
 {
@@ -97,14 +114,16 @@ MeshNetwork::send(Message msg)
     flitCount += msg.flits();
 
     Tick now = eventq.curTick();
+    Cycles jitter = jitterFor();
 
     if (msg.src == msg.dst) {
         // CMMU loopback path: no mesh traversal, no serialization.
         PooledMsgEvent &ev = _msgPool.acquire(
             this, &MeshNetwork::deliverHandler, EventPrio::Network);
         ev.msg = msg;
-        eventq.scheduleIn(ev, config.loopback);
-        transitLatency.sample(static_cast<double>(config.loopback));
+        eventq.scheduleIn(ev, config.loopback + jitter);
+        transitLatency.sample(
+            static_cast<double>(config.loopback + jitter));
         return;
     }
 
@@ -115,8 +134,12 @@ MeshNetwork::send(Message msg)
     Tick tx_done = start + msg.flits();   // 1 flit/cycle serialization
     port.freeAt = tx_done;
 
+    // Jitter perturbs only the wire, never the serializer: the port
+    // frees at tx_done regardless, so the stressor reorders messages
+    // without changing injection bandwidth.
     Tick arrive = tx_done + config.routerEntry +
-                  config.hopLatency * hopCount(msg.src, msg.dst);
+                  config.hopLatency * hopCount(msg.src, msg.dst) +
+                  jitter;
     transitLatency.sample(static_cast<double>(arrive - now));
 
     PooledMsgEvent &ev = _msgPool.acquire(
@@ -137,10 +160,29 @@ MeshNetwork::deliver(const Message &msg)
     SWEX_TRACE_EVENT("[%8llu] net: deliver %s",
                      static_cast<unsigned long long>(eventq.curTick()),
                      msg.describe().c_str());
+    if (config.traceDepth > 0) {
+        if (_trace.size() == config.traceDepth)
+            _trace.pop_front();
+        _trace.push_back({eventq.curTick(), msg});
+    }
     MsgReceiver *recv = receivers[static_cast<size_t>(msg.dst)];
     SWEX_ASSERT(recv, "no receiver registered for node %d",
                 static_cast<int>(msg.dst));
     recv->receiveMessage(msg);
+}
+
+void
+MeshNetwork::dumpTrace(std::ostream &os) const
+{
+    if (config.traceDepth == 0) {
+        os << "  (message tracing disabled)\n";
+        return;
+    }
+    for (const TraceEntry &t : _trace) {
+        os << strfmt("  [%10llu] %s\n",
+                     static_cast<unsigned long long>(t.when),
+                     t.msg.describe().c_str());
+    }
 }
 
 } // namespace swex

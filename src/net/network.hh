@@ -12,7 +12,9 @@
 #ifndef SWEX_NET_NETWORK_HH
 #define SWEX_NET_NETWORK_HH
 
+#include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <vector>
 
 #include "base/stats.hh"
@@ -40,6 +42,25 @@ struct NetworkConfig
     Cycles hopLatency = 1;      ///< wire/switch latency per hop
     Cycles routerEntry = 2;     ///< fixed cost to enter/exit the mesh
     Cycles loopback = 2;        ///< latency for src == dst messages
+
+    /**
+     * Interleaving stressor: add a deterministic pseudo-random extra
+     * delay in [0, jitterMax] to every message's delivery time (the
+     * transmit serializer is not perturbed, so the port stays
+     * work-conserving). Messages between the same pair of nodes can
+     * then overtake each other, exercising protocol races that the
+     * quiet mesh timing never produces. 0 disables the stressor.
+     */
+    Cycles jitterMax = 0;
+
+    /** Seed for the jitter stream (runs replay exactly by seed). */
+    std::uint64_t jitterSeed = 0;
+
+    /**
+     * Keep the last N delivered messages in a replayable trace ring
+     * (dumpTrace). 0 disables tracing; the stress driver uses ~64.
+     */
+    unsigned traceDepth = 0;
 };
 
 /**
@@ -74,6 +95,13 @@ class MeshNetwork
      */
     MessagePool &msgPool() { return _msgPool; }
 
+    /**
+     * Print the trace ring (oldest first) — the last traceDepth
+     * messages delivered, with their delivery ticks. Used by the
+     * stress driver to report a replayable failing interleaving.
+     */
+    void dumpTrace(std::ostream &os) const;
+
     /** Statistics. */
     stats::Group statsGroup;
     stats::Scalar msgCount;
@@ -87,8 +115,16 @@ class MeshNetwork
         Tick freeAt = 0;        ///< when the serializer is next free
     };
 
+    /** One delivered message remembered in the trace ring. */
+    struct TraceEntry
+    {
+        Tick when = 0;
+        Message msg;
+    };
+
     void deliver(const Message &msg);
     static void deliverHandler(void *ctx, Message &msg);
+    Cycles jitterFor();
 
     EventQueue &eventq;
     NetworkConfig config;
@@ -98,6 +134,8 @@ class MeshNetwork
     std::vector<MsgReceiver *> receivers;
     std::vector<TxPort> txPorts;
     MessagePool _msgPool;
+    std::uint64_t _jitterCounter = 0;
+    std::deque<TraceEntry> _trace;
 };
 
 } // namespace swex

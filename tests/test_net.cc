@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "net/network.hh"
@@ -143,6 +144,80 @@ TEST_F(NetFixture, LoopbackBypassesMesh)
     eq.run();
     ASSERT_EQ(sinks[2]->got.size(), 1u);
     EXPECT_EQ(sinks[2]->got[0].first, cfg.loopback);
+}
+
+TEST_F(NetFixture, JitterDelaysDeliveryWithinBound)
+{
+    cfg.jitterMax = 20;
+    cfg.jitterSeed = 99;
+    build(16);
+    const Tick quiet = 3 + cfg.routerEntry + cfg.hopLatency * 1;
+    bool any_delayed = false;
+    Tick start = eq.curTick();
+    for (int i = 0; i < 32; ++i) {
+        net->send(msg(0, 1));
+        eq.run();
+        Tick latency = sinks[1]->got.back().first - start;
+        EXPECT_GE(latency, quiet);
+        EXPECT_LE(latency, quiet + cfg.jitterMax);
+        if (latency > quiet)
+            any_delayed = true;
+        start = eq.curTick();
+    }
+    EXPECT_TRUE(any_delayed);
+}
+
+TEST_F(NetFixture, JitterIsSeedDeterministic)
+{
+    auto latencies = [this](std::uint64_t seed) {
+        sinks.clear();
+        cfg.jitterMax = 20;
+        cfg.jitterSeed = seed;
+        build(16);
+        std::vector<Tick> out;
+        Tick start = eq.curTick();
+        for (int i = 0; i < 16; ++i) {
+            net->send(msg(0, 1));
+            eq.run();
+            out.push_back(sinks[1]->got.back().first - start);
+            start = eq.curTick();
+        }
+        return out;
+    };
+    auto a = latencies(7);
+    auto b = latencies(7);
+    auto c = latencies(8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST_F(NetFixture, TraceRecordsLastDeliveries)
+{
+    cfg.traceDepth = 4;
+    build(16);
+    for (int i = 0; i < 6; ++i) {
+        Message m = msg(0, 1);
+        m.addr = static_cast<Addr>(0x100 + 0x10 * i);
+        net->send(m);
+    }
+    eq.run();
+    std::ostringstream os;
+    net->dumpTrace(os);
+    // Ring of 4: the two oldest deliveries fell off.
+    EXPECT_EQ(os.str().find("0x100"), std::string::npos);
+    EXPECT_EQ(os.str().find("0x110"), std::string::npos);
+    EXPECT_NE(os.str().find("0x120"), std::string::npos);
+    EXPECT_NE(os.str().find("0x150"), std::string::npos);
+}
+
+TEST_F(NetFixture, TraceDisabledByDefault)
+{
+    build(4);
+    net->send(msg(0, 1));
+    eq.run();
+    std::ostringstream os;
+    net->dumpTrace(os);
+    EXPECT_NE(os.str().find("disabled"), std::string::npos);
 }
 
 TEST_F(NetFixture, StatsCountMessagesAndFlits)

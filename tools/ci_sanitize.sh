@@ -23,5 +23,7 @@ for san in address undefined; do
     cmake --build "${build_dir}" -j "$(nproc 2>/dev/null || echo 4)"
     echo "== ${san}: running tier-1 tests"
     ctest --test-dir "${build_dir}" --output-on-failure
+    echo "== ${san}: running the audited protocol stress sweep"
+    ctest --test-dir "${build_dir}" --output-on-failure -L stress
 done
 echo "== sanitizer matrix passed"

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * stress_protocols: seeded interleaving stressor for the protocol
+ * spectrum. For every protocol point and every seed in a range, runs a
+ * workload on a jittered mesh (randomized per-message delivery delays)
+ * with the coherence invariant auditor attached, and checks:
+ *
+ *  - the workload's own verification passes,
+ *  - machine invariants hold and the auditor reports zero violations,
+ *  - for interleaving-independent workloads (WORKER), the final
+ *    memory image is bit-identical to a quiet full-map reference run.
+ *
+ * On failure it prints the protocol, app, and seed, every recorded
+ * violation, the tail of the message trace, and a swex_cli command
+ * line that replays the failing configuration, then exits non-zero.
+ *
+ * The ctest registration runs a small seed count; the acceptance
+ * sweep is `stress_protocols --app worker --seeds 200`.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "audit/auditor.hh"
+#include "base/logging.hh"
+#include "core/spectrum.hh"
+#include "exp/spec.hh"
+#include "machine/machine.hh"
+
+using namespace swex;
+
+namespace
+{
+
+struct Options
+{
+    int seeds = 5;
+    std::uint64_t startSeed = 1;
+    int nodes = 16;
+    Cycles jitterMax = 37;
+    std::string onlyApp;       ///< empty = all stress apps
+    std::string onlyProtocol;  ///< empty = full spectrum
+};
+
+struct StressApp
+{
+    std::string name;
+    AppParams params;
+    bool imageStable;   ///< final memory independent of interleaving
+};
+
+/** The workloads the stressor sweeps. WORKER computes the same final
+ *  memory under any interleaving; TSP's shared frontier makes its
+ *  heap layout timing-dependent, so only its own verification and the
+ *  auditor apply there. */
+std::vector<StressApp>
+stressApps()
+{
+    return {
+        {"worker", {{"wss", "4"}, {"iterations", "2"}}, true},
+        {"tsp", {{"cities", "6"}, {"frontier", "8"}}, false},
+    };
+}
+
+/** The swex_cli spelling of a spectrum label, for replay lines. */
+std::string
+cliProtocolName(const std::string &label)
+{
+    if (label == "H0-ACK") return "h0";
+    if (label == "H1-ACK") return "h1ack";
+    if (label == "H1-LACK") return "h1lack";
+    if (label == "FULLMAP") return "full";
+    std::string out;
+    for (char c : label)
+        out += static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+    return out;   // H1..H5 -> h1..h5, DIR1SW -> dir1sw
+}
+
+[[noreturn]] void
+badValue(const std::string &opt, const std::string &value)
+{
+    std::fprintf(stderr,
+                 "stress_protocols: bad value '%s' for %s\n",
+                 value.c_str(), opt.c_str());
+    std::exit(2);
+}
+
+long
+parseLong(const std::string &opt, const std::string &value, long lo,
+          long hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi)
+        badValue(opt, value);
+    return v;
+}
+
+struct RunResult
+{
+    bool ok = true;
+    Tick cycles = 0;
+    std::uint64_t image = 0;
+};
+
+/** One stress run; prints diagnostics and returns ok=false on any
+ *  verification or invariant failure. */
+RunResult
+stressRun(const StressApp &sa, const SpectrumPoint &pt, int nodes,
+          Cycles jitter_max, std::uint64_t seed,
+          const std::uint64_t *expect_image)
+{
+    ExperimentSpec spec;
+    spec.app = sa.name;
+    spec.params = sa.params;
+    spec.protocol = pt.protocol;
+    spec.nodes = nodes;
+    spec.victimEntries = 6;
+    spec.jitterMax = jitter_max;
+    spec.jitterSeed = seed;
+
+    MachineConfig mc = spec.machine();
+    mc.net.traceDepth = 64;
+
+    auto app = AppRegistry::instance().make(sa.name, sa.params, nodes);
+    Machine m(mc);
+    CoherenceAuditor auditor(CoherenceAuditor::Mode::Collect);
+    m.attachAuditor(&auditor);
+
+    RunResult r;
+    r.cycles = app->runParallel(m);
+    bool verified = app->verify(m);
+    m.checkInvariants();
+    r.image = m.imageHash();
+
+    std::vector<std::string> failures;
+    if (!verified)
+        failures.push_back("application verification failed");
+    if (auditor.violationCount() > 0) {
+        failures.push_back(strfmt(
+            "%llu coherence invariant violations",
+            static_cast<unsigned long long>(auditor.violationCount())));
+    }
+    if (expect_image && r.image != *expect_image) {
+        failures.push_back(strfmt(
+            "final memory image %016llx differs from the quiet "
+            "full-map reference %016llx",
+            static_cast<unsigned long long>(r.image),
+            static_cast<unsigned long long>(*expect_image)));
+    }
+
+    if (!failures.empty()) {
+        r.ok = false;
+        std::fprintf(stderr,
+                     "\nFAIL: app=%s protocol=%s nodes=%d jitter=%llu "
+                     "seed=%llu\n",
+                     sa.name.c_str(), pt.label.c_str(), nodes,
+                     static_cast<unsigned long long>(jitter_max),
+                     static_cast<unsigned long long>(seed));
+        for (const std::string &f : failures)
+            std::fprintf(stderr, "  %s\n", f.c_str());
+        for (const AuditViolation &v : auditor.violations())
+            std::fprintf(stderr, "  audit: %s\n",
+                         v.describe().c_str());
+        std::fprintf(stderr, "last messages delivered:\n");
+        m.network.dumpTrace(std::cerr);
+        std::string replay = strfmt(
+            "swex_cli --app %s --nodes %d --protocol %s --victim 6 "
+            "--jitter %llu --seed %llu --audit",
+            sa.name.c_str(), nodes,
+            cliProtocolName(pt.label).c_str(),
+            static_cast<unsigned long long>(jitter_max),
+            static_cast<unsigned long long>(seed));
+        for (const auto &[k, v] : sa.params)
+            replay += strfmt(" --param %s=%s", k.c_str(), v.c_str());
+        std::fprintf(stderr, "replay: %s\n", replay.c_str());
+    }
+    m.attachAuditor(nullptr);
+    return r;
+}
+
+/** Quiet full-map run: the reference memory image for this app. */
+std::uint64_t
+referenceImage(const StressApp &sa, int nodes)
+{
+    RunResult r = stressRun(sa, {"FULLMAP", ProtocolConfig::fullMap()},
+                            nodes, /*jitter_max=*/0, /*seed=*/0,
+                            nullptr);
+    if (!r.ok) {
+        std::fprintf(stderr, "stress_protocols: reference run of %s "
+                             "failed; aborting\n", sa.name.c_str());
+        std::exit(1);
+    }
+    return r.image;
+}
+
+void
+usage()
+{
+    std::printf(
+        "stress_protocols -- seeded jitter sweep over the protocol "
+        "spectrum\n\n"
+        "  --seeds <n>       seeds per (app, protocol) pair "
+        "(default 5)\n"
+        "  --start-seed <s>  first seed (default 1)\n"
+        "  --nodes <n>       machine size (default 16)\n"
+        "  --jitter <c>      max extra delivery delay (default 37)\n"
+        "  --app <name>      restrict to one app (worker|tsp)\n"
+        "  --protocol <lbl>  restrict to one spectrum label "
+        "(e.g. DIR1SW)\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                badValue(a, "<missing>");
+            return argv[++i];
+        };
+        if (a == "--seeds")
+            opt.seeds = static_cast<int>(
+                parseLong(a, next(), 1, 1'000'000));
+        else if (a == "--start-seed")
+            opt.startSeed = static_cast<std::uint64_t>(
+                parseLong(a, next(), 0, 1'000'000'000));
+        else if (a == "--nodes")
+            opt.nodes = static_cast<int>(
+                parseLong(a, next(), 1, maxNodes));
+        else if (a == "--jitter")
+            opt.jitterMax = static_cast<Cycles>(
+                parseLong(a, next(), 0, 1 << 20));
+        else if (a == "--app")
+            opt.onlyApp = next();
+        else if (a == "--protocol")
+            opt.onlyProtocol = next();
+        else {
+            usage();
+            return a == "--help" || a == "-h" ? 0 : 2;
+        }
+    }
+
+    setQuiet(true);
+    int runs = 0, failed = 0;
+    for (const StressApp &sa : stressApps()) {
+        if (!opt.onlyApp.empty() && sa.name != opt.onlyApp)
+            continue;
+        std::uint64_t reference = 0;
+        if (sa.imageStable)
+            reference = referenceImage(sa, opt.nodes);
+        for (const auto &pt : protocolSpectrum()) {
+            if (!opt.onlyProtocol.empty() &&
+                pt.label != opt.onlyProtocol)
+                continue;
+            int pass = 0;
+            for (int s = 0; s < opt.seeds; ++s) {
+                std::uint64_t seed =
+                    opt.startSeed + static_cast<std::uint64_t>(s);
+                RunResult r = stressRun(
+                    sa, pt, opt.nodes, opt.jitterMax, seed,
+                    sa.imageStable ? &reference : nullptr);
+                ++runs;
+                if (r.ok)
+                    ++pass;
+                else
+                    ++failed;
+            }
+            std::printf("%-8s %-8s %4d/%d seeds ok\n",
+                        sa.name.c_str(), pt.label.c_str(), pass,
+                        opt.seeds);
+            std::fflush(stdout);
+        }
+    }
+
+    if (failed > 0) {
+        std::fprintf(stderr,
+                     "stress_protocols: %d of %d runs FAILED\n",
+                     failed, runs);
+        return 1;
+    }
+    std::printf("stress_protocols: %d runs, all passed\n", runs);
+    return 0;
+}

@@ -14,8 +14,11 @@
  *   swex_cli --list
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "base/logging.hh"
@@ -26,6 +29,54 @@ using namespace swex;
 
 namespace
 {
+
+/**
+ * Malformed numeric option values ("16x", "", "99999999999999999999",
+ * "-3" where a count is expected) must produce a usage error and exit
+ * code 2, not an uncaught std::invalid_argument from bare std::stoi.
+ */
+[[noreturn]] void
+badValue(const std::string &opt, const std::string &value,
+         const char *why)
+{
+    std::fprintf(stderr, "swex_cli: bad value '%s' for %s: %s\n",
+                 value.c_str(), opt.c_str(), why);
+    std::fprintf(stderr, "run 'swex_cli --help' for usage\n");
+    std::exit(2);
+}
+
+/** Parse a whole string as a bounded non-negative integer. */
+int
+parseCount(const std::string &opt, const std::string &value, int lo,
+           int hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        badValue(opt, value, "not an integer");
+    if (errno == ERANGE || v < lo || v > hi) {
+        badValue(opt, value,
+                 strfmt("must be in [%d, %d]", lo, hi).c_str());
+    }
+    return static_cast<int>(v);
+}
+
+/** Parse a whole string as an unsigned 64-bit integer. */
+std::uint64_t
+parseU64(const std::string &opt, const std::string &value)
+{
+    if (!value.empty() && value[0] == '-')
+        badValue(opt, value, "must be non-negative");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        badValue(opt, value, "not an integer");
+    if (errno == ERANGE)
+        badValue(opt, value, "out of range");
+    return static_cast<std::uint64_t>(v);
+}
 
 void
 usage()
@@ -44,6 +95,9 @@ usage()
         "  --iters <n>        WORKER iterations (= --param "
         "iterations=n)\n"
         "  --seed <n>         machine RNG seed (default 12345)\n"
+        "  --audit            attach the coherence invariant auditor\n"
+        "  --jitter <c>       network jitter stressor: up to c extra\n"
+        "                     cycles of delivery delay per message\n"
         "  --perfect-ifetch   one-cycle instruction fetch\n"
         "  --no-local-bit     disable the one-bit local pointer\n"
         "  --parallel-inv     Section 7 parallel invalidation\n"
@@ -108,14 +162,15 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (a == "--app") spec.app = next();
-        else if (a == "--nodes") spec.nodes = std::stoi(next());
+        else if (a == "--nodes")
+            spec.nodes = parseCount(a, next(), 1, maxNodes);
         else if (a == "--protocol") proto = next();
         else if (a == "--profile")
             spec.profile = next() == "asm" ? HandlerProfile::TunedAsm
                                            : HandlerProfile::FlexibleC;
         else if (a == "--victim")
-            spec.victimEntries =
-                static_cast<unsigned>(std::stoi(next()));
+            spec.victimEntries = static_cast<unsigned>(
+                parseCount(a, next(), 0, 4096));
         else if (a == "--param") {
             std::string kv = next();
             std::size_t eq = kv.find('=');
@@ -126,7 +181,11 @@ main(int argc, char **argv)
         else if (a == "--wss") spec.params["wss"] = next();
         else if (a == "--iters") spec.params["iterations"] = next();
         else if (a == "--seed")
-            spec.seed = std::stoull(next());
+            spec.seed = parseU64(a, next());
+        else if (a == "--audit") spec.audit = true;
+        else if (a == "--jitter")
+            spec.jitterMax = static_cast<Cycles>(
+                parseCount(a, next(), 0, 1 << 20));
         else if (a == "--perfect-ifetch") spec.perfectIfetch = true;
         else if (a == "--no-local-bit") local_bit_off = true;
         else if (a == "--parallel-inv") spec.parallelInv = true;
@@ -178,6 +237,12 @@ main(int argc, char **argv)
     std::printf("traps: %.0f; handler cycles: %.0f; messages: %.0f\n",
                 r.trapsRaised, r.handlerCycles, r.messages);
     std::printf("verification: %s\n", r.verified ? "PASSED" : "FAILED");
+    if (r.audited) {
+        std::printf("audit: %llu transitions checked, %llu "
+                    "violations\n",
+                    static_cast<unsigned long long>(r.auditTransitions),
+                    static_cast<unsigned long long>(r.auditViolations));
+    }
 
     bool json_ok = true;
     if (!json_path.empty()) {
@@ -187,5 +252,5 @@ main(int argc, char **argv)
                          json_path.c_str());
     }
     runner.emitRecords();
-    return r.verified && json_ok ? 0 : 1;
+    return r.verified && json_ok && r.auditViolations == 0 ? 0 : 1;
 }
