@@ -7,11 +7,19 @@
  * Expected shape: Dir_nH_5S_NB reaches 71-100% of full-map on every
  * application; one-pointer protocols reach 42-100%; the software-only
  * directory is lowest (down to ~11% on MP3D, ~70% on TSP and WATER).
+ *
+ * The whole figure is one spec grid (per app: the sequential
+ * reference plus seven protocol points) handed to Runner::runAll, so
+ * `fig4_speedups --jobs N` computes the rows concurrently while the
+ * table, the trajectory, and the emitted records stay identical to a
+ * serial run.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "bench_support.hh"
@@ -50,19 +58,55 @@ main(int argc, char **argv)
 {
     setQuiet(true);
 
-    // Optional positional filters: run only the named apps
-    // (case-sensitive, e.g. `fig4_speedups TSP WATER`).
+    // Optional positional filters run only the named apps
+    // (case-sensitive, e.g. `fig4_speedups TSP WATER`); --jobs N
+    // spreads the grid over host threads.
+    unsigned jobs = 1;
+    std::vector<const char *> filters;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(argv[++i])));
+        else
+            filters.push_back(argv[i]);
+    }
     auto selected = [&](const char *name) {
-        if (argc <= 1)
+        if (filters.empty())
             return true;
-        for (int i = 1; i < argc; ++i) {
-            if (std::strcmp(argv[i], name) == 0)
+        for (const char *f : filters) {
+            if (std::strcmp(f, name) == 0)
                 return true;
         }
         return false;
     };
+
+    // The grid, in document order: per row the sequential reference
+    // first, then the seven pointer-axis points.
+    std::vector<const Fig4Row *> active;
+    std::vector<ExperimentSpec> specs;
+    for (const Fig4Row &row : rows) {
+        if (!selected(row.label))
+            continue;
+        active.push_back(&row);
+        ExperimentSpec base{.id = std::string("fig4/") + row.label,
+                            .app = row.app,
+                            .params = row.params,
+                            .nodes = nodes,
+                            .victimEntries = 6};
+        ExperimentSpec seq = base;
+        seq.sequential = true;
+        specs.push_back(std::move(seq));
+        for (const auto &pt : pointerAxis()) {
+            ExperimentSpec spec = base;
+            spec.id += "/h" + pt.label;
+            spec.protocol = pt.protocol;
+            specs.push_back(std::move(spec));
+        }
+    }
+
     JsonTrajectory traj;
     Runner runner;
+    std::vector<RunRecord *> recs = runner.runAll(specs, jobs);
 
     std::printf("Figure 4: application speedups over sequential, "
                 "64 nodes, victim caching on\n");
@@ -75,23 +119,13 @@ main(int argc, char **argv)
     std::printf(" %8s\n", "H5/FULL");
     rule(86);
 
-    for (const Fig4Row &row : rows) {
-        if (!selected(row.label))
-            continue;
-        ExperimentSpec base{.id = std::string("fig4/") + row.label,
-                            .app = row.app,
-                            .params = row.params,
-                            .nodes = nodes,
-                            .victimEntries = 6};
-        Tick t_seq = runner.runSequential(base).simCycles;
-
-        std::printf("%-8s", row.label);
+    std::size_t i = 0;
+    for (const Fig4Row *row : active) {
+        Tick t_seq = recs[i++]->simCycles;
+        std::printf("%-8s", row->label);
         double h5 = 0, full = 0;
         for (const auto &pt : pointerAxis()) {
-            ExperimentSpec spec = base;
-            spec.id += "/h" + pt.label;
-            spec.protocol = pt.protocol;
-            RunRecord &r = runner.run(spec);
+            RunRecord &r = *recs[i++];
             r.seqCycles = static_cast<double>(t_seq);
             double speedup = static_cast<double>(t_seq) /
                              static_cast<double>(r.simCycles);
@@ -101,8 +135,7 @@ main(int argc, char **argv)
             if (pt.label == "n")
                 full = speedup;
             std::printf(" %8.1f", speedup);
-            std::fflush(stdout);
-            traj.record(std::string("fig4/") + row.label + "/h" +
+            traj.record(std::string("fig4/") + row->label + "/h" +
                             pt.label,
                         {{"cycles",
                           static_cast<double>(r.simCycles)},
@@ -113,6 +146,7 @@ main(int argc, char **argv)
                          {"sim_cycles_per_sec", r.simCyclesPerSec()}});
         }
         std::printf(" %7.0f%%\n", 100.0 * h5 / full);
+        std::fflush(stdout);
     }
     rule(86);
     std::printf("Paper: H5 within 71-100%% of full-map on every "
@@ -122,6 +156,9 @@ main(int argc, char **argv)
                 {{"peak_rss_kb", static_cast<double>(peakRssKb())}});
     if (!traj.updateFile("BENCH_FIGS.json"))
         std::fprintf(stderr, "warning: could not write bench JSON\n");
-    runner.emitRecords();
+    if (!runner.emitRecords())
+        std::fprintf(stderr,
+                     "warning: fig4_speedups run records were "
+                     "dropped\n");
     return 0;
 }

@@ -130,41 +130,53 @@ AppRegistry::instance()
     return registry;
 }
 
+const AppRegistry::Entry *
+AppRegistry::find(const std::string &name) const
+{
+    // Caller holds _mutex.
+    for (const Entry &e : _entries)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
 void
 AppRegistry::add(Entry entry)
 {
-    SWEX_ASSERT(!contains(entry.name), "app '%s' already registered",
-                entry.name.c_str());
+    std::lock_guard<std::mutex> hold(_mutex);
+    SWEX_ASSERT(find(entry.name) == nullptr,
+                "app '%s' already registered", entry.name.c_str());
     _entries.push_back(std::move(entry));
 }
 
 bool
 AppRegistry::contains(const std::string &name) const
 {
-    for (const Entry &e : _entries)
-        if (e.name == name)
-            return true;
-    return false;
+    std::lock_guard<std::mutex> hold(_mutex);
+    return find(name) != nullptr;
 }
 
 const AppRegistry::Entry &
 AppRegistry::entry(const std::string &name) const
 {
-    for (const Entry &e : _entries)
-        if (e.name == name)
-            return e;
+    std::string all;
+    {
+        std::lock_guard<std::mutex> hold(_mutex);
+        // The reference stays valid after unlock: entries are never
+        // removed and the deque never relocates them.
+        if (const Entry *e = find(name))
+            return *e;
+        for (const Entry &e : _entries)
+            all += (all.empty() ? "" : ", ") + e.name;
+    }
     fatal("unknown app '%s' (registered: %s)", name.c_str(),
-          [this] {
-              std::string all;
-              for (const Entry &e : _entries)
-                  all += (all.empty() ? "" : ", ") + e.name;
-              return all;
-          }().c_str());
+          all.c_str());
 }
 
 std::vector<std::string>
 AppRegistry::names() const
 {
+    std::lock_guard<std::mutex> hold(_mutex);
     std::vector<std::string> out;
     for (const Entry &e : _entries)
         out.push_back(e.name);

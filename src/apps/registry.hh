@@ -10,9 +10,11 @@
 #ifndef SWEX_APPS_REGISTRY_HH
 #define SWEX_APPS_REGISTRY_HH
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,7 +60,15 @@ class ParamReader
     std::vector<std::string> _consumed;
 };
 
-/** The process-wide application factory. */
+/**
+ * The process-wide application factory. Safe for concurrent use:
+ * first use constructs the built-in table exactly once (C++ magic
+ * static), registration and lookup synchronize on an internal lock,
+ * and entries live in a deque so references returned by entry()
+ * survive later registrations. Factories themselves are pure
+ * (they only read their arguments), so make() can be called from
+ * any number of sweep worker threads.
+ */
 class AppRegistry
 {
   public:
@@ -96,7 +106,11 @@ class AppRegistry
   private:
     AppRegistry();
 
-    std::vector<Entry> _entries;
+    const Entry *find(const std::string &name) const;
+
+    /** Deque: entry() hands out references that must survive add(). */
+    std::deque<Entry> _entries;
+    mutable std::mutex _mutex;
 };
 
 } // namespace swex

@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,7 +10,9 @@ namespace swex
 
 namespace
 {
-bool quietMode = false;
+// Atomic: worker threads running concurrent simulations consult it
+// while a driver's main thread may still be configuring verbosity.
+std::atomic<bool> quietMode{false};
 } // anonymous namespace
 
 std::string

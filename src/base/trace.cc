@@ -1,0 +1,65 @@
+#include "base/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace swex
+{
+
+namespace
+{
+
+/** Serializes the trace sink so lines from concurrent runs never
+ *  interleave mid-line. */
+std::mutex &
+traceMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** The label of the run executing on this host thread, "" if none. */
+thread_local std::string runLabel;
+
+} // anonymous namespace
+
+bool
+traceEnabled()
+{
+    static const bool enabled = std::getenv("SWEX_TRACE") != nullptr;
+    return enabled;
+}
+
+void
+traceEvent(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string line = vstrfmt(fmt, args);
+    va_end(args);
+
+    std::lock_guard<std::mutex> hold(traceMutex());
+    if (runLabel.empty())
+        std::fprintf(stderr, "%s\n", line.c_str());
+    else
+        std::fprintf(stderr, "[%s] %s\n", runLabel.c_str(),
+                     line.c_str());
+}
+
+TraceRunScope::TraceRunScope(const std::string &label)
+    : saved(std::move(runLabel))
+{
+    runLabel = label;
+}
+
+TraceRunScope::~TraceRunScope()
+{
+    runLabel = std::move(saved);
+}
+
+} // namespace swex

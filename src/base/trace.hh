@@ -4,34 +4,60 @@
  * functions. Enable by setting the SWEX_TRACE environment variable;
  * every protocol message, trap, and handler execution is logged with
  * its tick. Zero overhead when disabled beyond one branch.
+ *
+ * Trace lines are concurrency-safe: simulations may run on several
+ * host threads (Runner::runAll), so every line is written atomically
+ * under one process-wide sink lock and carries the label of the run
+ * that produced it (TraceRunScope), keeping interleaved output
+ * attributable to its experiment.
  */
 
 #ifndef SWEX_BASE_TRACE_HH
 #define SWEX_BASE_TRACE_HH
 
-#include <cstdio>
-#include <cstdlib>
+#include <string>
 
 namespace swex
 {
 
-/** True iff SWEX_TRACE is set in the environment. */
-inline bool
-traceEnabled()
+/** True iff SWEX_TRACE is set in the environment (cached once). */
+bool traceEnabled();
+
+/**
+ * Emit one trace line (printf-style): formatted off-lock, then
+ * written to stderr atomically, prefixed with the calling thread's
+ * current run label (if any).
+ */
+void traceEvent(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * RAII: label every trace line this host thread emits until the
+ * scope closes — the Runner wraps each run in one of these with the
+ * experiment's spec id, so `SWEX_TRACE=1 ... --jobs 8` output states
+ * which run each line belongs to. Scopes do not nest (the inner
+ * label simply replaces the outer for its lifetime).
+ */
+class TraceRunScope
 {
-    static const bool enabled = std::getenv("SWEX_TRACE") != nullptr;
-    return enabled;
-}
+  public:
+    explicit TraceRunScope(const std::string &label);
+    ~TraceRunScope();
+
+    TraceRunScope(const TraceRunScope &) = delete;
+    TraceRunScope &operator=(const TraceRunScope &) = delete;
+
+  private:
+    std::string saved;
+};
 
 } // namespace swex
 
 /** Trace a formatted event (printf-style). */
 #define SWEX_TRACE_EVENT(...)                                           \
     do {                                                                \
-        if (::swex::traceEnabled()) {                                   \
-            std::fprintf(stderr, __VA_ARGS__);                          \
-            std::fprintf(stderr, "\n");                                 \
-        }                                                               \
+        if (::swex::traceEnabled())                                     \
+            ::swex::traceEvent(__VA_ARGS__);                            \
     } while (0)
 
 #endif // SWEX_BASE_TRACE_HH

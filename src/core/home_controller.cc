@@ -8,10 +8,6 @@
 namespace swex
 {
 
-#ifdef SWEX_MUTATIONS
-ProtocolMutation g_protocolMutation = ProtocolMutation::None;
-#endif
-
 const char *
 trapKindName(TrapKind k)
 {

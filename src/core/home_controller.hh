@@ -35,42 +35,6 @@
 namespace swex
 {
 
-/**
- * Deliberate protocol-bug injection used to validate the auditor: a
- * mutation smoke test enables one bug, runs the protocol, and asserts
- * the CoherenceAuditor catches it. Compiled only when the build sets
- * SWEX_MUTATIONS (a CMake option, on by default so the smoke test is
- * part of tier-1); the injected branches are host-side only and never
- * charge simulated cycles, so with the mutation set to None every
- * simulated cycle count is identical to a build without the option.
- */
-enum class ProtocolMutation : std::uint8_t
-{
-    None,            ///< protocol behaves correctly
-    AckOvercount,    ///< write transaction expects one ack too many
-    DropPointer,     ///< a granted reader is not recorded in the dir
-    SkipLastAckTrap, ///< the final ack fails to raise the LACK trap
-};
-
-#ifdef SWEX_MUTATIONS
-extern ProtocolMutation g_protocolMutation;
-inline ProtocolMutation activeMutation() { return g_protocolMutation; }
-inline void
-setProtocolMutation(ProtocolMutation m)
-{
-    g_protocolMutation = m;
-}
-constexpr bool mutationsCompiled = true;
-#else
-inline ProtocolMutation
-activeMutation()
-{
-    return ProtocolMutation::None;
-}
-inline void setProtocolMutation(ProtocolMutation) {}
-constexpr bool mutationsCompiled = false;
-#endif
-
 /** Timing and behavior knobs for the home-side controller. */
 struct HomeConfig
 {
@@ -79,6 +43,11 @@ struct HomeConfig
     Cycles memLatency = 10;      ///< DRAM access for data replies
     Cycles hwCtrlLatency = 2;    ///< hw-synthesized control replies
     bool parallelInv = false;    ///< Section 7: pipelined sw invals
+
+    /** Auditor-validation bug injection (see ProtocolMutation); only
+     *  honored when the build compiles SWEX_MUTATIONS. Per-controller
+     *  state, so concurrent machines never share a mutation. */
+    ProtocolMutation mutation = ProtocolMutation::None;
 };
 
 /** The per-node home directory controller. */
@@ -209,6 +178,19 @@ class HomeController
 
     void trackShared(Addr block_addr, NodeId n);
     void trackExclusive(Addr block_addr, NodeId n);
+
+    /** The bug this controller was configured to inject; folds to
+     *  None (and the injection branches to dead code) when the build
+     *  leaves SWEX_MUTATIONS off. */
+    ProtocolMutation
+    activeMutation() const
+    {
+#ifdef SWEX_MUTATIONS
+        return cfg.mutation;
+#else
+        return ProtocolMutation::None;
+#endif
+    }
 
     NodeId home;
     int nodes;

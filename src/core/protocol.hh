@@ -31,6 +31,35 @@ namespace swex
 /** Maximum number of hardware directory pointers (as in Alewife). */
 constexpr int maxHwPointers = 5;
 
+/**
+ * Deliberate protocol-bug injection used to validate the auditor: a
+ * mutation smoke test enables one bug, runs the protocol, and asserts
+ * the CoherenceAuditor catches it. Compiled only when the build sets
+ * SWEX_MUTATIONS (a CMake option, on by default so the smoke test is
+ * part of tier-1); the injected branches are host-side only and never
+ * charge simulated cycles, so with the mutation set to None every
+ * simulated cycle count is identical to a build without the option.
+ *
+ * The mutation is per-machine configuration (MachineConfig::mutation,
+ * threaded down to every HomeController), never process state: one
+ * mutated run cannot leak its bug into a later run in the same
+ * process, and concurrent machines on different host threads cannot
+ * observe each other's mutation.
+ */
+enum class ProtocolMutation : std::uint8_t
+{
+    None,            ///< protocol behaves correctly
+    AckOvercount,    ///< write transaction expects one ack too many
+    DropPointer,     ///< a granted reader is not recorded in the dir
+    SkipLastAckTrap, ///< the final ack fails to raise the LACK trap
+};
+
+#ifdef SWEX_MUTATIONS
+constexpr bool mutationsCompiled = true;
+#else
+constexpr bool mutationsCompiled = false;
+#endif
+
 /** How invalidation acknowledgments reach the directory. */
 enum class AckMode : std::uint8_t
 {

@@ -1,0 +1,119 @@
+#include "exp/pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace swex
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> hold(mutex);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> hold(mutex);
+        tasks.push_back(std::move(task));
+    }
+    workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> hold(mutex);
+    allDone.wait(hold, [this] { return tasks.empty() && active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> hold(mutex);
+            workReady.wait(hold, [this] {
+                return stopping || !tasks.empty();
+            });
+            if (tasks.empty())
+                return;   // stopping with nothing left to run
+            task = std::move(tasks.front());
+            tasks.pop_front();
+            ++active;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> hold(mutex);
+            --active;
+            if (tasks.empty() && active == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    unsigned threads = jobs;
+    if (static_cast<std::size_t>(threads) > n)
+        threads = static_cast<unsigned>(n);
+
+    // One shared cursor over the index space: uniform sweep grids
+    // self-balance, and the order indices are *claimed* in does not
+    // matter because results are merged by index afterwards.
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.submit([&] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("SWEX_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace swex

@@ -50,7 +50,7 @@ jsonString(std::ostream &os, const std::string &s)
 } // anonymous namespace
 
 void
-RunRecord::writeJson(std::ostream &os) const
+RunRecord::writeJson(std::ostream &os, bool canonical) const
 {
     os << "{\"id\":";
     jsonString(os, id);
@@ -62,6 +62,13 @@ RunRecord::writeJson(std::ostream &os) const
        << ",\"sequential\":" << (sequential ? "true" : "false")
        << ",\"sim_cycles\":" << simCycles
        << ",\"verified\":" << (verified ? "true" : "false");
+
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(imageHash));
+        os << ",\"image_hash\":\"" << buf << '"';
+    }
 
     os << ",\"metrics\":{\"traps\":";
     jsonNumber(os, trapsRaised);
@@ -77,14 +84,17 @@ RunRecord::writeJson(std::ostream &os) const
     os << ",\"write_handler_count\":" << writeHandlerCount;
     os << '}';
 
+    // Host wall time (and the rates derived from it) is the only
+    // nondeterministic field in a record; canonical documents zero it
+    // so byte-comparison across runs and --jobs levels is exact.
     os << ",\"host\":{\"wall_s\":";
-    jsonNumber(os, hostWallSeconds);
+    jsonNumber(os, canonical ? 0 : hostWallSeconds);
     os << ",\"events\":";
     jsonNumber(os, hostEvents);
     os << ",\"events_per_sec\":";
-    jsonNumber(os, eventsPerSec());
+    jsonNumber(os, canonical ? 0 : eventsPerSec());
     os << ",\"sim_cycles_per_sec\":";
-    jsonNumber(os, simCyclesPerSec());
+    jsonNumber(os, canonical ? 0 : simCyclesPerSec());
     os << '}';
 
     if (audited) {
@@ -119,7 +129,7 @@ RunLog::add(RunRecord record)
 }
 
 void
-RunLog::writeJson(std::ostream &os) const
+RunLog::writeJson(std::ostream &os, bool canonical) const
 {
     os << "{\"schema\":\"" << schema << "\",\"records\":[\n";
     bool first = true;
@@ -128,18 +138,19 @@ RunLog::writeJson(std::ostream &os) const
             os << ",\n";
         first = false;
         os << ' ';
-        r.writeJson(os);
+        r.writeJson(os, canonical);
     }
     os << "\n]}\n";
 }
 
 bool
-RunLog::writeFile(const std::string &path) const
+RunLog::writeFile(const std::string &path, bool canonical) const
 {
     std::ofstream f(path, std::ios::trunc);
     if (!f)
         return false;
-    writeJson(f);
+    writeJson(f, canonical);
+    f.flush();
     return static_cast<bool>(f);
 }
 
@@ -149,7 +160,8 @@ RunLog::writeEnv() const
     const char *path = std::getenv(envVar);
     if (path == nullptr || *path == '\0')
         return true;
-    return writeFile(path);
+    const char *canon = std::getenv(canonicalEnvVar);
+    return writeFile(path, canon != nullptr && *canon != '\0');
 }
 
 } // namespace swex

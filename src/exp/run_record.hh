@@ -32,6 +32,11 @@ struct RunRecord
     Tick simCycles = 0;       ///< elapsed simulated cycles
     bool verified = false;    ///< app self-check passed
 
+    /** Machine::imageHash() at quiescence: an order-independent
+     *  digest of the coherent memory image, the sweep tier's
+     *  bit-identity witness across --jobs levels. */
+    std::uint64_t imageHash = 0;
+
     // Aggregate memory-system statistics.
     double trapsRaised = 0;
     double handlerCycles = 0;
@@ -77,8 +82,15 @@ struct RunRecord
                    : 0;
     }
 
-    /** Write this record as one JSON object. */
-    void writeJson(std::ostream &os) const;
+    /**
+     * Write this record as one JSON object. @p canonical suppresses
+     * the host-clock-derived fields (wall seconds and the rates
+     * computed from them) that differ between otherwise identical
+     * runs, so canonical documents from the same spec list are
+     * byte-identical whatever host, run, or --jobs level produced
+     * them. Deterministic host fields (the event count) stay.
+     */
+    void writeJson(std::ostream &os, bool canonical = false) const;
 };
 
 /**
@@ -95,20 +107,25 @@ class RunLog
     /** Environment variable naming the output path for writeEnv(). */
     static constexpr const char *envVar = "SWEX_RUN_JSON";
 
+    /** Set to make every serialization canonical (see
+     *  RunRecord::writeJson); also enabled by $SWEX_RUN_CANONICAL. */
+    static constexpr const char *canonicalEnvVar = "SWEX_RUN_CANONICAL";
+
     RunRecord &add(RunRecord record);
 
     const std::deque<RunRecord> &records() const { return _records; }
     bool empty() const { return _records.empty(); }
 
-    void writeJson(std::ostream &os) const;
+    void writeJson(std::ostream &os, bool canonical = false) const;
 
     /** Write the document to @p path; true on success. */
-    bool writeFile(const std::string &path) const;
+    bool writeFile(const std::string &path, bool canonical = false) const;
 
     /**
-     * Write to the path named by $SWEX_RUN_JSON, if set. Returns
-     * false only on an actual write failure (unset env is success:
-     * the caller asked for records only when the environment does).
+     * Write to the path named by $SWEX_RUN_JSON, if set (canonical
+     * when $SWEX_RUN_CANONICAL is also set). Returns false only on
+     * an actual write failure (unset env is success: the caller
+     * asked for records only when the environment does).
      */
     bool writeEnv() const;
 

@@ -1,11 +1,16 @@
 #include "exp/runner.hh"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <utility>
 
 #include "audit/auditor.hh"
 #include "base/logging.hh"
+#include "base/trace.hh"
 #include "core/home_controller.hh"
+#include "exp/pool.hh"
 #include "machine/node.hh"
 
 namespace swex
@@ -23,14 +28,54 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 
 } // anonymous namespace
 
-RunRecord &
-Runner::finishRun(const ExperimentSpec &spec, Machine &m,
-                  RunRecord record)
+RunRecord
+Runner::execute(const ExperimentSpec &spec) const
 {
+    // Attribute any SWEX_TRACE output from this run (which may share
+    // the sink with concurrent runs) to its spec.
+    TraceRunScope trace_scope(spec.id);
+
+    auto app = AppRegistry::instance().make(spec.app, spec.params,
+                                            spec.nodes);
+
+    MachineConfig mc;
+    if (spec.sequential) {
+        // The paper's speedup baseline: 1 node, full-map (software
+        // extension never invoked), victim caching on.
+        mc.numNodes = 1;
+        mc.protocol = ProtocolConfig::fullMap();
+        mc.cacheCtrl.victimEntries = 6;
+    } else {
+        mc = spec.machine();
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    Machine m(mc);
+    CoherenceAuditor auditor(CoherenceAuditor::Mode::Collect);
+    if (spec.audit && !spec.sequential)
+        m.attachAuditor(&auditor);
+
+    RunRecord record;
+    record.sequential = spec.sequential;
+    record.simCycles = spec.sequential ? app->runSequential(m)
+                                       : app->runParallel(m);
+    record.hostWallSeconds = secondsSince(t0);
+    record.verified = app->verify(m);
+    m.checkInvariants();
+    record.imageHash = m.imageHash();
+    if (spec.audit && !spec.sequential) {
+        record.audited = true;
+        record.auditTransitions = auditor.transitionsChecked();
+        record.auditViolations = auditor.violationCount();
+        for (const AuditViolation &v : auditor.violations())
+            warn("audit: %s", v.describe().c_str());
+        m.attachAuditor(nullptr);
+    }
+
     record.id = spec.id;
     record.app = spec.app;
-    record.protocol = spec.protocol.name();
-    record.nodes = spec.nodes;
+    record.protocol = mc.protocol.name();
+    record.nodes = spec.sequential ? 1 : spec.nodes;
 
     record.hostEvents = static_cast<double>(m.eventq.numExecuted());
 
@@ -51,7 +96,7 @@ Runner::finishRun(const ExperimentSpec &spec, Machine &m,
     record.writeHandlerMean = wcnt ? wsum / static_cast<double>(wcnt) : 0;
     record.writeHandlerCount = wcnt;
 
-    if (spec.trackSharing)
+    if (spec.trackSharing && !spec.sequential)
         record.workerSets = m.tracker.endOfRunHistogram(spec.nodes);
 
     {
@@ -64,80 +109,77 @@ Runner::finishRun(const ExperimentSpec &spec, Machine &m,
         m.dumpStats(os);
         record.statsText = os.str();
     }
+    return record;
+}
 
-    if (failFast && !record.verified) {
+void
+Runner::enforce(const RunRecord &r) const
+{
+    if (!failFast)
+        return;
+    if (!r.verified) {
         fatal("%s failed verification under %s (%d nodes%s)",
-              spec.app.c_str(), record.protocol.c_str(), spec.nodes,
-              record.sequential ? ", sequential" : "");
+              r.app.c_str(), r.protocol.c_str(), r.nodes,
+              r.sequential ? ", sequential" : "");
     }
-    if (failFast && record.auditViolations > 0) {
+    if (r.auditViolations > 0) {
         fatal("%s violated %llu coherence invariants under %s "
               "(%d nodes)",
-              spec.app.c_str(),
-              static_cast<unsigned long long>(record.auditViolations),
-              record.protocol.c_str(), spec.nodes);
+              r.app.c_str(),
+              static_cast<unsigned long long>(r.auditViolations),
+              r.protocol.c_str(), r.nodes);
     }
-    return _log.add(std::move(record));
 }
 
 RunRecord &
 Runner::run(const ExperimentSpec &spec)
 {
-    auto app = AppRegistry::instance().make(spec.app, spec.params,
-                                            spec.nodes);
-    auto t0 = std::chrono::steady_clock::now();
-    Machine m(spec.machine());
-    CoherenceAuditor auditor(CoherenceAuditor::Mode::Collect);
-    if (spec.audit)
-        m.attachAuditor(&auditor);
-    RunRecord r;
-    r.simCycles = app->runParallel(m);
-    r.hostWallSeconds = secondsSince(t0);
-    r.verified = app->verify(m);
-    m.checkInvariants();
-    if (spec.audit) {
-        r.audited = true;
-        r.auditTransitions = auditor.transitionsChecked();
-        r.auditViolations = auditor.violationCount();
-        for (const AuditViolation &v : auditor.violations())
-            warn("audit: %s", v.describe().c_str());
-        m.attachAuditor(nullptr);
-    }
-    return finishRun(spec, m, std::move(r));
+    RunRecord &logged = _log.add(execute(spec));
+    enforce(logged);
+    return logged;
 }
 
 RunRecord &
 Runner::runSequential(const ExperimentSpec &spec)
 {
-    auto app = AppRegistry::instance().make(spec.app, spec.params,
-                                            spec.nodes);
-    // The paper's speedup baseline: 1 node, full-map (software
-    // extension never invoked), victim caching on.
-    MachineConfig mc;
-    mc.numNodes = 1;
-    mc.protocol = ProtocolConfig::fullMap();
-    mc.cacheCtrl.victimEntries = 6;
-
-    auto t0 = std::chrono::steady_clock::now();
-    Machine m(mc);
-    RunRecord r;
-    r.sequential = true;
-    r.simCycles = app->runSequential(m);
-    r.hostWallSeconds = secondsSince(t0);
-    r.verified = app->verify(m);
-
     ExperimentSpec seq_spec = spec;
-    seq_spec.protocol = mc.protocol;
-    RunRecord &logged = finishRun(seq_spec, m, std::move(r));
-    logged.nodes = 1;
-    return logged;
+    seq_spec.sequential = true;
+    return run(seq_spec);
 }
 
-void
+std::vector<RunRecord *>
+Runner::runAll(const std::vector<ExperimentSpec> &specs, unsigned jobs)
+{
+    // Execute into an index-addressed scratch vector — the only
+    // cross-thread state, and written at disjoint indices — then
+    // merge into the log in spec order so the document layout is
+    // independent of completion order.
+    std::vector<RunRecord> results(specs.size());
+    parallelFor(specs.size(), jobs, [&](std::size_t i) {
+        results[i] = execute(specs[i]);
+    });
+
+    std::vector<RunRecord *> out;
+    out.reserve(specs.size());
+    for (RunRecord &r : results)
+        out.push_back(&_log.add(std::move(r)));
+    for (const RunRecord *r : out)
+        enforce(*r);
+    return out;
+}
+
+bool
 Runner::emitRecords() const
 {
-    if (!_log.writeEnv())
-        warn("could not write run records to $%s", RunLog::envVar);
+    if (_log.writeEnv())
+        return true;
+    // Deliberately not warn(): benches run with setQuiet(true), and a
+    // dropped record file must never be silent.
+    const char *path = std::getenv(RunLog::envVar);
+    std::fprintf(stderr,
+                 "error: could not write run records to $%s (%s)\n",
+                 RunLog::envVar, path != nullptr ? path : "unset");
+    return false;
 }
 
 } // namespace swex

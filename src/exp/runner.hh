@@ -6,10 +6,18 @@
  * verifies the result, checks coherence invariants, and returns a
  * structured RunRecord; every record is also collected into a RunLog
  * that serializes as a "swex-run-v1" document.
+ *
+ * Independent specs can execute concurrently: runAll() farms a spec
+ * list over a host thread pool (exp/pool.hh) — every run is confined
+ * to one Machine on one thread, with no process-global simulator
+ * state — and merges the records into the log in spec order, so the
+ * emitted document is bit-identical at any --jobs level.
  */
 
 #ifndef SWEX_EXP_RUNNER_HH
 #define SWEX_EXP_RUNNER_HH
+
+#include <vector>
 
 #include "exp/run_record.hh"
 #include "exp/spec.hh"
@@ -35,26 +43,47 @@ class Runner
     RunRecord &run(const ExperimentSpec &spec);
 
     /**
-     * Run the app's sequential reference: a fresh instance of the
-     * same app on a 1-node full-map machine with victim caching, the
-     * paper's "without multiprocessor overhead" speedup baseline.
-     * (The app factory still sees spec.nodes, because apps precompute
-     * ground truth for the parallel thread count.)
+     * Run the app's sequential reference (spec.sequential = true):
+     * a fresh instance of the same app on a 1-node full-map machine
+     * with victim caching, the paper's "without multiprocessor
+     * overhead" speedup baseline.
      */
     RunRecord &runSequential(const ExperimentSpec &spec);
+
+    /**
+     * Execute every spec, up to @p jobs at a time on host threads
+     * (jobs <= 1 is a plain serial loop), then merge the records
+     * into the log in spec order. Returns pointers into the log,
+     * parallel to @p specs; they stay valid for the runner's
+     * lifetime. With fail_fast, the first failing spec (in spec
+     * order, not completion order) is reported after the whole
+     * grid has drained, keeping diagnostics deterministic.
+     */
+    std::vector<RunRecord *> runAll(const std::vector<ExperimentSpec> &specs,
+                                    unsigned jobs);
+
+    /**
+     * Execute one spec to a standalone record without touching the
+     * log or enforcing fail-fast. Thread-safe: concurrent calls on
+     * distinct specs share nothing but the (locked) app registry.
+     */
+    RunRecord execute(const ExperimentSpec &spec) const;
 
     RunLog &log() { return _log; }
     const RunLog &log() const { return _log; }
 
     /**
-     * Emit the collected records to $SWEX_RUN_JSON if set; warn on
-     * write failure. Call once at the end of a bench's main().
+     * Emit the collected records to $SWEX_RUN_JSON if set. A write
+     * failure is never silent: it is reported on stderr (even in
+     * quiet mode) and returned as false so drivers can exit
+     * non-zero.
      */
-    void emitRecords() const;
+    bool emitRecords() const;
 
   private:
-    RunRecord &finishRun(const ExperimentSpec &spec, Machine &m,
-                         RunRecord record);
+    /** fatal() if @p r failed verification or violated invariants
+     *  and this runner is fail-fast. */
+    void enforce(const RunRecord &r) const;
 
     bool failFast;
     RunLog _log;

@@ -54,6 +54,19 @@ struct ExperimentSpec
      *  simulated cycle counts are identical with it on or off). */
     bool audit = false;
 
+    /**
+     * Run the app's sequential reference instead of its parallel
+     * kernel: a 1-node full-map machine with victim caching, the
+     * paper's "without multiprocessor overhead" speedup baseline.
+     * (The app factory still sees spec.nodes, because apps precompute
+     * ground truth for the parallel thread count.)
+     */
+    bool sequential = false;
+
+    /** Auditor-validation bug injection, threaded down per machine
+     *  (honored only in SWEX_MUTATIONS builds). */
+    ProtocolMutation mutation = ProtocolMutation::None;
+
     /** Network jitter stressor: max extra delivery delay in cycles
      *  (0 = quiet mesh timing). */
     Cycles jitterMax = 0;
@@ -74,6 +87,7 @@ struct ExperimentSpec
         mc.trackSharing = trackSharing;
         mc.cacheCtrl.victimEntries = victimEntries;
         mc.seed = seed;
+        mc.mutation = mutation;
         mc.net.jitterMax = jitterMax;
         mc.net.jitterSeed = jitterSeed != 0 ? jitterSeed : seed;
         return mc;

@@ -38,6 +38,10 @@ struct MachineConfig
     HandlerProfile profile = HandlerProfile::FlexibleC;
     bool parallelInv = false;       ///< Section 7 enhancement
 
+    /** Auditor-validation bug injection, per machine (never process
+     *  state); honored only in SWEX_MUTATIONS builds. */
+    ProtocolMutation mutation = ProtocolMutation::None;
+
     Cycles memLatency = 10;         ///< DRAM access at the home
     Cycles hwCtrlLatency = 2;       ///< hw-synthesized replies
     Cycles rxOccupancy = 2;         ///< CMMU receive-side serialization

@@ -28,6 +28,7 @@ homeConfig(const MachineConfig &mc)
     hc.memLatency = mc.memLatency;
     hc.hwCtrlLatency = mc.hwCtrlLatency;
     hc.parallelInv = mc.parallelInv;
+    hc.mutation = mc.mutation;
     return hc;
 }
 

@@ -28,13 +28,6 @@ using namespace swex;
 namespace
 {
 
-/** Restore the unmutated protocol no matter how the test exits. */
-struct MutationGuard
-{
-    explicit MutationGuard(ProtocolMutation m) { setProtocolMutation(m); }
-    ~MutationGuard() { setProtocolMutation(ProtocolMutation::None); }
-};
-
 /** Minimal stand-in node, as in test_home_controller.cc: lets a test
  *  drive the controller message by message without a machine. */
 struct StubNode : NodeServices
@@ -67,8 +60,10 @@ struct StubNode : NodeServices
 
 struct Harness
 {
-    explicit Harness(ProtocolConfig p, int nodes = 8)
-        : home_cfg{p, HandlerProfile::FlexibleC, 10, 2, false},
+    explicit Harness(ProtocolConfig p,
+                     ProtocolMutation m = ProtocolMutation::None,
+                     int nodes = 8)
+        : home_cfg{p, HandlerProfile::FlexibleC, 10, 2, false, m},
           hc(0, nodes, home_cfg, node, nullptr),
           auditor(CoherenceAuditor::Mode::Collect)
     {
@@ -126,13 +121,12 @@ TEST(AuditMutation, AckOvercountCaught)
 {
     if (!mutationsCompiled)
         GTEST_SKIP() << "built without SWEX_MUTATIONS";
-    MutationGuard g(ProtocolMutation::AckOvercount);
 
     // Two sharers, then a write: the hardware sends two invalidations
     // but (mutated) arms the counter for three. The auditor, which
     // counted the invalidations actually leaving the home, must flag
     // the mismatch at the very transition that created it.
-    Harness h(ProtocolConfig::hw(3));
+    Harness h(ProtocolConfig::hw(3), ProtocolMutation::AckOvercount);
     h.hc.handleMessage(h.req(MsgType::ReadReq, 1));
     h.hc.handleMessage(h.req(MsgType::ReadReq, 2));
     EXPECT_EQ(h.auditor.violationCount(), 0u);
@@ -147,13 +141,13 @@ TEST(AuditMutation, SkipLastAckTrapCaught)
 {
     if (!mutationsCompiled)
         GTEST_SKIP() << "built without SWEX_MUTATIONS";
-    MutationGuard g(ProtocolMutation::SkipLastAckTrap);
 
     // LACK protocol write over two software-tracked sharers: when the
     // final acknowledgment arrives the mutated hardware fails to raise
     // the LastAck trap, so the directory sits in PendWrite with zero
     // acks to wait for and nothing queued to finish the transaction.
-    Harness h(ProtocolConfig::h1Lack());
+    Harness h(ProtocolConfig::h1Lack(),
+              ProtocolMutation::SkipLastAckTrap);
     h.hc.handleMessage(h.req(MsgType::ReadReq, 1));
     h.hc.handleMessage(h.req(MsgType::ReadReq, 2));
     h.runTraps();
@@ -171,7 +165,6 @@ TEST(AuditMutation, DropPointerCaughtAtQuiescence)
 {
     if (!mutationsCompiled)
         GTEST_SKIP() << "built without SWEX_MUTATIONS";
-    MutationGuard g(ProtocolMutation::DropPointer);
 
     // Remote readers are granted data but never recorded. Transition
     // checks cannot see the lie (the entry looks like a legal Shared
@@ -180,6 +173,7 @@ TEST(AuditMutation, DropPointerCaughtAtQuiescence)
     MachineConfig mc;
     mc.numNodes = 4;
     mc.protocol = ProtocolConfig::hw(5);
+    mc.mutation = ProtocolMutation::DropPointer;
     Machine m(mc);
     CoherenceAuditor auditor(CoherenceAuditor::Mode::Collect);
     m.attachAuditor(&auditor);
@@ -197,6 +191,56 @@ TEST(AuditMutation, DropPointerCaughtAtQuiescence)
     EXPECT_TRUE(anyViolationContains(
         auditor, "the directory does not cover"));
     m.attachAuditor(nullptr);
+}
+
+// ------------------------------------------------------------------
+// The mutation is per-machine configuration. Before the fix it was a
+// process global (g_protocolMutation), so a mutated run leaked its
+// bug into every later run in the same process unless the caller
+// remembered to reset it — and was a data race under any host-level
+// concurrency. This regression test runs a mutated machine to
+// completion, then a clean machine, and requires the clean run to be
+// genuinely clean, with no reset call in between.
+// ------------------------------------------------------------------
+
+namespace
+{
+
+/** One 4-node read-share run; returns the audit violation count. */
+std::uint64_t
+auditedRunViolations(ProtocolMutation mutation)
+{
+    MachineConfig mc;
+    mc.numNodes = 4;
+    mc.protocol = ProtocolConfig::hw(5);
+    mc.mutation = mutation;
+    Machine m(mc);
+    CoherenceAuditor auditor(CoherenceAuditor::Mode::Collect);
+    m.attachAuditor(&auditor);
+
+    Addr block = m.allocOn(0, blockBytes, blockBytes);
+    m.debugWrite(block, 42);
+    m.run([&](Mem &mem, int) -> Task<void> {
+        Word v = co_await mem.read(block);
+        EXPECT_EQ(v, 42u);
+    });
+    std::uint64_t n = auditor.violationCount();
+    m.attachAuditor(nullptr);
+    return n;
+}
+
+} // anonymous namespace
+
+TEST(AuditMutation, MutationDoesNotLeakIntoLaterRuns)
+{
+    if (!mutationsCompiled)
+        GTEST_SKIP() << "built without SWEX_MUTATIONS";
+
+    // The mutated machine must misbehave...
+    EXPECT_GE(auditedRunViolations(ProtocolMutation::DropPointer), 3u);
+    // ...and a subsequent default-configured machine in the same
+    // process must not inherit the bug.
+    EXPECT_EQ(auditedRunViolations(ProtocolMutation::None), 0u);
 }
 
 // ------------------------------------------------------------------

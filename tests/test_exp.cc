@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "exp/runner.hh"
@@ -154,4 +156,103 @@ TEST(RunLog, WritesAndMergesNothingWhenEnvUnset)
     r.id = "x";
     log.add(std::move(r));
     EXPECT_TRUE(log.writeEnv());
+}
+
+TEST(RunLog, WriteFailuresAreReportedNotSilent)
+{
+    RunLog log;
+    RunRecord r;
+    r.id = "x";
+    log.add(std::move(r));
+
+    // An unwritable path must come back as false...
+    EXPECT_FALSE(log.writeFile("/nonexistent-dir/records.json"));
+
+    // ...including through the $SWEX_RUN_JSON route, so drivers can
+    // exit non-zero instead of silently dropping the records.
+    ASSERT_EQ(::setenv(RunLog::envVar,
+                       "/nonexistent-dir/records.json", 1), 0);
+    EXPECT_FALSE(log.writeEnv());
+    ASSERT_EQ(::unsetenv(RunLog::envVar), 0);
+}
+
+namespace
+{
+
+/** A small mixed grid: two apps, three protocols, jittered and
+ *  quiet meshes — enough variety to catch any cross-run leakage. */
+std::vector<ExperimentSpec>
+determinismGrid()
+{
+    std::vector<ExperimentSpec> specs;
+    int n = 0;
+    for (const char *app : {"worker", "tsp"}) {
+        for (ProtocolConfig proto :
+             {ProtocolConfig::hw(5), ProtocolConfig::h1Lack(),
+              ProtocolConfig::fullMap()}) {
+            ExperimentSpec spec = smokeSpec(app, proto);
+            spec.id = "grid/" + std::to_string(n) + "/" + app;
+            spec.jitterMax = (n % 2 != 0) ? 23 : 0;
+            spec.jitterSeed = static_cast<std::uint64_t>(n + 1);
+            specs.push_back(std::move(spec));
+            ++n;
+        }
+    }
+    return specs;
+}
+
+} // anonymous namespace
+
+TEST(RunnerParallel, JobsDoNotChangeResults)
+{
+    // The determinism contract behind every --jobs flag: the same
+    // spec list yields the same cycle counts, the same final memory
+    // images, and a bit-identical canonical swex-run-v1 document at
+    // any concurrency.
+    setQuiet(true);
+    std::vector<ExperimentSpec> specs = determinismGrid();
+
+    Runner serial;
+    std::vector<RunRecord *> a = serial.runAll(specs, 1);
+    Runner threaded;
+    std::vector<RunRecord *> b = threaded.runAll(specs, 8);
+
+    ASSERT_EQ(a.size(), specs.size());
+    ASSERT_EQ(b.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(a[i]->simCycles, b[i]->simCycles) << specs[i].id;
+        EXPECT_EQ(a[i]->imageHash, b[i]->imageHash) << specs[i].id;
+        EXPECT_TRUE(b[i]->verified) << specs[i].id;
+    }
+
+    // Canonical serialization zeroes the wall-clock fields (the only
+    // host-dependent values), so the documents must be bytewise
+    // identical.
+    std::ostringstream doc_a, doc_b;
+    serial.log().writeJson(doc_a, /*canonical=*/true);
+    threaded.log().writeJson(doc_b, /*canonical=*/true);
+    EXPECT_EQ(doc_a.str(), doc_b.str());
+}
+
+TEST(RunnerParallel, LogMergesInSpecOrder)
+{
+    setQuiet(true);
+    std::vector<ExperimentSpec> specs = determinismGrid();
+    Runner runner;
+    std::vector<RunRecord *> recs = runner.runAll(specs, 4);
+
+    // The returned pointers parallel the spec list...
+    ASSERT_EQ(recs.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(recs[i]->id, specs[i].id);
+
+    // ...and the log itself holds the records in spec order, which
+    // is what makes the emitted document independent of scheduling.
+    std::ostringstream os;
+    runner.log().writeJson(os, /*canonical=*/true);
+    minijson::Value doc = minijson::parse(os.str());
+    ASSERT_EQ(doc.at("records").array.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(doc.at("records").array[i].at("id").str,
+                  specs[i].id);
 }

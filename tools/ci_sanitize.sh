@@ -1,19 +1,23 @@
 #!/bin/sh
-# Build the tier-1 test suite under ASan and UBSan and run it under
-# each, in separate build trees so sanitized and plain objects never
-# mix. Usage:
+# Build the tier-1 test suite under ASan, UBSan, and TSan and run it
+# under each, in separate build trees so sanitized and plain objects
+# never mix. TSan matters since the sweep tier went parallel: the
+# stress label runs the (app x protocol x seed) grid with --jobs 4,
+# so any cross-run shared state in the simulator shows up as a race.
+# Usage:
 #
 #   tools/ci_sanitize.sh [builddir-prefix]
 #
 # The prefix defaults to build-san; the script creates
-# <prefix>-address/ and <prefix>-undefined/ next to the source tree.
-# Exits non-zero on the first configure, build, or test failure.
+# <prefix>-address/, <prefix>-undefined/, and <prefix>-thread/ next
+# to the source tree. Exits non-zero on the first configure, build,
+# or test failure.
 set -eu
 
 src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 prefix=${1:-build-san}
 
-for san in address undefined; do
+for san in address undefined thread; do
     build_dir="${prefix}-${san}"
     echo "== ${san}: configuring ${build_dir}"
     cmake -S "${src_dir}" -B "${build_dir}" \

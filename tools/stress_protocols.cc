@@ -14,14 +14,22 @@
  * violation, the tail of the message trace, and a swex_cli command
  * line that replays the failing configuration, then exits non-zero.
  *
+ * The (app x protocol x seed) grid is embarrassingly parallel: every
+ * run is one thread-confined Machine. --jobs N executes the grid on a
+ * host thread pool; results, per-pair summaries, and failure
+ * diagnostics are buffered per run and printed in grid order after
+ * the sweep drains, so the output (and the final digest of every
+ * run's cycle count and memory image) is identical at any --jobs.
+ *
  * The ctest registration runs a small seed count; the acceptance
- * sweep is `stress_protocols --app worker --seeds 200`.
+ * sweep is `stress_protocols --app worker --seeds 200 --jobs 8`.
  */
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +37,7 @@
 #include "audit/auditor.hh"
 #include "base/logging.hh"
 #include "core/spectrum.hh"
+#include "exp/pool.hh"
 #include "exp/spec.hh"
 #include "machine/machine.hh"
 
@@ -43,6 +52,7 @@ struct Options
     std::uint64_t startSeed = 1;
     int nodes = 16;
     Cycles jitterMax = 37;
+    unsigned jobs = 1;
     std::string onlyApp;       ///< empty = all stress apps
     std::string onlyProtocol;  ///< empty = full spectrum
 };
@@ -109,10 +119,12 @@ struct RunResult
     bool ok = true;
     Tick cycles = 0;
     std::uint64_t image = 0;
+    std::string diagnostics;   ///< failure report; empty when ok
 };
 
-/** One stress run; prints diagnostics and returns ok=false on any
- *  verification or invariant failure. */
+/** One stress run. Runs on a worker thread: all diagnostics are
+ *  buffered into the result, never printed here, so concurrent runs
+ *  cannot interleave their reports. */
 RunResult
 stressRun(const StressApp &sa, const SpectrumPoint &pt, int nodes,
           Cycles jitter_max, std::uint64_t seed,
@@ -159,29 +171,32 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt, int nodes,
 
     if (!failures.empty()) {
         r.ok = false;
-        std::fprintf(stderr,
-                     "\nFAIL: app=%s protocol=%s nodes=%d jitter=%llu "
+        std::ostringstream os;
+        os << strfmt("\nFAIL: app=%s protocol=%s nodes=%d jitter=%llu "
                      "seed=%llu\n",
                      sa.name.c_str(), pt.label.c_str(), nodes,
                      static_cast<unsigned long long>(jitter_max),
                      static_cast<unsigned long long>(seed));
         for (const std::string &f : failures)
-            std::fprintf(stderr, "  %s\n", f.c_str());
+            os << "  " << f << "\n";
         for (const AuditViolation &v : auditor.violations())
-            std::fprintf(stderr, "  audit: %s\n",
-                         v.describe().c_str());
-        std::fprintf(stderr, "last messages delivered:\n");
-        m.network.dumpTrace(std::cerr);
+            os << "  audit: " << v.describe() << "\n";
+        os << "last messages delivered:\n";
+        m.network.dumpTrace(os);
+        // The stress machine uses the default machine seed; only the
+        // network jitter is seeded per run, so the replay must set
+        // --jitter-seed (NOT --seed, which would change the machine).
         std::string replay = strfmt(
             "swex_cli --app %s --nodes %d --protocol %s --victim 6 "
-            "--jitter %llu --seed %llu --audit",
+            "--jitter %llu --jitter-seed %llu --audit",
             sa.name.c_str(), nodes,
             cliProtocolName(pt.label).c_str(),
             static_cast<unsigned long long>(jitter_max),
             static_cast<unsigned long long>(seed));
         for (const auto &[k, v] : sa.params)
             replay += strfmt(" --param %s=%s", k.c_str(), v.c_str());
-        std::fprintf(stderr, "replay: %s\n", replay.c_str());
+        os << "replay: " << replay << "\n";
+        r.diagnostics = os.str();
     }
     m.attachAuditor(nullptr);
     return r;
@@ -195,6 +210,7 @@ referenceImage(const StressApp &sa, int nodes)
                             nodes, /*jitter_max=*/0, /*seed=*/0,
                             nullptr);
     if (!r.ok) {
+        std::fputs(r.diagnostics.c_str(), stderr);
         std::fprintf(stderr, "stress_protocols: reference run of %s "
                              "failed; aborting\n", sa.name.c_str());
         std::exit(1);
@@ -213,6 +229,8 @@ usage()
         "  --start-seed <s>  first seed (default 1)\n"
         "  --nodes <n>       machine size (default 16)\n"
         "  --jitter <c>      max extra delivery delay (default 37)\n"
+        "  --jobs <n>        concurrent runs on host threads "
+        "(default 1; output is identical at any value)\n"
         "  --app <name>      restrict to one app (worker|tsp)\n"
         "  --protocol <lbl>  restrict to one spectrum label "
         "(e.g. DIR1SW)\n");
@@ -243,6 +261,9 @@ main(int argc, char **argv)
         else if (a == "--jitter")
             opt.jitterMax = static_cast<Cycles>(
                 parseLong(a, next(), 0, 1 << 20));
+        else if (a == "--jobs")
+            opt.jobs = static_cast<unsigned>(
+                parseLong(a, next(), 1, 256));
         else if (a == "--app")
             opt.onlyApp = next();
         else if (a == "--protocol")
@@ -254,37 +275,93 @@ main(int argc, char **argv)
     }
 
     setQuiet(true);
-    int runs = 0, failed = 0;
+
+    // Build the flat grid up front. The reference images are computed
+    // serially first (one quiet run per image-stable app); every grid
+    // cell then only reads them.
+    struct Pair
+    {
+        std::size_t app;        ///< index into apps
+        SpectrumPoint pt;
+        std::size_t firstJob;   ///< index of this pair's first seed
+    };
+    struct Job
+    {
+        std::size_t pair;
+        std::uint64_t seed;
+    };
+
+    std::vector<StressApp> apps;
+    std::vector<std::uint64_t> references;   ///< 0 = no image check
     for (const StressApp &sa : stressApps()) {
         if (!opt.onlyApp.empty() && sa.name != opt.onlyApp)
             continue;
-        std::uint64_t reference = 0;
-        if (sa.imageStable)
-            reference = referenceImage(sa, opt.nodes);
+        apps.push_back(sa);
+        references.push_back(
+            sa.imageStable ? referenceImage(sa, opt.nodes) : 0);
+    }
+
+    std::vector<Pair> pairs;
+    std::vector<Job> jobs;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
         for (const auto &pt : protocolSpectrum()) {
             if (!opt.onlyProtocol.empty() &&
                 pt.label != opt.onlyProtocol)
                 continue;
-            int pass = 0;
-            for (int s = 0; s < opt.seeds; ++s) {
-                std::uint64_t seed =
-                    opt.startSeed + static_cast<std::uint64_t>(s);
-                RunResult r = stressRun(
-                    sa, pt, opt.nodes, opt.jitterMax, seed,
-                    sa.imageStable ? &reference : nullptr);
-                ++runs;
-                if (r.ok)
-                    ++pass;
-                else
-                    ++failed;
-            }
-            std::printf("%-8s %-8s %4d/%d seeds ok\n",
-                        sa.name.c_str(), pt.label.c_str(), pass,
-                        opt.seeds);
-            std::fflush(stdout);
+            pairs.push_back({ai, pt, jobs.size()});
+            for (int s = 0; s < opt.seeds; ++s)
+                jobs.push_back({pairs.size() - 1,
+                                opt.startSeed +
+                                    static_cast<std::uint64_t>(s)});
         }
     }
 
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<RunResult> results(jobs.size());
+    parallelFor(jobs.size(), opt.jobs, [&](std::size_t i) {
+        const Job &j = jobs[i];
+        const Pair &p = pairs[j.pair];
+        const std::uint64_t *expect =
+            apps[p.app].imageStable ? &references[p.app] : nullptr;
+        results[i] = stressRun(apps[p.app], p.pt, opt.nodes,
+                               opt.jitterMax, j.seed, expect);
+    });
+    double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+
+    // Everything below replays the grid in order: diagnostics,
+    // summaries, and the digest come out identical at any --jobs.
+    int runs = static_cast<int>(jobs.size());
+    int failed = 0;
+    std::uint64_t digest = 1469598103934665603ull;   // FNV offset
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+        const Pair &p = pairs[pi];
+        std::size_t end = pi + 1 < pairs.size()
+                              ? pairs[pi + 1].firstJob
+                              : jobs.size();
+        int pass = 0, total = 0;
+        for (std::size_t i = p.firstJob; i < end; ++i) {
+            const RunResult &r = results[i];
+            ++total;
+            if (r.ok) {
+                ++pass;
+            } else {
+                ++failed;
+                std::fputs(r.diagnostics.c_str(), stderr);
+            }
+            digest = (digest ^ static_cast<std::uint64_t>(r.cycles)) *
+                     1099511628211ull;
+            digest = (digest ^ r.image) * 1099511628211ull;
+        }
+        std::printf("%-8s %-8s %4d/%d seeds ok\n",
+                    apps[p.app].name.c_str(), p.pt.label.c_str(),
+                    pass, total);
+        std::fflush(stdout);
+    }
+
+    std::printf("grid digest %016llx (%d runs, --jobs %u, %.2fs)\n",
+                static_cast<unsigned long long>(digest), runs,
+                opt.jobs, wall);
     if (failed > 0) {
         std::fprintf(stderr,
                      "stress_protocols: %d of %d runs FAILED\n",

@@ -11,6 +11,7 @@
  *   swex_cli --app tsp --nodes 64 --protocol h0 --stats
  *   swex_cli --app smgrid --param fine=65 --seq
  *   swex_cli --app mp3d --json out.json
+ *   swex_cli --app worker --sweep --seeds 20 --jitter 37 --jobs 8
  *   swex_cli --list
  */
 
@@ -20,6 +21,8 @@
 #include <iostream>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/logging.hh"
 #include "core/spectrum.hh"
@@ -98,6 +101,18 @@ usage()
         "  --audit            attach the coherence invariant auditor\n"
         "  --jitter <c>       network jitter stressor: up to c extra\n"
         "                     cycles of delivery delay per message\n"
+        "  --jitter-seed <n>  seed the jitter stream separately from\n"
+        "                     the machine seed (stress replay lines\n"
+        "                     use this; 0 = reuse --seed)\n"
+        "  --sweep            run the whole protocol spectrum instead\n"
+        "                     of one --protocol (grid: spectrum x\n"
+        "                     --seeds jitter seeds)\n"
+        "  --seeds <n>        jitter seeds per spectrum point in\n"
+        "                     --sweep (default 1, first = "
+        "--jitter-seed)\n"
+        "  --jobs <n>         concurrent --sweep runs on host threads\n"
+        "                     (default 1; records are identical at\n"
+        "                     any value)\n"
         "  --perfect-ifetch   one-cycle instruction fetch\n"
         "  --no-local-bit     disable the one-bit local pointer\n"
         "  --parallel-inv     Section 7 parallel invalidation\n"
@@ -152,6 +167,9 @@ main(int argc, char **argv)
     bool local_bit_off = false;
     bool want_seq = false;
     bool want_stats = false;
+    bool want_sweep = false;
+    int sweep_seeds = 1;
+    unsigned jobs = 1;
     std::string json_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -186,6 +204,13 @@ main(int argc, char **argv)
         else if (a == "--jitter")
             spec.jitterMax = static_cast<Cycles>(
                 parseCount(a, next(), 0, 1 << 20));
+        else if (a == "--jitter-seed")
+            spec.jitterSeed = parseU64(a, next());
+        else if (a == "--sweep") want_sweep = true;
+        else if (a == "--seeds")
+            sweep_seeds = parseCount(a, next(), 1, 1'000'000);
+        else if (a == "--jobs")
+            jobs = static_cast<unsigned>(parseCount(a, next(), 1, 256));
         else if (a == "--perfect-ifetch") spec.perfectIfetch = true;
         else if (a == "--no-local-bit") local_bit_off = true;
         else if (a == "--parallel-inv") spec.parallelInv = true;
@@ -208,6 +233,72 @@ main(int argc, char **argv)
         fatal("unknown app '%s' (try --list)", spec.app.c_str());
 
     setQuiet(true);
+
+    if (want_sweep) {
+        // Grid: every spectrum point x sweep_seeds jitter seeds, run
+        // through Runner::runAll. Records land in the log in spec
+        // order regardless of --jobs, so the summary, the emitted
+        // swex-run-v1 document, and the exit code are identical at
+        // any concurrency.
+        std::uint64_t seed0 = spec.jitterSeed != 0 ? spec.jitterSeed
+                                                   : spec.seed;
+        std::vector<ExperimentSpec> specs;
+        for (const auto &pt : protocolSpectrum()) {
+            for (int s = 0; s < sweep_seeds; ++s) {
+                ExperimentSpec sp = spec;
+                sp.protocol = pt.protocol;
+                if (local_bit_off)
+                    sp.protocol.localBit = false;
+                sp.jitterSeed = seed0 + static_cast<std::uint64_t>(s);
+                sp.id = strfmt("sweep/%s/s%llu", pt.label.c_str(),
+                               static_cast<unsigned long long>(
+                                   sp.jitterSeed));
+                specs.push_back(std::move(sp));
+            }
+        }
+
+        std::printf("sweep: app=%s nodes=%d victim=%u jitter=%llu "
+                    "(%zu points x %d seeds, --jobs %u)\n",
+                    spec.app.c_str(), spec.nodes, spec.victimEntries,
+                    static_cast<unsigned long long>(spec.jitterMax),
+                    specs.size() / static_cast<std::size_t>(sweep_seeds),
+                    sweep_seeds, jobs);
+
+        Runner runner(/*fail_fast=*/false);
+        std::vector<RunRecord *> recs = runner.runAll(specs, jobs);
+
+        bool all_ok = true;
+        std::size_t i = 0;
+        for (const auto &pt : protocolSpectrum()) {
+            int ok = 0;
+            const RunRecord *first = recs[i];
+            for (int s = 0; s < sweep_seeds; ++s, ++i) {
+                const RunRecord *r = recs[i];
+                if (r->verified && r->auditViolations == 0)
+                    ++ok;
+                else
+                    all_ok = false;
+            }
+            std::printf("  %-10s %3d/%d ok  s0: %llu cycles, image "
+                        "%016llx\n",
+                        pt.label.c_str(), ok, sweep_seeds,
+                        static_cast<unsigned long long>(
+                            first->simCycles),
+                        static_cast<unsigned long long>(
+                            first->imageHash));
+        }
+
+        bool json_ok = true;
+        if (!json_path.empty()) {
+            json_ok = runner.log().writeFile(json_path);
+            if (!json_ok)
+                std::fprintf(stderr, "error: could not write %s\n",
+                             json_path.c_str());
+        }
+        bool emit_ok = runner.emitRecords();
+        return all_ok && json_ok && emit_ok ? 0 : 1;
+    }
+
     std::printf("app=%s nodes=%d protocol=%s profile=%s victim=%u\n",
                 spec.app.c_str(), spec.nodes,
                 spec.protocol.name().c_str(),
@@ -251,6 +342,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "error: could not write %s\n",
                          json_path.c_str());
     }
-    runner.emitRecords();
-    return r.verified && json_ok && r.auditViolations == 0 ? 0 : 1;
+    bool emit_ok = runner.emitRecords();
+    return r.verified && json_ok && emit_ok && r.auditViolations == 0
+               ? 0 : 1;
 }
