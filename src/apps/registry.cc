@@ -204,7 +204,8 @@ AppRegistry::AppRegistry()
                  r.getU64("think", c.thinkTime));
              r.finish();
              return std::make_unique<WorkerApp>(c, nodes);
-         }});
+         },
+         1.0});
 
     add({"tsp",
          "branch-and-bound traveling salesman (Sec. 6)",
@@ -220,7 +221,8 @@ AppRegistry::AppRegistry()
              c.frontierTarget = r.getU64("frontier", c.frontierTarget);
              r.finish();
              return std::make_unique<TspApp>(c);
-         }});
+         },
+         20.0});
 
     add({"aq",
          "adaptive quadrature over a work queue (Sec. 6)",
@@ -235,7 +237,8 @@ AppRegistry::AppRegistry()
                  r.getU64("eval_work", c.evalWork));
              r.finish();
              return std::make_unique<AqApp>(c);
-         }});
+         },
+         2.0});
 
     add({"smgrid",
          "static multigrid PDE solver (Sec. 6)",
@@ -251,7 +254,8 @@ AppRegistry::AppRegistry()
                  r.getU64("point_work", c.pointWork));
              r.finish();
              return std::make_unique<SmgridApp>(c);
-         }});
+         },
+         5.0});
 
     add({"evolve",
          "genome evolution as hypercube traversal (Sec. 6)",
@@ -268,7 +272,8 @@ AppRegistry::AppRegistry()
              auto app = std::make_unique<EvolveApp>(c);
              app->computeGroundTruth(nodes);
              return app;
-         }});
+         },
+         2.0});
 
     add({"mp3d",
          "rarefied-fluid particle simulation (SPLASH, Sec. 6)",
@@ -283,7 +288,8 @@ AppRegistry::AppRegistry()
                  r.getU64("move_work", c.moveWork));
              r.finish();
              return std::make_unique<Mp3dApp>(c);
-         }});
+         },
+         10.0});
 
     add({"water",
          "N-body molecular dynamics (SPLASH, Sec. 6)",
@@ -298,7 +304,8 @@ AppRegistry::AppRegistry()
                  r.getU64("pair_work", c.pairWork));
              r.finish();
              return std::make_unique<WaterApp>(c);
-         }});
+         },
+         15.0});
 }
 
 } // namespace swex

@@ -80,6 +80,14 @@ class AppRegistry
         AppParams smokeParams;
         std::function<std::unique_ptr<App>(const AppParams &,
                                            int nodes)> make;
+
+        /**
+         * Rough host cost of one run relative to WORKER (= 1.0), for
+         * longest-first sweep scheduling. A hint, not a contract:
+         * only the order worker threads claim grid cells depends on
+         * it, never any result.
+         */
+        double costWeight = 1.0;
     };
 
     /** The singleton, with the built-in apps already registered. */

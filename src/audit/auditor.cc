@@ -248,6 +248,52 @@ CoherenceAuditor::checkEntry(const HomeController &hc, Addr block,
 }
 
 void
+CoherenceAuditor::deliveryViolation(NodeId src, NodeId dst,
+                                    const std::string &what)
+{
+    report(src, 0,
+           strfmt("delivery channel %d->%d: %s", static_cast<int>(src),
+                  static_cast<int>(dst), what.c_str()));
+}
+
+std::string
+CoherenceAuditor::stallSummary() const
+{
+    constexpr std::size_t maxLines = 16;
+    std::string out;
+    std::size_t lines = 0, suppressed = 0;
+    for (const AuditNodeView &nv : _nodes) {
+        nv.home->dir.forEach([&](Addr a, const DirEntry &e) {
+            if (e.state == DirState::Uncached ||
+                e.state == DirState::Shared ||
+                e.state == DirState::Exclusive) {
+                return;
+            }
+            if (lines >= maxLines) {
+                ++suppressed;
+                return;
+            }
+            ++lines;
+            out += strfmt("home %d block %#llx stuck in %s "
+                          "(pending node %d, %u acks outstanding%s)\n",
+                          static_cast<int>(nv.id),
+                          static_cast<unsigned long long>(a),
+                          dirStateName(e.state),
+                          static_cast<int>(e.pendingNode), e.ackCount,
+                          e.trapPending() ? ", trap queued" : "");
+        });
+        if (nv.home->deferredCount() != 0) {
+            out += strfmt("home %d holds %zu deferred requests\n",
+                          static_cast<int>(nv.id),
+                          nv.home->deferredCount());
+        }
+    }
+    if (suppressed > 0)
+        out += strfmt("(%zu more stalled transactions)\n", suppressed);
+    return out;
+}
+
+void
 CoherenceAuditor::checkQuiescent()
 {
     // Per-entry checks with the quiescent-only extensions, plus

@@ -87,6 +87,23 @@ class CoherenceAuditor : public ProtocolAuditHook
      */
     void checkQuiescent();
 
+    /**
+     * A delivery-layer invariant failed at quiescence (sequence gap,
+     * unacknowledged messages, retransmit bound exceeded). Reported
+     * by Machine::run() via MeshNetwork::checkDeliveryQuiescent; the
+     * channel's source node stands in as the "home" of the violation.
+     */
+    void deliveryViolation(NodeId src, NodeId dst,
+                           const std::string &what);
+
+    /**
+     * Human-readable summary of every directory transaction stuck in
+     * a transient state, for diagnosing a run that hit its deadline:
+     * home, block, state, acks outstanding, pending requester; capped
+     * at a few lines per home. Empty when nothing is stalled.
+     */
+    std::string stallSummary() const;
+
     /** Violations recorded so far (Collect mode; capped storage). */
     const std::vector<AuditViolation> &violations() const
     {

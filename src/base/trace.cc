@@ -26,6 +26,35 @@ traceMutex()
 /** The label of the run executing on this host thread, "" if none. */
 thread_local std::string runLabel;
 
+/** Per-run trace file for this host thread (SWEX_TRACE_DIR), or null
+ *  when lines go to the shared stderr sink. */
+thread_local std::FILE *runFile = nullptr;
+
+/** Directory for per-run trace files, null if not requested. */
+const char *
+traceDir()
+{
+    static const char *dir = std::getenv("SWEX_TRACE_DIR");
+    return dir;
+}
+
+/** Label -> file-name stem: path separators and shell-hostile
+ *  characters become underscores. */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') ||
+                        c == '.' || c == '-' || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
 } // anonymous namespace
 
 bool
@@ -44,21 +73,38 @@ traceEvent(const char *fmt, ...)
     va_end(args);
 
     std::lock_guard<std::mutex> hold(traceMutex());
-    if (runLabel.empty())
+    if (runFile != nullptr) {
+        // A dedicated per-run file: the file name already states the
+        // run, so the label prefix would be noise.
+        std::fprintf(runFile, "%s\n", line.c_str());
+    } else if (runLabel.empty()) {
         std::fprintf(stderr, "%s\n", line.c_str());
-    else
+    } else {
         std::fprintf(stderr, "[%s] %s\n", runLabel.c_str(),
                      line.c_str());
+    }
 }
 
 TraceRunScope::TraceRunScope(const std::string &label)
-    : saved(std::move(runLabel))
+    : saved(std::move(runLabel)), savedFile(runFile)
 {
     runLabel = label;
+    if (traceEnabled() && traceDir() != nullptr && !label.empty()) {
+        std::string path = std::string(traceDir()) + "/" +
+                           sanitizeLabel(label) + ".trace";
+        // Append: a run re-executed under the same id (replay) adds
+        // to its file rather than clobbering the evidence. A failed
+        // open silently falls back to the labeled stderr sink.
+        if (std::FILE *f = std::fopen(path.c_str(), "a"))
+            runFile = f;
+    }
 }
 
 TraceRunScope::~TraceRunScope()
 {
+    if (runFile != nullptr && runFile != savedFile)
+        std::fclose(runFile);
+    runFile = savedFile;
     runLabel = std::move(saved);
 }
 

@@ -15,6 +15,7 @@
 #ifndef SWEX_BASE_TRACE_HH
 #define SWEX_BASE_TRACE_HH
 
+#include <cstdio>
 #include <string>
 
 namespace swex
@@ -37,6 +38,14 @@ void traceEvent(const char *fmt, ...)
  * experiment's spec id, so `SWEX_TRACE=1 ... --jobs 8` output states
  * which run each line belongs to. Scopes do not nest (the inner
  * label simply replaces the outer for its lifetime).
+ *
+ * When SWEX_TRACE_DIR additionally names a directory, each scope
+ * routes its thread's trace lines to `<dir>/<label>.trace` (slashes
+ * in the label become underscores, the file is appended to, and no
+ * label prefix is written — the file names the run). A grid swept at
+ * --jobs 8 then yields one readable trace per cell instead of an
+ * interleaved stderr stream. If the file cannot be opened, lines
+ * fall back to the labeled stderr sink.
  */
 class TraceRunScope
 {
@@ -49,6 +58,7 @@ class TraceRunScope
 
   private:
     std::string saved;
+    std::FILE *savedFile;
 };
 
 } // namespace swex

@@ -1,7 +1,9 @@
 #include "exp/pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <numeric>
 
 namespace swex
 {
@@ -98,6 +100,54 @@ parallelFor(std::size_t n, unsigned jobs,
                 if (i >= n)
                     return;
                 fn(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+std::vector<std::size_t>
+longestFirstOrder(const std::vector<double> &costs)
+{
+    std::vector<std::size_t> order(costs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // stable_sort: equal-cost indices keep submission order, so the
+    // claimed sequence is a pure function of the cost vector.
+    std::stable_sort(order.begin(), order.end(),
+                     [&costs](std::size_t a, std::size_t b) {
+                         return costs[a] > costs[b];
+                     });
+    return order;
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::vector<double> &costs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (costs.size() != n || n == 0 || jobs <= 1 || n == 1) {
+        // Serial execution gains nothing from reordering; keep the
+        // natural order so single-job traces stay easy to follow.
+        parallelFor(n, jobs, fn);
+        return;
+    }
+
+    std::vector<std::size_t> order = longestFirstOrder(costs);
+
+    unsigned threads = jobs;
+    if (static_cast<std::size_t>(threads) > n)
+        threads = static_cast<unsigned>(n);
+
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.submit([&] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                fn(order[i]);
             }
         });
     }

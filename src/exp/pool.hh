@@ -70,6 +70,26 @@ void parallelFor(std::size_t n, unsigned jobs,
                  const std::function<void(std::size_t)> &fn);
 
 /**
+ * Index permutation that visits the highest-cost indices first
+ * (stable: equal costs keep their relative order). Scheduling the
+ * longest simulations before the short ones keeps a sweep's critical
+ * path from ending on a straggler claimed at the tail.
+ */
+std::vector<std::size_t>
+longestFirstOrder(const std::vector<double> &costs);
+
+/**
+ * parallelFor with a per-index cost estimate: worker threads claim
+ * indices in longest-first order instead of 0..n-1. Purely a
+ * scheduling hint — every index still runs exactly once, and callers
+ * that merge results by index are unaffected. An empty or
+ * wrong-length @p costs falls back to natural order.
+ */
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::vector<double> &costs,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
  * The sweep tier's default parallelism: $SWEX_JOBS if set to a
  * positive integer, else the hardware concurrency, else 1.
  */

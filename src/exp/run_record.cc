@@ -61,7 +61,22 @@ RunRecord::writeJson(std::ostream &os, bool canonical) const
     os << ",\"nodes\":" << nodes
        << ",\"sequential\":" << (sequential ? "true" : "false")
        << ",\"sim_cycles\":" << simCycles
-       << ",\"verified\":" << (verified ? "true" : "false");
+       << ",\"verified\":" << (verified ? "true" : "false")
+       << ",\"status\":";
+    jsonString(os, status);
+    if (failed()) {
+        os << ",\"last_progress\":" << lastProgress;
+        os << ",\"stall\":";
+        jsonString(os, stallSummary);
+    }
+    if (faultDrop != 0 || faultDup != 0 || faultBlackout != 0) {
+        os << ",\"faults\":{\"drop\":" << faultDrop
+           << ",\"dup\":" << faultDup
+           << ",\"blackout\":" << faultBlackout
+           << ",\"seed\":" << faultSeed << '}';
+    }
+    if (deadline != 0)
+        os << ",\"deadline\":" << deadline;
 
     {
         char buf[24];

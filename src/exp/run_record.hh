@@ -32,6 +32,27 @@ struct RunRecord
     Tick simCycles = 0;       ///< elapsed simulated cycles
     bool verified = false;    ///< app self-check passed
 
+    /**
+     * How the run ended: "ok", "deadline" (the simulated-cycle
+     * deadline expired mid-run), or "deadlock" (threads blocked with
+     * an empty event queue). Failure records carry the last tick at
+     * which a processor made progress and, when an auditor was
+     * attached, a summary of the stalled directory transactions.
+     */
+    std::string status = "ok";
+    Tick lastProgress = 0;    ///< last forward-progress tick (failures)
+    std::string stallSummary; ///< stalled transactions (failures)
+
+    bool failed() const { return status != "ok"; }
+
+    // Fault-injection reproduction parameters (echoed so a failure
+    // record alone suffices to replay the run).
+    unsigned faultDrop = 0;        ///< drop rate, per mille
+    unsigned faultDup = 0;         ///< duplication rate, per mille
+    unsigned faultBlackout = 0;    ///< blackout rate, per mille
+    std::uint64_t faultSeed = 0;   ///< fault stream seed
+    Tick deadline = 0;             ///< deadline in force (0 = none)
+
     /** Machine::imageHash() at quiescence: an order-independent
      *  digest of the coherent memory image, the sweep tier's
      *  bit-identity witness across --jobs levels. */

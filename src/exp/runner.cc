@@ -60,8 +60,38 @@ Runner::execute(const ExperimentSpec &spec) const
     record.simCycles = spec.sequential ? app->runSequential(m)
                                        : app->runParallel(m);
     record.hostWallSeconds = secondsSince(t0);
-    record.verified = app->verify(m);
-    m.checkInvariants();
+
+    switch (m.runStatus()) {
+      case Machine::RunStatus::Completed:
+        record.status = "ok";
+        break;
+      case Machine::RunStatus::DeadlineExceeded:
+        record.status = "deadline";
+        break;
+      case Machine::RunStatus::Deadlocked:
+        record.status = "deadlock";
+        break;
+    }
+
+    if (record.failed()) {
+        // The run was abandoned mid-transaction: verification and the
+        // invariant checks (which panic on transient directory state)
+        // are meaningless. Record what stalled instead.
+        record.lastProgress = m.lastProgressTick();
+        if (spec.audit && !spec.sequential) {
+            record.stallSummary = auditor.stallSummary();
+        } else {
+            // Attach a post-mortem auditor just for its directory
+            // views; the run is over, so this observes, never alters.
+            CoherenceAuditor post(CoherenceAuditor::Mode::Collect);
+            m.attachAuditor(&post);
+            record.stallSummary = post.stallSummary();
+            m.attachAuditor(nullptr);
+        }
+    } else {
+        record.verified = app->verify(m);
+        m.checkInvariants();
+    }
     record.imageHash = m.imageHash();
     if (spec.audit && !spec.sequential) {
         record.audited = true;
@@ -71,6 +101,11 @@ Runner::execute(const ExperimentSpec &spec) const
             warn("audit: %s", v.describe().c_str());
         m.attachAuditor(nullptr);
     }
+    record.faultDrop = mc.net.faults.dropPerMille;
+    record.faultDup = mc.net.faults.dupPerMille;
+    record.faultBlackout = mc.net.faults.blackoutPerMille;
+    record.faultSeed = mc.net.faults.seed;
+    record.deadline = mc.deadline;
 
     record.id = spec.id;
     record.app = spec.app;
@@ -117,6 +152,14 @@ Runner::enforce(const RunRecord &r) const
 {
     if (!failFast)
         return;
+    if (r.failed()) {
+        fatal("%s did not complete under %s (%d nodes): %s at tick "
+              "%llu\n%s",
+              r.app.c_str(), r.protocol.c_str(), r.nodes,
+              r.status.c_str(),
+              static_cast<unsigned long long>(r.lastProgress),
+              r.stallSummary.c_str());
+    }
     if (!r.verified) {
         fatal("%s failed verification under %s (%d nodes%s)",
               r.app.c_str(), r.protocol.c_str(), r.nodes,
@@ -155,7 +198,22 @@ Runner::runAll(const std::vector<ExperimentSpec> &specs, unsigned jobs)
     // merge into the log in spec order so the document layout is
     // independent of completion order.
     std::vector<RunRecord> results(specs.size());
-    parallelFor(specs.size(), jobs, [&](std::size_t i) {
+
+    // Longest-first claiming order: big cells (many nodes, heavy
+    // apps) start first so the sweep never ends waiting on a large
+    // simulation claimed at the tail. Results are merged by index,
+    // so the schedule cannot affect the document.
+    std::vector<double> costs;
+    costs.reserve(specs.size());
+    for (const ExperimentSpec &s : specs) {
+        double w = 1.0;
+        if (AppRegistry::instance().contains(s.app))
+            w = AppRegistry::instance().entry(s.app).costWeight;
+        costs.push_back(w * static_cast<double>(
+                                s.sequential ? 1 : s.nodes));
+    }
+
+    parallelFor(specs.size(), jobs, costs, [&](std::size_t i) {
         results[i] = execute(specs[i]);
     });
 

@@ -74,6 +74,19 @@ struct ExperimentSpec
     /** Seed for the jitter stream; 0 reuses the run seed. */
     std::uint64_t jitterSeed = 0;
 
+    /** Adversarial fault injection, per-mille per wire transmission
+     *  (all-zero = fault layer never constructed, clean path exact). */
+    unsigned faultDropPerMille = 0;
+    unsigned faultDupPerMille = 0;
+    unsigned faultBlackoutPerMille = 0;
+    Cycles faultBlackoutMax = 512;
+
+    /** Seed for the fault stream; 0 reuses the run seed. */
+    std::uint64_t faultSeed = 0;
+
+    /** Simulated-cycle deadline; 0 = fatal on runaway (historical). */
+    Tick deadline = 0;
+
     /** The machine configuration this spec describes. */
     MachineConfig
     machine() const
@@ -90,6 +103,12 @@ struct ExperimentSpec
         mc.mutation = mutation;
         mc.net.jitterMax = jitterMax;
         mc.net.jitterSeed = jitterSeed != 0 ? jitterSeed : seed;
+        mc.net.faults.dropPerMille = faultDropPerMille;
+        mc.net.faults.dupPerMille = faultDupPerMille;
+        mc.net.faults.blackoutPerMille = faultBlackoutPerMille;
+        mc.net.faults.blackoutMax = faultBlackoutMax;
+        mc.net.faults.seed = faultSeed != 0 ? faultSeed : seed;
+        mc.deadline = deadline;
         return mc;
     }
 };

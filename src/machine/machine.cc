@@ -85,28 +85,66 @@ Machine::run(const ThreadFn &fn, int num_threads)
 
     Tick start = eventq.curTick();
     running = num_threads;
+    _runStatus = RunStatus::Completed;
+    _lastProgress = start;
 
-    std::vector<std::unique_ptr<Mem>> handles;
-    handles.reserve(static_cast<std::size_t>(num_threads));
+    // Handles persist on the machine (not this frame): an abandoned
+    // run leaves suspended coroutines referencing them.
+    _memHandles.clear();
+    _memHandles.reserve(static_cast<std::size_t>(num_threads));
     for (int i = 0; i < num_threads; ++i) {
-        handles.push_back(std::make_unique<Mem>(*this, i));
+        _memHandles.push_back(std::make_unique<Mem>(*this, i));
         nodes[static_cast<std::size_t>(i)]->proc.runThread(
-            fn(*handles.back(), i));
+            fn(*_memHandles.back(), i));
     }
+
+    const Tick deadlineTick =
+        cfg.deadline ? start + cfg.deadline : 0;
 
     while (running > 0) {
-        if (!eventq.runOne())
+        if (!eventq.runOne()) {
+            if (deadlineTick) {
+                _runStatus = RunStatus::Deadlocked;
+                return eventq.curTick() - start;
+            }
             panic("deadlock: %d threads blocked with no events",
                   running);
-        if (eventq.curTick() > cfg.maxTicks)
+        }
+        if (deadlineTick) {
+            if (eventq.curTick() > deadlineTick) {
+                _runStatus = RunStatus::DeadlineExceeded;
+                return eventq.curTick() - start;
+            }
+        } else if (eventq.curTick() > cfg.maxTicks) {
             fatal("run exceeded maxTicks (%llu): livelock?",
                   static_cast<unsigned long long>(cfg.maxTicks));
+        }
     }
     // Drain residual protocol activity (writebacks, late acks) so the
-    // machine is quiescent before the caller inspects state.
-    eventq.run();
+    // machine is quiescent before the caller inspects state. Under a
+    // deadline the drain is bounded too: a retransmit loop that never
+    // empties the queue must not hang the sweep.
+    if (deadlineTick) {
+        eventq.run(deadlineTick);
+        if (!eventq.empty()) {
+            _runStatus = RunStatus::DeadlineExceeded;
+            return eventq.curTick() - start;
+        }
+    } else {
+        eventq.run();
+    }
     if (_auditor)
         _auditor->checkQuiescent();
+    network.checkDeliveryQuiescent(
+        [this](NodeId src, NodeId dst, const std::string &what) {
+            if (_auditor) {
+                _auditor->deliveryViolation(src, dst, what);
+            } else {
+                panic("delivery violation %d->%d: %s",
+                      static_cast<int>(src), static_cast<int>(dst),
+                      what.c_str());
+            }
+        });
     return eventq.curTick() - start;
 }
 

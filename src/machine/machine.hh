@@ -59,6 +59,15 @@ struct MachineConfig
     std::uint64_t seed = 12345;
     Tick maxTicks = 4'000'000'000ull;      ///< runaway guard
 
+    /**
+     * Per-run simulated-cycle deadline. 0 preserves the historical
+     * behavior: deadlock panics and maxTicks is fatal. Nonzero turns
+     * both into structured outcomes -- run() abandons the program,
+     * returns, and reports RunStatus::DeadlineExceeded or Deadlocked
+     * so sweep drivers can record the failure and keep going.
+     */
+    Tick deadline = 0;
+
     /** Convenience: victim-cache toggle (entries in cacheCtrl). */
     MachineConfig &
     withVictimCache(unsigned entries = 6)
@@ -117,15 +126,41 @@ class Machine
 
     using ThreadFn = std::function<Task<void>(Mem &, int)>;
 
+    /** How the last run() ended. */
+    enum class RunStatus
+    {
+        Completed,         ///< every thread finished and queue drained
+        DeadlineExceeded,  ///< cfg.deadline cycles elapsed mid-run
+        Deadlocked,        ///< threads blocked with an empty queue
+    };
+
     /**
      * Run one thread per node (or @p num_threads threads on nodes
-     * 0..num_threads-1) to completion.
+     * 0..num_threads-1) to completion -- or, when cfg.deadline is
+     * nonzero, until the deadline expires, in which case the program
+     * is abandoned in place (suspended coroutines and pending events
+     * are reclaimed safely at machine destruction) and runStatus()
+     * reports how the run ended.
      * @return elapsed cycles
      */
     Tick run(const ThreadFn &fn, int num_threads = -1);
 
+    /** Outcome of the most recent run(). */
+    RunStatus runStatus() const { return _runStatus; }
+
+    /** Last tick at which a processor made forward progress. */
+    Tick lastProgressTick() const { return _lastProgress; }
+
+    /** Processors report forward progress (memory op completions). */
+    void noteProgress() { _lastProgress = eventq.curTick(); }
+
     /** A thread's main coroutine completed (called by processors). */
-    void threadFinished() { --running; }
+    void
+    threadFinished()
+    {
+        --running;
+        noteProgress();
+    }
 
     // ---- fast barrier --------------------------------------------------
 
@@ -206,6 +241,17 @@ class Machine
     double sumStat(const std::string &path) const;
 
     EventQueue eventq;
+
+  private:
+    /**
+     * Memory handles lent to app threads. Declared before the nodes
+     * so they outlive the processors' coroutine frames: an abandoned
+     * (deadline-cut) run leaves suspended frames holding Mem
+     * references that are only released when the nodes are torn down.
+     */
+    std::vector<std::unique_ptr<Mem>> _memHandles;
+
+  public:
     stats::Group root;
     MeshNetwork network;
     SharingTracker tracker;
@@ -216,6 +262,8 @@ class Machine
 
     MachineConfig cfg;
     CoherenceAuditor *_auditor = nullptr;
+    RunStatus _runStatus = RunStatus::Completed;
+    Tick _lastProgress = 0;
     std::vector<std::uint64_t> heapPtr;   ///< per-node bump pointers
     int running = 0;
     std::vector<std::pair<int, std::coroutine_handle<>>> barrierWaiters;

@@ -92,6 +92,7 @@ Processor::completeMemOp(Word value)
 {
     SWEX_ASSERT(memCont, "completion with no op outstanding");
     lastValue = value;
+    _node.machine().noteProgress();
     if (handlerActive || watchdogActive) {
         // Resume once the handler chain (or watchdog window) ends.
         memResumeReady = true;

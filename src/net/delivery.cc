@@ -1,0 +1,254 @@
+#include "net/delivery.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+#include "net/network.hh"
+
+namespace swex
+{
+
+DeliveryLayer::DeliveryLayer(MeshNetwork &network,
+                             stats::Group *statsParent)
+    : statsGroup(statsParent, "delivery"),
+      sent(&statsGroup, "sent", "protocol messages sequenced"),
+      delivered(&statsGroup, "delivered",
+                "messages released in-order to receivers"),
+      dropsInjected(&statsGroup, "dropsInjected",
+                    "wire transmissions lost to the fault stream"),
+      dupsInjected(&statsGroup, "dupsInjected",
+                   "duplicate wire copies injected"),
+      blackouts(&statsGroup, "blackouts",
+                "transmissions held by a blackout fault"),
+      retransmits(&statsGroup, "retransmits",
+                  "timer-driven retransmissions"),
+      dupSuppressed(&statsGroup, "dupSuppressed",
+                    "received copies discarded as duplicates"),
+      reorderHeld(&statsGroup, "reorderHeld",
+                  "arrivals parked behind a sequence gap"),
+      acksSent(&statsGroup, "acksSent", "cumulative acks issued"),
+      acksDropped(&statsGroup, "acksDropped",
+                  "acks lost to the fault stream"),
+      net(network), injector(network.config.faults)
+{
+}
+
+DeliveryLayer::~DeliveryLayer() = default;
+
+DeliveryLayer::Channel &
+DeliveryLayer::channel(NodeId src, NodeId dst)
+{
+    std::uint32_t key =
+        static_cast<std::uint32_t>(src) *
+            static_cast<std::uint32_t>(net.numNodes) +
+        static_cast<std::uint32_t>(dst);
+    auto it = _channels.find(key);
+    if (it == _channels.end()) {
+        auto ch = std::make_unique<Channel>();
+        ch->src = src;
+        ch->dst = dst;
+        Channel *raw = ch.get();
+        ch->retransmitEvent.setCallback(
+            [this, raw] { onRetransmitTimer(*raw); });
+        it = _channels.emplace(key, std::move(ch)).first;
+    }
+    return *it->second;
+}
+
+void
+DeliveryLayer::send(Message msg)
+{
+    Channel &ch = channel(msg.src, msg.dst);
+    msg.dseq = ch.nextSend++;
+    ch.unacked.emplace(msg.dseq, msg);
+    ch.attempts.emplace(msg.dseq, 1u);
+    ++sent;
+
+    // The injected message's flits were already counted by
+    // MeshNetwork::send; only extra wire copies charge more below.
+    transmitCopy(ch, msg, /*charge_flits=*/false);
+
+    if (!ch.retransmitEvent.scheduled()) {
+        net.eventq.scheduleIn(ch.retransmitEvent,
+                              net.config.faults.retransmitTimeout);
+    }
+}
+
+void
+DeliveryLayer::transmitCopy(Channel &ch, const Message &msg,
+                            bool charge_flits)
+{
+    if (charge_flits)
+        net.flitCount += msg.flits();
+
+    // The transmit serializer is charged whether or not the copy
+    // survives: the flits left the port either way.
+    Tick now = net.eventq.curTick();
+    MeshNetwork::TxPort &port =
+        net.txPorts[static_cast<std::size_t>(msg.src)];
+    Tick start = std::max(now, port.freeAt);
+    net.txQueueWait.sample(static_cast<double>(start - now));
+    Tick tx_done = start + msg.flits();
+    port.freeAt = tx_done;
+
+    FaultRoll fault = injector.roll();
+    if (fault.drop) {
+        ++dropsInjected;
+        SWEX_TRACE_EVENT("[%8llu] net: fault DROP %s dseq=%u",
+                         static_cast<unsigned long long>(now),
+                         msg.describe().c_str(), msg.dseq);
+        return;
+    }
+    if (fault.extraDelay > 0)
+        ++blackouts;
+
+    Cycles base = net.config.routerEntry +
+                  net.config.hopLatency *
+                      net.hopCount(msg.src, msg.dst) +
+                  fault.extraDelay;
+    int copies = fault.duplicate ? 2 : 1;
+    if (fault.duplicate)
+        ++dupsInjected;
+    for (int c = 0; c < copies; ++c) {
+        // Each copy draws its own jitter, so duplicates can overtake
+        // the original (the adversarial case duplicate suppression
+        // must survive).
+        Tick arrive = tx_done + base + net.jitterFor();
+        PooledMsgEvent &ev = net._msgPool.acquire(
+            this, &DeliveryLayer::wireArriveHandler,
+            EventPrio::Network);
+        ev.msg = msg;
+        net.eventq.schedule(ev, arrive);
+        net.transitLatency.sample(static_cast<double>(arrive - now));
+    }
+}
+
+void
+DeliveryLayer::wireArriveHandler(void *ctx, Message &msg)
+{
+    static_cast<DeliveryLayer *>(ctx)->wireArrive(msg);
+}
+
+void
+DeliveryLayer::wireArrive(const Message &msg)
+{
+    Channel &ch = channel(msg.src, msg.dst);
+
+    if (msg.dseq < ch.expected || ch.reorder.count(msg.dseq) != 0) {
+        ++dupSuppressed;
+        SWEX_TRACE_EVENT("[%8llu] net: dup suppressed %s dseq=%u",
+                         static_cast<unsigned long long>(
+                             net.eventq.curTick()),
+                         msg.describe().c_str(), msg.dseq);
+        sendAck(ch);   // re-ack so the sender stops retransmitting
+        return;
+    }
+
+    if (msg.dseq == ch.expected) {
+        ++ch.expected;
+        ++delivered;
+        net.deliver(msg);
+        // Release every consecutive arrival parked behind the gap
+        // this message just filled, in sequence order.
+        while (!ch.reorder.empty() &&
+               ch.reorder.begin()->first == ch.expected) {
+            Message next = ch.reorder.begin()->second;
+            ch.reorder.erase(ch.reorder.begin());
+            ++ch.expected;
+            ++delivered;
+            net.deliver(next);
+        }
+    } else {
+        ch.reorder.emplace(msg.dseq, msg);
+        ++reorderHeld;
+    }
+    sendAck(ch);
+}
+
+void
+DeliveryLayer::sendAck(Channel &ch)
+{
+    ++acksSent;
+    // Acks ride the same faulty wire (drop only; duplicating or
+    // delaying a cumulative ack is indistinguishable from reordering
+    // it, which is already harmless).
+    FaultRoll fault = injector.roll();
+    if (fault.drop) {
+        ++acksDropped;
+        return;
+    }
+    std::uint32_t up_to = ch.expected;
+    Cycles latency = net.config.routerEntry +
+                     net.config.hopLatency *
+                         net.hopCount(ch.dst, ch.src) +
+                     fault.extraDelay + net.jitterFor();
+    Channel *raw = &ch;
+    net.eventq.scheduleIn(latency,
+                          [this, raw, up_to] { onAck(*raw, up_to); },
+                          EventPrio::Network);
+}
+
+void
+DeliveryLayer::onAck(Channel &ch, std::uint32_t up_to)
+{
+    while (!ch.unacked.empty() && ch.unacked.begin()->first < up_to) {
+        ch.attempts.erase(ch.unacked.begin()->first);
+        ch.unacked.erase(ch.unacked.begin());
+    }
+    if (ch.unacked.empty() && ch.retransmitEvent.scheduled())
+        net.eventq.deschedule(ch.retransmitEvent);
+}
+
+void
+DeliveryLayer::onRetransmitTimer(Channel &ch)
+{
+    for (const auto &[seq, msg] : ch.unacked) {
+        unsigned &tries = ch.attempts[seq];
+        ++tries;
+        ch.maxAttempts = std::max(ch.maxAttempts, tries);
+        _maxAttempts = std::max(_maxAttempts, tries);
+        ++retransmits;
+        transmitCopy(ch, msg, /*charge_flits=*/true);
+    }
+    if (!ch.unacked.empty()) {
+        net.eventq.scheduleIn(ch.retransmitEvent,
+                              net.config.faults.retransmitTimeout);
+    }
+}
+
+void
+DeliveryLayer::checkQuiescent(const DeliveryViolationFn &fn) const
+{
+    const unsigned bound = net.config.faults.retransmitBound;
+    for (const auto &[key, chp] : _channels) {
+        const Channel &ch = *chp;
+        if (!ch.unacked.empty()) {
+            fn(ch.src, ch.dst,
+               strfmt("%zu messages unacknowledged at quiescence "
+                      "(first dseq %u)",
+                      ch.unacked.size(), ch.unacked.begin()->first));
+        }
+        if (!ch.reorder.empty()) {
+            fn(ch.src, ch.dst,
+               strfmt("%zu arrivals held behind a sequence gap at "
+                      "quiescence (receiver expects dseq %u)",
+                      ch.reorder.size(), ch.expected));
+        }
+        if (ch.nextSend != ch.expected) {
+            fn(ch.src, ch.dst,
+               strfmt("sequence gap at quiescence: sender assigned "
+                      "%u, receiver delivered %u",
+                      ch.nextSend, ch.expected));
+        }
+        if (ch.maxAttempts > bound) {
+            fn(ch.src, ch.dst,
+               strfmt("a message needed %u transmissions; the "
+                      "retransmit bound is %u",
+                      ch.maxAttempts, bound));
+        }
+    }
+}
+
+} // namespace swex

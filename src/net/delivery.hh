@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Recoverable delivery layer over the faulty mesh. When fault
+ * injection is active, every non-loopback protocol message passes
+ * through a per-(src, dst) channel that assigns sequence numbers on
+ * the sending side, suppresses duplicates and reorders arrivals on
+ * the receiving side, and retransmits unacknowledged messages on a
+ * timer -- so the protocol layer above still observes exactly-once,
+ * in-order delivery whatever the wire does (Rainbow-style protocol
+ * extensions multiply transient states; the delivery discipline is
+ * the testable layer that keeps them reachable but survivable).
+ *
+ * The layer is only constructed when FaultConfig::enabled(); with
+ * faults off the mesh's clean path is untouched and the delivery
+ * machinery costs zero cycles, zero events, and zero statistics
+ * nodes, keeping quiet-run cycle counts bit-identical.
+ *
+ * Acknowledgments are cumulative ("everything below N arrived") and
+ * are modeled as delivery-layer control events, not protocol
+ * messages: they traverse the same wire latency and are subject to
+ * the same drop faults, but never enter the CMMU receive queues. A
+ * lost ack is recovered by the next retransmission's re-ack.
+ */
+
+#ifndef SWEX_NET_DELIVERY_HH
+#define SWEX_NET_DELIVERY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/stats.hh"
+#include "net/fault.hh"
+#include "net/message.hh"
+#include "sim/event.hh"
+
+namespace swex
+{
+
+class MeshNetwork;
+
+/** Callback reporting one delivery invariant violation at quiescence. */
+using DeliveryViolationFn =
+    std::function<void(NodeId src, NodeId dst, const std::string &what)>;
+
+class DeliveryLayer
+{
+  public:
+    DeliveryLayer(MeshNetwork &net, stats::Group *statsParent);
+    ~DeliveryLayer();
+
+    DeliveryLayer(const DeliveryLayer &) = delete;
+    DeliveryLayer &operator=(const DeliveryLayer &) = delete;
+
+    /** Sender entry point: sequence, retain, and transmit @p msg. */
+    void send(Message msg);
+
+    /** A wire copy arrived at its destination node. */
+    void wireArrive(const Message &msg);
+
+    /**
+     * Delivery invariants, valid only at quiescence: every channel
+     * fully acknowledged, no arrivals held behind a sequence gap,
+     * sender and receiver sequence counters equal, and no message
+     * ever needed more than retransmitBound transmissions. Invokes
+     * @p fn once per violation, in deterministic channel order.
+     */
+    void checkQuiescent(const DeliveryViolationFn &fn) const;
+
+    /** Highest transmission count any single message needed. */
+    unsigned maxAttempts() const { return _maxAttempts; }
+
+    // Statistics (child group "delivery" under the network).
+    stats::Group statsGroup;
+    stats::Scalar sent;           ///< protocol messages sequenced
+    stats::Scalar delivered;      ///< released in-order to receivers
+    stats::Scalar dropsInjected;  ///< transmissions lost on the wire
+    stats::Scalar dupsInjected;   ///< duplicate copies injected
+    stats::Scalar blackouts;      ///< transmissions held by a blackout
+    stats::Scalar retransmits;    ///< timer-driven retransmissions
+    stats::Scalar dupSuppressed;  ///< received copies discarded
+    stats::Scalar reorderHeld;    ///< arrivals parked behind a gap
+    stats::Scalar acksSent;       ///< cumulative acks issued
+    stats::Scalar acksDropped;    ///< acks lost to the fault stream
+
+  private:
+    /** One direction of one (src, dst) node pair. */
+    struct Channel
+    {
+        NodeId src = invalidNode;
+        NodeId dst = invalidNode;
+        std::uint32_t nextSend = 0;  ///< sender: next seq to assign
+        std::uint32_t expected = 0;  ///< receiver: next in-order seq
+        std::map<std::uint32_t, Message> unacked;   ///< awaiting ack
+        std::map<std::uint32_t, unsigned> attempts; ///< per unacked seq
+        std::map<std::uint32_t, Message> reorder;   ///< early arrivals
+        unsigned maxAttempts = 1;    ///< channel high-water
+        LambdaEvent retransmitEvent{
+            {}, EventPrio::Network};
+    };
+
+    static void wireArriveHandler(void *ctx, Message &msg);
+
+    Channel &channel(NodeId src, NodeId dst);
+    void transmitCopy(Channel &ch, const Message &msg,
+                      bool charge_flits);
+    void sendAck(Channel &ch);
+    void onAck(Channel &ch, std::uint32_t up_to);
+    void onRetransmitTimer(Channel &ch);
+
+    MeshNetwork &net;
+    FaultInjector injector;
+    unsigned _maxAttempts = 1;
+
+    /** std::map keyed by src * numNodes + dst: deterministic
+     *  iteration order for quiescent checks; unique_ptr so channel
+     *  addresses (captured by their retransmit events) stay stable. */
+    std::map<std::uint32_t, std::unique_ptr<Channel>> _channels;
+};
+
+} // namespace swex
+
+#endif // SWEX_NET_DELIVERY_HH

@@ -68,6 +68,14 @@ struct Message
     std::uint8_t seq = 0;
 
     /**
+     * Delivery-layer sequence number, per (src, dst) channel. Only
+     * assigned when fault injection is active; the protocol layer
+     * never reads it. Rides in the existing header flits, so it adds
+     * no network occupancy.
+     */
+    std::uint32_t dseq = 0;
+
+    /**
      * Message length in 16-bit network flits: 3 header/address flits
      * plus 8 flits for a 16-byte data payload.
      */

@@ -71,6 +71,10 @@ MeshNetwork::MeshNetwork(EventQueue &eq, int nodes, NetworkConfig cfg,
     auto [w, h] = gridShape(nodes);
     _width = w;
     _height = h;
+    // The delivery layer (and its statistics group) only exists when
+    // fault injection is on, so quiet runs stay byte-identical.
+    if (config.faults.enabled())
+        _delivery = std::make_unique<DeliveryLayer>(*this, &statsGroup);
 }
 
 void
@@ -114,10 +118,11 @@ MeshNetwork::send(Message msg)
     flitCount += msg.flits();
 
     Tick now = eventq.curTick();
-    Cycles jitter = jitterFor();
 
     if (msg.src == msg.dst) {
-        // CMMU loopback path: no mesh traversal, no serialization.
+        // CMMU loopback path: no mesh traversal, no serialization,
+        // and no faults (the message never touches the wire).
+        Cycles jitter = jitterFor();
         PooledMsgEvent &ev = _msgPool.acquire(
             this, &MeshNetwork::deliverHandler, EventPrio::Network);
         ev.msg = msg;
@@ -127,6 +132,14 @@ MeshNetwork::send(Message msg)
         return;
     }
 
+    if (_delivery) {
+        // Fault mode: the delivery layer sequences, retains, and
+        // transmits (possibly repeatedly) through the faulty wire.
+        _delivery->send(msg);
+        return;
+    }
+
+    Cycles jitter = jitterFor();
     TxPort &port = txPorts[static_cast<size_t>(msg.src)];
     Tick start = std::max(now, port.freeAt);
     txQueueWait.sample(static_cast<double>(start - now));

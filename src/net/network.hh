@@ -15,10 +15,13 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "net/delivery.hh"
+#include "net/fault.hh"
 #include "net/message.hh"
 #include "net/message_pool.hh"
 #include "sim/event_queue.hh"
@@ -55,6 +58,14 @@ struct NetworkConfig
 
     /** Seed for the jitter stream (runs replay exactly by seed). */
     std::uint64_t jitterSeed = 0;
+
+    /**
+     * Adversarial fault injection (drop/duplicate/blackout) plus the
+     * recoverable delivery layer that hides it from the protocol.
+     * All-zero rates keep the clean path byte-identical: the layer
+     * is then never constructed.
+     */
+    FaultConfig faults;
 
     /**
      * Keep the last N delivered messages in a replayable trace ring
@@ -102,6 +113,20 @@ class MeshNetwork
      */
     void dumpTrace(std::ostream &os) const;
 
+    /**
+     * Delivery-layer invariants at quiescence (no-op when fault
+     * injection is off): see DeliveryLayer::checkQuiescent.
+     */
+    void
+    checkDeliveryQuiescent(const DeliveryViolationFn &fn) const
+    {
+        if (_delivery)
+            _delivery->checkQuiescent(fn);
+    }
+
+    /** The delivery layer, or null when fault injection is off. */
+    const DeliveryLayer *delivery() const { return _delivery.get(); }
+
     /** Statistics. */
     stats::Group statsGroup;
     stats::Scalar msgCount;
@@ -110,6 +135,8 @@ class MeshNetwork
     stats::Distribution transitLatency;
 
   private:
+    friend class DeliveryLayer;   ///< drives the wire primitives
+
     struct TxPort
     {
         Tick freeAt = 0;        ///< when the serializer is next free
@@ -136,6 +163,7 @@ class MeshNetwork
     MessagePool _msgPool;
     std::uint64_t _jitterCounter = 0;
     std::deque<TraceEntry> _trace;
+    std::unique_ptr<DeliveryLayer> _delivery;   ///< null when faults off
 };
 
 } // namespace swex

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "exp/pool.hh"
 #include "exp/runner.hh"
 
 #include "mini_json.hh"
@@ -255,4 +256,153 @@ TEST(RunnerParallel, LogMergesInSpecOrder)
     for (std::size_t i = 0; i < specs.size(); ++i)
         EXPECT_EQ(doc.at("records").array[i].at("id").str,
                   specs[i].id);
+}
+
+// ------------------------------------------------------------------
+// Longest-first scheduling.
+// ------------------------------------------------------------------
+
+TEST(Pool, LongestFirstOrderSortsByDescendingCost)
+{
+    std::vector<std::size_t> order =
+        longestFirstOrder({1.0, 5.0, 3.0, 4.0});
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 2u);
+    EXPECT_EQ(order[3], 0u);
+}
+
+TEST(Pool, LongestFirstOrderIsStableForTies)
+{
+    // Equal costs keep spec order: determinism of the claiming
+    // sequence must not depend on sort implementation details.
+    std::vector<std::size_t> order =
+        longestFirstOrder({2.0, 7.0, 2.0, 2.0});
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 0u);
+    EXPECT_EQ(order[2], 2u);
+    EXPECT_EQ(order[3], 3u);
+}
+
+TEST(Pool, CostAwareParallelForVisitsEveryIndexOnce)
+{
+    std::vector<int> hits(9, 0);
+    std::vector<double> costs = {3, 1, 4, 1, 5, 9, 2, 6, 5};
+    parallelFor(hits.size(), 4, costs,
+                [&](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << i;
+}
+
+// ------------------------------------------------------------------
+// The runner's failure path: non-terminating runs become structured
+// records instead of fatal().
+// ------------------------------------------------------------------
+
+namespace
+{
+
+/** A run guaranteed to exceed its deadline: a real workload cut off
+ *  after a sliver of simulated time. */
+ExperimentSpec
+deadlineSpec()
+{
+    ExperimentSpec spec = smokeSpec("tsp", ProtocolConfig::hw(5));
+    spec.id = "fail/deadline";
+    spec.params = {};   // default TSP instance: ~1M cycles at 16 nodes
+    spec.nodes = 16;
+    spec.deadline = 10000;
+    return spec;
+}
+
+/** The livelock recipe: SkipLastAckTrap under a LACK protocol with a
+ *  multi-sharer write working set. The mutated hardware swallows the
+ *  trap that would finish every write transaction, so the machine
+ *  stalls with threads still running; the deadline (or deadlock
+ *  detection) must convert that into a structured failure record. */
+ExperimentSpec
+livelockSpec()
+{
+    ExperimentSpec spec = smokeSpec("worker", ProtocolConfig::h1Lack());
+    spec.id = "fail/livelock";
+    spec.params = {{"wss", "4"}, {"iterations", "3"}};
+    spec.mutation = ProtocolMutation::SkipLastAckTrap;
+    spec.deadline = 5'000'000;
+    return spec;
+}
+
+} // anonymous namespace
+
+TEST(RunnerFailure, DeadlineYieldsStructuredRecordNotFatal)
+{
+    setQuiet(true);
+    Runner runner(/*fail_fast=*/false);
+    const RunRecord &r = runner.run(deadlineSpec());
+
+    EXPECT_TRUE(r.failed());
+    EXPECT_EQ(r.status, "deadline");
+    EXPECT_FALSE(r.verified);
+    EXPECT_LE(r.lastProgress, 10000u + 1u);
+    EXPECT_EQ(r.deadline, 10000u);
+    // The post-mortem stall summary names what was in flight.
+    EXPECT_FALSE(r.stallSummary.empty());
+
+    // The record serializes with the failure fields.
+    std::ostringstream os;
+    runner.log().writeJson(os, /*canonical=*/true);
+    minijson::Value doc = minijson::parse(os.str());
+    const minijson::Value &rec = doc.at("records").array[0];
+    EXPECT_EQ(rec.at("status").str, "deadline");
+    EXPECT_TRUE(rec.has("last_progress"));
+    EXPECT_TRUE(rec.has("stall"));
+    EXPECT_EQ(rec.at("deadline").number, 10000.0);
+}
+
+TEST(RunnerFailure, LivelockedCellIsQuarantinedAtAnyJobs)
+{
+    if (!mutationsCompiled)
+        GTEST_SKIP() << "built without SWEX_MUTATIONS";
+    setQuiet(true);
+
+    // One poisoned cell between two healthy siblings: the sweep must
+    // quarantine the failure and leave the siblings' results exactly
+    // what they would have been alone -- at any host parallelism.
+    std::vector<ExperimentSpec> specs;
+    ExperimentSpec good = smokeSpec("worker", ProtocolConfig::hw(5));
+    good.id = "fail/sib0";
+    specs.push_back(good);
+    specs.push_back(livelockSpec());
+    good.id = "fail/sib2";
+    specs.push_back(good);
+
+    Runner alone(/*fail_fast=*/false);
+    Tick sib_cycles = alone.run(specs[0]).simCycles;
+
+    Runner serial(/*fail_fast=*/false);
+    std::vector<RunRecord *> a = serial.runAll(specs, 1);
+    Runner threaded(/*fail_fast=*/false);
+    std::vector<RunRecord *> b = threaded.runAll(specs, 8);
+
+    for (const std::vector<RunRecord *> &recs : {a, b}) {
+        ASSERT_EQ(recs.size(), 3u);
+        EXPECT_TRUE(recs[1]->failed());
+        EXPECT_NE(recs[1]->status, "ok");
+        EXPECT_FALSE(recs[1]->stallSummary.empty());
+        // Siblings are untouched by the neighbor's failure.
+        EXPECT_FALSE(recs[0]->failed());
+        EXPECT_TRUE(recs[0]->verified);
+        EXPECT_EQ(recs[0]->simCycles, sib_cycles);
+        EXPECT_FALSE(recs[2]->failed());
+        EXPECT_TRUE(recs[2]->verified);
+        EXPECT_EQ(recs[2]->simCycles, sib_cycles);
+    }
+
+    // Including the failure record, the canonical document is
+    // bit-identical across --jobs.
+    std::ostringstream doc_a, doc_b;
+    serial.log().writeJson(doc_a, /*canonical=*/true);
+    threaded.log().writeJson(doc_b, /*canonical=*/true);
+    EXPECT_EQ(doc_a.str(), doc_b.str());
 }

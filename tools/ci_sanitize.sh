@@ -4,6 +4,9 @@
 # never mix. TSan matters since the sweep tier went parallel: the
 # stress label runs the (app x protocol x seed) grid with --jobs 4,
 # so any cross-run shared state in the simulator shows up as a race.
+# The stress label also carries the fault-injection sweep and the
+# --jobs determinism gate (sweep_determinism); SWEX_DET_SEEDS keeps
+# the gate's seed count small enough for sanitized binaries.
 # Usage:
 #
 #   tools/ci_sanitize.sh [builddir-prefix]
@@ -28,6 +31,7 @@ for san in address undefined thread; do
     echo "== ${san}: running tier-1 tests"
     ctest --test-dir "${build_dir}" --output-on-failure
     echo "== ${san}: running the audited protocol stress sweep"
-    ctest --test-dir "${build_dir}" --output-on-failure -L stress
+    SWEX_DET_SEEDS=50 \
+        ctest --test-dir "${build_dir}" --output-on-failure -L stress
 done
 echo "== sanitizer matrix passed"

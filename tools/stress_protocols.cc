@@ -55,6 +55,18 @@ struct Options
     unsigned jobs = 1;
     std::string onlyApp;       ///< empty = all stress apps
     std::string onlyProtocol;  ///< empty = full spectrum
+
+    // Adversarial fault tier (all zero = jitter-only stressing).
+    unsigned drop = 0;         ///< per-mille drop rate
+    unsigned dup = 0;          ///< per-mille duplication rate
+    unsigned blackout = 0;     ///< per-mille blackout rate
+    Tick deadline = 0;         ///< per-run cycle budget (0 = none)
+
+    bool
+    faultsOn() const
+    {
+        return drop != 0 || dup != 0 || blackout != 0;
+    }
 };
 
 struct StressApp
@@ -124,44 +136,72 @@ struct RunResult
 
 /** One stress run. Runs on a worker thread: all diagnostics are
  *  buffered into the result, never printed here, so concurrent runs
- *  cannot interleave their reports. */
+ *  cannot interleave their reports. @p adversarial enables the
+ *  jitter/fault stressors from @p opt; the reference run clears it. */
 RunResult
-stressRun(const StressApp &sa, const SpectrumPoint &pt, int nodes,
-          Cycles jitter_max, std::uint64_t seed,
+stressRun(const StressApp &sa, const SpectrumPoint &pt,
+          const Options &opt, std::uint64_t seed, bool adversarial,
           const std::uint64_t *expect_image)
 {
+    const Cycles jitter_max = adversarial ? opt.jitterMax : 0;
+
     ExperimentSpec spec;
     spec.app = sa.name;
     spec.params = sa.params;
     spec.protocol = pt.protocol;
-    spec.nodes = nodes;
+    spec.nodes = opt.nodes;
     spec.victimEntries = 6;
     spec.jitterMax = jitter_max;
     spec.jitterSeed = seed;
+    if (adversarial) {
+        spec.faultDropPerMille = opt.drop;
+        spec.faultDupPerMille = opt.dup;
+        spec.faultBlackoutPerMille = opt.blackout;
+        spec.faultSeed = seed;   // one seed replays the whole run
+        spec.deadline = opt.deadline;
+    }
 
     MachineConfig mc = spec.machine();
     mc.net.traceDepth = 64;
 
-    auto app = AppRegistry::instance().make(sa.name, sa.params, nodes);
+    auto app = AppRegistry::instance().make(sa.name, sa.params,
+                                            opt.nodes);
     Machine m(mc);
     CoherenceAuditor auditor(CoherenceAuditor::Mode::Collect);
     m.attachAuditor(&auditor);
 
     RunResult r;
     r.cycles = app->runParallel(m);
-    bool verified = app->verify(m);
-    m.checkInvariants();
+    const bool completed =
+        m.runStatus() == Machine::RunStatus::Completed;
+    bool verified = false;
+    if (completed) {
+        // Abandoned runs hold transient directory state; verification
+        // and the panic-on-violation invariant checks only make sense
+        // at quiescence.
+        verified = app->verify(m);
+        m.checkInvariants();
+    }
     r.image = m.imageHash();
 
     std::vector<std::string> failures;
-    if (!verified)
+    if (!completed) {
+        failures.push_back(strfmt(
+            "%s after %llu cycles; last forward progress at tick %llu",
+            m.runStatus() == Machine::RunStatus::DeadlineExceeded
+                ? "deadline exceeded"
+                : "deadlocked",
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(m.lastProgressTick())));
+    } else if (!verified) {
         failures.push_back("application verification failed");
+    }
     if (auditor.violationCount() > 0) {
         failures.push_back(strfmt(
             "%llu coherence invariant violations",
             static_cast<unsigned long long>(auditor.violationCount())));
     }
-    if (expect_image && r.image != *expect_image) {
+    if (completed && expect_image && r.image != *expect_image) {
         failures.push_back(strfmt(
             "final memory image %016llx differs from the quiet "
             "full-map reference %016llx",
@@ -173,26 +213,51 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt, int nodes,
         r.ok = false;
         std::ostringstream os;
         os << strfmt("\nFAIL: app=%s protocol=%s nodes=%d jitter=%llu "
-                     "seed=%llu\n",
-                     sa.name.c_str(), pt.label.c_str(), nodes,
+                     "faults=%u,%u,%u seed=%llu\n",
+                     sa.name.c_str(), pt.label.c_str(), opt.nodes,
                      static_cast<unsigned long long>(jitter_max),
+                     adversarial ? opt.drop : 0,
+                     adversarial ? opt.dup : 0,
+                     adversarial ? opt.blackout : 0,
                      static_cast<unsigned long long>(seed));
         for (const std::string &f : failures)
             os << "  " << f << "\n";
         for (const AuditViolation &v : auditor.violations())
             os << "  audit: " << v.describe() << "\n";
+        if (!completed) {
+            std::string stalls = auditor.stallSummary();
+            if (!stalls.empty())
+                os << "stalled transactions:\n" << stalls;
+        }
+        if (const DeliveryLayer *d = m.network.delivery()) {
+            os << strfmt("delivery: sent=%.0f delivered=%.0f "
+                         "drops=%.0f dups=%.0f retransmits=%.0f "
+                         "max attempts=%u\n",
+                         d->sent.value(), d->delivered.value(),
+                         d->dropsInjected.value(),
+                         d->dupsInjected.value(),
+                         d->retransmits.value(), d->maxAttempts());
+        }
         os << "last messages delivered:\n";
         m.network.dumpTrace(os);
         // The stress machine uses the default machine seed; only the
-        // network jitter is seeded per run, so the replay must set
-        // --jitter-seed (NOT --seed, which would change the machine).
+        // jitter and fault streams are seeded per run, so the replay
+        // sets --jitter-seed and --fault-seed (NOT --seed, which
+        // would change the machine). Every reproduction flag appears
+        // even at its default, so the line is self-contained.
         std::string replay = strfmt(
             "swex_cli --app %s --nodes %d --protocol %s --victim 6 "
-            "--jitter %llu --jitter-seed %llu --audit",
-            sa.name.c_str(), nodes,
+            "--jitter %llu --jitter-seed %llu --faults %u,%u,%u "
+            "--fault-seed %llu --deadline %llu --audit",
+            sa.name.c_str(), opt.nodes,
             cliProtocolName(pt.label).c_str(),
             static_cast<unsigned long long>(jitter_max),
-            static_cast<unsigned long long>(seed));
+            static_cast<unsigned long long>(seed),
+            adversarial ? opt.drop : 0, adversarial ? opt.dup : 0,
+            adversarial ? opt.blackout : 0,
+            static_cast<unsigned long long>(seed),
+            static_cast<unsigned long long>(
+                adversarial ? opt.deadline : 0));
         for (const auto &[k, v] : sa.params)
             replay += strfmt(" --param %s=%s", k.c_str(), v.c_str());
         os << "replay: " << replay << "\n";
@@ -204,10 +269,10 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt, int nodes,
 
 /** Quiet full-map run: the reference memory image for this app. */
 std::uint64_t
-referenceImage(const StressApp &sa, int nodes)
+referenceImage(const StressApp &sa, const Options &opt)
 {
     RunResult r = stressRun(sa, {"FULLMAP", ProtocolConfig::fullMap()},
-                            nodes, /*jitter_max=*/0, /*seed=*/0,
+                            opt, /*seed=*/0, /*adversarial=*/false,
                             nullptr);
     if (!r.ok) {
         std::fputs(r.diagnostics.c_str(), stderr);
@@ -233,7 +298,13 @@ usage()
         "(default 1; output is identical at any value)\n"
         "  --app <name>      restrict to one app (worker|tsp)\n"
         "  --protocol <lbl>  restrict to one spectrum label "
-        "(e.g. DIR1SW)\n");
+        "(e.g. DIR1SW)\n"
+        "  --drop <pm>       fault tier: per-mille wire drop rate\n"
+        "  --dup <pm>        fault tier: per-mille duplication rate\n"
+        "  --blackout <pm>   fault tier: per-mille blackout rate\n"
+        "  --deadline <c>    per-run cycle budget; exceeding it is a\n"
+        "                    structured failure, never a hang "
+        "(default 20000000 when any fault rate is set)\n");
 }
 
 } // anonymous namespace
@@ -268,11 +339,29 @@ main(int argc, char **argv)
             opt.onlyApp = next();
         else if (a == "--protocol")
             opt.onlyProtocol = next();
+        else if (a == "--drop")
+            opt.drop = static_cast<unsigned>(
+                parseLong(a, next(), 0, 1000));
+        else if (a == "--dup")
+            opt.dup = static_cast<unsigned>(
+                parseLong(a, next(), 0, 1000));
+        else if (a == "--blackout")
+            opt.blackout = static_cast<unsigned>(
+                parseLong(a, next(), 0, 1000));
+        else if (a == "--deadline")
+            opt.deadline = static_cast<Tick>(
+                parseLong(a, next(), 1, 4'000'000'000));
         else {
             usage();
             return a == "--help" || a == "-h" ? 0 : 2;
         }
     }
+
+    // A faulty wire can livelock a run by design (every retransmission
+    // re-dropped); the fault tier therefore always runs under a
+    // deadline so the sweep finishes whatever the protocol does.
+    if (opt.faultsOn() && opt.deadline == 0)
+        opt.deadline = 20'000'000;
 
     setQuiet(true);
 
@@ -298,7 +387,7 @@ main(int argc, char **argv)
             continue;
         apps.push_back(sa);
         references.push_back(
-            sa.imageStable ? referenceImage(sa, opt.nodes) : 0);
+            sa.imageStable ? referenceImage(sa, opt) : 0);
     }
 
     std::vector<Pair> pairs;
@@ -323,8 +412,8 @@ main(int argc, char **argv)
         const Pair &p = pairs[j.pair];
         const std::uint64_t *expect =
             apps[p.app].imageStable ? &references[p.app] : nullptr;
-        results[i] = stressRun(apps[p.app], p.pt, opt.nodes,
-                               opt.jitterMax, j.seed, expect);
+        results[i] = stressRun(apps[p.app], p.pt, opt, j.seed,
+                               /*adversarial=*/true, expect);
     });
     double wall = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();

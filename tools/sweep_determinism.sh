@@ -1,0 +1,53 @@
+#!/bin/sh
+# Determinism gate for the parallel sweep tier: the stress grid must
+# produce a byte-identical digest at full host parallelism and at
+# --jobs 1. Any cross-run state leakage (a shared PRNG, a stray
+# global, a schedule-dependent merge) shows up here as a digest
+# mismatch before it can corrupt a published figure.
+#
+# Usage:
+#
+#   tools/sweep_determinism.sh <path-to-stress_protocols> [args...]
+#
+# Extra args are forwarded to both runs (e.g. --drop 20 --dup 10 to
+# gate the fault tier too). SWEX_DET_SEEDS overrides the seed count
+# (default 200; the sanitizer legs use a smaller count because TSan
+# slows the grid by an order of magnitude).
+set -eu
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <stress_protocols binary> [extra args...]" >&2
+    exit 2
+fi
+stress=$1
+shift
+
+seeds=${SWEX_DET_SEEDS:-200}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+extract_digest() {
+    # "grid digest 43ab1be3aa392289 (360 runs, --jobs 8, 1.23s)"
+    # -> the digest alone: runs/jobs/wall-clock legitimately differ.
+    sed -n 's/^grid digest \([0-9a-f]*\) .*/\1/p'
+}
+
+echo "== sweep determinism: ${seeds} seeds, --jobs ${jobs} vs --jobs 1"
+
+par=$("${stress}" --app worker --seeds "${seeds}" --jobs "${jobs}" \
+      "$@" | extract_digest)
+ser=$("${stress}" --app worker --seeds "${seeds}" --jobs 1 \
+      "$@" | extract_digest)
+
+if [ -z "${par}" ] || [ -z "${ser}" ]; then
+    echo "error: no grid digest line in stress_protocols output" >&2
+    exit 1
+fi
+
+echo "   --jobs ${jobs}: ${par}"
+echo "   --jobs 1: ${ser}"
+
+if [ "${par}" != "${ser}" ]; then
+    echo "FAIL: grid digest depends on --jobs (${par} != ${ser})" >&2
+    exit 1
+fi
+echo "OK: digests identical"

@@ -15,6 +15,7 @@
  *   swex_cli --list
  */
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -104,6 +105,17 @@ usage()
         "  --jitter-seed <n>  seed the jitter stream separately from\n"
         "                     the machine seed (stress replay lines\n"
         "                     use this; 0 = reuse --seed)\n"
+        "  --faults <d[,u[,b]]>  adversarial fault injection: drop,\n"
+        "                     duplicate, blackout rates in per mille\n"
+        "                     per wire transmission; the recoverable\n"
+        "                     delivery layer hides the faults from the\n"
+        "                     protocol (0,0,0 = off, clean path exact)\n"
+        "  --fault-seed <n>   seed the fault stream separately from\n"
+        "                     --seed (0 = reuse --seed)\n"
+        "  --deadline <c>     per-run simulated-cycle budget; a run\n"
+        "                     that exceeds it is recorded as a\n"
+        "                     structured failure instead of aborting\n"
+        "                     (default 50000000 when --faults is on)\n"
         "  --sweep            run the whole protocol spectrum instead\n"
         "                     of one --protocol (grid: spectrum x\n"
         "                     --seeds jitter seeds)\n"
@@ -122,6 +134,91 @@ usage()
         "  --json <path>      write the run record(s) as a "
         "swex-run-v1 document\n"
         "  --list             list apps and protocols and exit\n");
+}
+
+/** Parse "--faults d[,u[,b]]" (per-mille rates) into @p spec. */
+void
+parseFaults(const std::string &value, ExperimentSpec &spec)
+{
+    unsigned rates[3] = {0, 0, 0};
+    std::size_t pos = 0;
+    for (int k = 0; k < 3 && pos <= value.size(); ++k) {
+        std::size_t comma = value.find(',', pos);
+        std::string part = value.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        rates[k] = static_cast<unsigned>(
+            parseCount("--faults", part, 0, 1000));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    spec.faultDropPerMille = rates[0];
+    spec.faultDupPerMille = rates[1];
+    spec.faultBlackoutPerMille = rates[2];
+}
+
+/** The --protocol key that reproduces a spectrum label. */
+std::string
+cliProtoKey(const std::string &label)
+{
+    if (label == "H0-ACK") return "h0";
+    if (label == "H1-ACK") return "h1ack";
+    if (label == "H1-LACK") return "h1lack";
+    if (label == "H1") return "h1";
+    if (label == "DIR1SW") return "dir1sw";
+    if (label == "FULLMAP") return "full";
+    std::string key = label;
+    for (char &c : key)
+        c = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    return key;   // H2..H5
+}
+
+/**
+ * One self-contained command line that reproduces @p sp exactly:
+ * every determinism-relevant knob is spelled out, so a failure line
+ * pasted from a sweep replays the same simulation at any --jobs.
+ */
+std::string
+replayLine(const ExperimentSpec &sp, const std::string &proto_key,
+           bool local_bit_off)
+{
+    std::string s = strfmt("swex_cli --app %s --nodes %d --protocol "
+                           "%s --victim %u --seed %llu",
+                           sp.app.c_str(), sp.nodes, proto_key.c_str(),
+                           sp.victimEntries,
+                           static_cast<unsigned long long>(sp.seed));
+    if (sp.profile == HandlerProfile::TunedAsm)
+        s += " --profile asm";
+    for (const auto &[k, v] : sp.params)
+        s += strfmt(" --param %s=%s", k.c_str(), v.c_str());
+    if (sp.jitterMax != 0) {
+        s += strfmt(" --jitter %llu --jitter-seed %llu",
+                    static_cast<unsigned long long>(sp.jitterMax),
+                    static_cast<unsigned long long>(
+                        sp.jitterSeed != 0 ? sp.jitterSeed : sp.seed));
+    }
+    if (sp.faultDropPerMille != 0 || sp.faultDupPerMille != 0 ||
+        sp.faultBlackoutPerMille != 0) {
+        s += strfmt(" --faults %u,%u,%u --fault-seed %llu",
+                    sp.faultDropPerMille, sp.faultDupPerMille,
+                    sp.faultBlackoutPerMille,
+                    static_cast<unsigned long long>(
+                        sp.faultSeed != 0 ? sp.faultSeed : sp.seed));
+    }
+    if (sp.deadline != 0)
+        s += strfmt(" --deadline %llu",
+                    static_cast<unsigned long long>(sp.deadline));
+    if (sp.perfectIfetch)
+        s += " --perfect-ifetch";
+    if (local_bit_off)
+        s += " --no-local-bit";
+    if (sp.parallelInv)
+        s += " --parallel-inv";
+    if (sp.audit)
+        s += " --audit";
+    return s;
 }
 
 ProtocolConfig
@@ -206,6 +303,11 @@ main(int argc, char **argv)
                 parseCount(a, next(), 0, 1 << 20));
         else if (a == "--jitter-seed")
             spec.jitterSeed = parseU64(a, next());
+        else if (a == "--faults") parseFaults(next(), spec);
+        else if (a == "--fault-seed")
+            spec.faultSeed = parseU64(a, next());
+        else if (a == "--deadline")
+            spec.deadline = static_cast<Tick>(parseU64(a, next()));
         else if (a == "--sweep") want_sweep = true;
         else if (a == "--seeds")
             sweep_seeds = parseCount(a, next(), 1, 1'000'000);
@@ -232,6 +334,14 @@ main(int argc, char **argv)
     if (!AppRegistry::instance().contains(spec.app))
         fatal("unknown app '%s' (try --list)", spec.app.c_str());
 
+    const bool faults_on = spec.faultDropPerMille != 0 ||
+                           spec.faultDupPerMille != 0 ||
+                           spec.faultBlackoutPerMille != 0;
+    // Fault injection can legitimately livelock a run (every
+    // retransmission re-dropped); never run it without a deadline.
+    if (faults_on && spec.deadline == 0)
+        spec.deadline = 50'000'000;
+
     setQuiet(true);
 
     if (want_sweep) {
@@ -242,6 +352,8 @@ main(int argc, char **argv)
         // any concurrency.
         std::uint64_t seed0 = spec.jitterSeed != 0 ? spec.jitterSeed
                                                    : spec.seed;
+        std::uint64_t fseed0 = spec.faultSeed != 0 ? spec.faultSeed
+                                                   : spec.seed;
         std::vector<ExperimentSpec> specs;
         for (const auto &pt : protocolSpectrum()) {
             for (int s = 0; s < sweep_seeds; ++s) {
@@ -250,6 +362,10 @@ main(int argc, char **argv)
                 if (local_bit_off)
                     sp.protocol.localBit = false;
                 sp.jitterSeed = seed0 + static_cast<std::uint64_t>(s);
+                if (faults_on) {
+                    sp.faultSeed =
+                        fseed0 + static_cast<std::uint64_t>(s);
+                }
                 sp.id = strfmt("sweep/%s/s%llu", pt.label.c_str(),
                                static_cast<unsigned long long>(
                                    sp.jitterSeed));
@@ -272,12 +388,15 @@ main(int argc, char **argv)
         for (const auto &pt : protocolSpectrum()) {
             int ok = 0;
             const RunRecord *first = recs[i];
+            const std::size_t base = i;
             for (int s = 0; s < sweep_seeds; ++s, ++i) {
                 const RunRecord *r = recs[i];
-                if (r->verified && r->auditViolations == 0)
+                if (!r->failed() && r->verified &&
+                    r->auditViolations == 0) {
                     ++ok;
-                else
+                } else {
                     all_ok = false;
+                }
             }
             std::printf("  %-10s %3d/%d ok  s0: %llu cycles, image "
                         "%016llx\n",
@@ -286,6 +405,28 @@ main(int argc, char **argv)
                             first->simCycles),
                         static_cast<unsigned long long>(
                             first->imageHash));
+            // One replay line per failing cell: every determinism
+            // knob spelled out, so the cell reruns exactly, alone,
+            // at any --jobs level.
+            for (int s = 0; s < sweep_seeds; ++s) {
+                const RunRecord *r = recs[base + s];
+                if (!r->failed() && r->verified &&
+                    r->auditViolations == 0) {
+                    continue;
+                }
+                std::printf("    FAIL %s: status=%s verified=%s "
+                            "violations=%llu last_progress=%llu\n",
+                            r->id.c_str(), r->status.c_str(),
+                            r->verified ? "yes" : "no",
+                            static_cast<unsigned long long>(
+                                r->auditViolations),
+                            static_cast<unsigned long long>(
+                                r->lastProgress));
+                std::printf("      replay: %s\n",
+                            replayLine(specs[base + s],
+                                       cliProtoKey(pt.label),
+                                       local_bit_off).c_str());
+            }
         }
 
         bool json_ok = true;
@@ -327,7 +468,16 @@ main(int argc, char **argv)
                 static_cast<double>(r.simCycles) / 33.0e6);
     std::printf("traps: %.0f; handler cycles: %.0f; messages: %.0f\n",
                 r.trapsRaised, r.handlerCycles, r.messages);
-    std::printf("verification: %s\n", r.verified ? "PASSED" : "FAILED");
+    if (r.failed()) {
+        std::printf("status: %s (last progress at tick %llu)\n",
+                    r.status.c_str(),
+                    static_cast<unsigned long long>(r.lastProgress));
+        if (!r.stallSummary.empty())
+            std::printf("%s", r.stallSummary.c_str());
+    } else {
+        std::printf("verification: %s\n",
+                    r.verified ? "PASSED" : "FAILED");
+    }
     if (r.audited) {
         std::printf("audit: %llu transitions checked, %llu "
                     "violations\n",
@@ -343,6 +493,7 @@ main(int argc, char **argv)
                          json_path.c_str());
     }
     bool emit_ok = runner.emitRecords();
-    return r.verified && json_ok && emit_ok && r.auditViolations == 0
+    return !r.failed() && r.verified && json_ok && emit_ok &&
+                   r.auditViolations == 0
                ? 0 : 1;
 }
