@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Throughput benchmark for the record/replay fast path on a
+ * Figure-4-shaped sweep: WORKER rows at several working-set sizes on
+ * 64 nodes, each row a sequential reference plus the seven
+ * pointer-axis protocol cells.
+ *
+ * Two legs over the identical spec grid:
+ *
+ *  - before: every cell executes directly (Runner::runAll), the cost
+ *    a parameter study pays today for every repetition;
+ *  - after: every cell replays from a warm trace cache
+ *    (Runner::runAllReplay after a populating pass), the steady-state
+ *    cost once each kernel has been recorded.
+ *
+ * The figure of merit is aggregate sim_cycles_per_sec (total
+ * simulated cycles over total host wall time). On the warm cache
+ * every cell carries an exact-config gap-annotated trace (recorded by
+ * the populating pass's record and replay-side re-records), so the
+ * after leg runs entirely in the fast-forward tier: no event
+ * simulation, just the recorded mutation stream applied in issue
+ * order and the memory image verified against the trace header.
+ * Replay must stay bit-exact: the bench aborts if any cell's cycle
+ * count or memory image differs between the legs.
+ *
+ * Emits before/after entries (including peak_rss_kb for the replay
+ * leg) into BENCH_FIGS.json.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "bench_support.hh"
+#include "core/spectrum.hh"
+#include "exp/runner.hh"
+
+using namespace swex;
+using namespace swex::bench;
+
+namespace
+{
+
+constexpr int nodes = 64;
+
+struct Row
+{
+    const char *label;
+    AppParams params;
+};
+
+const Row rows[] = {
+    {"W16", {{"wss", "16"}, {"iterations", "10"}}},
+    {"W32", {{"wss", "32"}, {"iterations", "10"}}},
+    {"W48", {{"wss", "48"}, {"iterations", "10"}}},
+};
+
+std::vector<ExperimentSpec>
+sweepSpecs()
+{
+    std::vector<ExperimentSpec> specs;
+    for (const Row &row : rows) {
+        ExperimentSpec base{.id = std::string("fig_replay/") +
+                                  row.label,
+                            .app = "worker",
+                            .params = row.params,
+                            .nodes = nodes,
+                            .victimEntries = 6};
+        ExperimentSpec seq = base;
+        seq.id += "/seq";
+        seq.sequential = true;
+        specs.push_back(std::move(seq));
+        for (const auto &pt : pointerAxis()) {
+            ExperimentSpec spec = base;
+            spec.id += "/h" + pt.label;
+            spec.protocol = pt.protocol;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+struct Leg
+{
+    double cycles = 0;
+    double wall = 0;
+
+    double
+    perSec() const
+    {
+        return wall > 0 ? cycles / wall : 0;
+    }
+};
+
+Leg
+tally(const std::vector<RunRecord *> &recs)
+{
+    Leg leg;
+    for (const RunRecord *r : recs) {
+        leg.cycles += static_cast<double>(r->simCycles);
+        leg.wall += r->hostWallSeconds;
+    }
+    return leg;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(argv[++i])));
+    }
+
+    char dir_template[] = "/tmp/swex-replay-bench-XXXXXX";
+    char *trace_dir = mkdtemp(dir_template);
+    if (trace_dir == nullptr) {
+        std::fprintf(stderr, "fig_replay_sweep: cannot create trace "
+                             "scratch directory\n");
+        return 1;
+    }
+
+    std::vector<ExperimentSpec> specs = sweepSpecs();
+
+    // Before: the conventional sweep, every cell simulated directly.
+    Runner direct_runner;
+    std::vector<RunRecord *> direct =
+        direct_runner.runAll(specs, jobs);
+
+    // Populate the trace cache (records each kernel once), then the
+    // after leg: the same grid with every cell replaying.
+    {
+        Runner warmup;
+        warmup.runAllReplay(specs, jobs, trace_dir);
+    }
+    Runner replay_runner;
+    std::vector<RunRecord *> replay =
+        replay_runner.runAllReplay(specs, jobs, trace_dir);
+
+    // Replay earns its keep only if it is exact: any divergence in
+    // cycle count or memory image is a bench failure, not a footnote.
+    bool exact = true;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (replay[i]->execMode != "replay" &&
+            replay[i]->execMode != "replay-fast") {
+            std::fprintf(stderr, "FAIL: %s did not replay from the "
+                                 "warm cache (mode %s)\n",
+                         specs[i].id.c_str(),
+                         replay[i]->execMode.c_str());
+            exact = false;
+        }
+        if (direct[i]->simCycles != replay[i]->simCycles ||
+            direct[i]->imageHash != replay[i]->imageHash) {
+            std::fprintf(
+                stderr,
+                "FAIL: %s diverged: direct %llu cycles image %016llx, "
+                "replay %llu cycles image %016llx\n",
+                specs[i].id.c_str(),
+                static_cast<unsigned long long>(direct[i]->simCycles),
+                static_cast<unsigned long long>(direct[i]->imageHash),
+                static_cast<unsigned long long>(replay[i]->simCycles),
+                static_cast<unsigned long long>(replay[i]->imageHash));
+            exact = false;
+        }
+    }
+
+    std::printf("Replay fast path on a Figure-4-shaped WORKER sweep "
+                "(%d nodes, %zu cells)\n", nodes, specs.size());
+    rule(76);
+    std::printf("%-18s %14s %12s %12s %9s\n", "cell", "sim cycles",
+                "direct s", "replay s", "speedup");
+    rule(76);
+    std::size_t i = 0;
+    JsonTrajectory traj;
+    for (const Row &row : rows) {
+        Leg d, r;
+        for (std::size_t k = 0; k < 1 + pointerAxis().size(); ++k) {
+            d.cycles += static_cast<double>(direct[i]->simCycles);
+            d.wall += direct[i]->hostWallSeconds;
+            r.cycles += static_cast<double>(replay[i]->simCycles);
+            r.wall += replay[i]->hostWallSeconds;
+            ++i;
+        }
+        std::printf("%-18s %14.0f %12.3f %12.3f %8.1fx\n", row.label,
+                    d.cycles, d.wall, r.wall,
+                    r.wall > 0 ? d.wall / r.wall : 0);
+        traj.record(std::string("fig_replay/") + row.label,
+                    {{"cycles", d.cycles},
+                     {"direct_wall_s", d.wall},
+                     {"replay_wall_s", r.wall},
+                     {"replay_speedup",
+                      r.wall > 0 ? d.wall / r.wall : 0}});
+    }
+    rule(76);
+
+    Leg before = tally(direct);
+    Leg after = tally(replay);
+    double gain = before.perSec() > 0
+                      ? after.perSec() / before.perSec()
+                      : 0;
+    std::printf("aggregate sim_cycles_per_sec: direct %.3g, replay "
+                "%.3g (%.1fx)\n",
+                before.perSec(), after.perSec(), gain);
+    std::printf("replay is %s\n",
+                exact ? "bit-identical to direct execution"
+                      : "NOT bit-identical -- FAILED");
+
+    traj.record("fig_replay_sweep/before",
+                {{"sim_cycles", before.cycles},
+                 {"wall_s", before.wall},
+                 {"sim_cycles_per_sec", before.perSec()}});
+    traj.record("fig_replay_sweep/after",
+                {{"sim_cycles", after.cycles},
+                 {"wall_s", after.wall},
+                 {"sim_cycles_per_sec", after.perSec()},
+                 {"aggregate_speedup", gain},
+                 {"peak_rss_kb", static_cast<double>(peakRssKb())}});
+    if (!traj.updateFile("BENCH_FIGS.json"))
+        std::fprintf(stderr, "warning: could not write bench JSON\n");
+    if (!direct_runner.emitRecords() || !replay_runner.emitRecords())
+        std::fprintf(stderr, "warning: fig_replay_sweep run records "
+                             "were dropped\n");
+    return exact ? 0 : 1;
+}

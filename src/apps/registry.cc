@@ -205,7 +205,8 @@ AppRegistry::AppRegistry()
              r.finish();
              return std::make_unique<WorkerApp>(c, nodes);
          },
-         1.0});
+         1.0,
+         /*tracePortable=*/true});
 
     add({"tsp",
          "branch-and-bound traveling salesman (Sec. 6)",

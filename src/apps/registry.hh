@@ -88,6 +88,19 @@ class AppRegistry
          * it, never any result.
          */
         double costWeight = 1.0;
+
+        /**
+         * Declares the app's op stream timing-independent: every
+         * control-flow decision depends only on (params, nodes, tid),
+         * never on observed memory values, so one recorded trace
+         * replays exactly under any protocol / latency / seed cell.
+         * Requires static reference streams and hardware sync only;
+         * apps that spin on shared flags or pull from work queues
+         * (timing decides who gets what) must leave this false —
+         * their traces are config-bound and the record path refuses
+         * to treat them as portable.
+         */
+        bool tracePortable = false;
     };
 
     /** The singleton, with the built-in apps already registered. */

@@ -59,8 +59,12 @@ RunRecord::writeJson(std::ostream &os, bool canonical) const
     os << ",\"protocol\":";
     jsonString(os, protocol);
     os << ",\"nodes\":" << nodes
-       << ",\"sequential\":" << (sequential ? "true" : "false")
-       << ",\"sim_cycles\":" << simCycles
+       << ",\"sequential\":" << (sequential ? "true" : "false");
+    if (execMode != "direct") {
+        os << ",\"exec_mode\":";
+        jsonString(os, execMode);
+    }
+    os << ",\"sim_cycles\":" << simCycles
        << ",\"verified\":" << (verified ? "true" : "false")
        << ",\"status\":";
     jsonString(os, status);

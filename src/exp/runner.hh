@@ -17,10 +17,12 @@
 #ifndef SWEX_EXP_RUNNER_HH
 #define SWEX_EXP_RUNNER_HH
 
+#include <string>
 #include <vector>
 
 #include "exp/run_record.hh"
 #include "exp/spec.hh"
+#include "trace/trace_format.hh"
 
 namespace swex
 {
@@ -68,6 +70,39 @@ class Runner
      * distinct specs share nothing but the (locked) app registry.
      */
     RunRecord execute(const ExperimentSpec &spec) const;
+
+    /**
+     * Record-once, replay-everywhere sweep. Specs whose app the
+     * registry declares trace-portable are partitioned by trace key
+     * (app, params, nodes, sequential): the first cell of each key
+     * records (or an already-cached trace is reused), every other
+     * cell replays the cached trace — the order-of-magnitude fast
+     * path for protocol sweeps, where one recording drives every
+     * protocol / latency / victim / seed cell. Specs whose app is
+     * not portable run Direct, unchanged (record+replay per cell
+     * would be pure overhead). Results merge into the log in spec
+     * order, exactly like runAll().
+     */
+    std::vector<RunRecord *> runAllReplay(
+        const std::vector<ExperimentSpec> &specs, unsigned jobs,
+        const std::string &trace_dir = "");
+
+    /**
+     * The machine configuration a spec actually runs on (applies the
+     * sequential-baseline override and the execution mode).
+     */
+    static MachineConfig machineFor(const ExperimentSpec &spec);
+
+    /**
+     * Locate, load, and validate the trace a Replay of @p spec would
+     * use: the exact config-bound trace first, then — only for apps
+     * the registry declares trace-portable — a portable recording.
+     * @return "" with @p out filled on success, else a structured
+     * error (no trace directory, missing file, stale key, fingerprint
+     * mismatch, corrupt trace). Never crashes on bad input.
+     */
+    static std::string findReplayTrace(const ExperimentSpec &spec,
+                                       trace::Trace &out);
 
     RunLog &log() { return _log; }
     const RunLog &log() const { return _log; }

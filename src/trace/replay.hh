@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The replay half of the record/replay subsystem: flat cursors that
+ * walk a recorded swex-trace-v1 op stream and drive the existing
+ * Processor state machine through its replay issue surface. No
+ * coroutine frames, no per-access suspension — the cursor advances,
+ * issues one suspending op, and the processor's own trap / watchdog /
+ * cycle-charging machinery does the rest, so replay timing is
+ * identical to direct execution by construction.
+ */
+
+#ifndef SWEX_TRACE_REPLAY_HH
+#define SWEX_TRACE_REPLAY_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/processor.hh"
+#include "trace/trace_format.hh"
+
+namespace swex
+{
+
+class Machine;
+
+namespace trace
+{
+
+/** What fastForward() did, for reporting and sanity checks. */
+struct FastForwardResult
+{
+    Tick cycles = 0;            ///< recordedCycles carried from the header
+    std::size_t mutations = 0;  ///< stores/atomics applied to memory
+};
+
+/**
+ * The flat fast-forward tier: skip event simulation entirely and
+ * reconstruct the recorded run's outcome from the trace alone. Every
+ * op's issue-gap annotation is prefix-summed into absolute ticks, the
+ * memory mutations (stores and atomics) are applied to @p m in global
+ * (tick, thread) issue order via the debug access path, and the
+ * recorded cycle count is carried from the header.
+ *
+ * This is only sound when the trace's configFingerprint matches the
+ * machine @p m was built with (the gaps and cycle count are that
+ * config's observed timing) — and the caller MUST verify
+ * m.imageHash() against meta.recordedImageHash afterwards, which
+ * catches any divergence end to end. Apps whose op streams depend on
+ * loaded values (non-portable) are refused upstream.
+ */
+FastForwardResult fastForward(Machine &m, const Trace &t);
+
+/** One thread's cursor over its recorded op stream. */
+class TraceCursor final : public ReplaySource
+{
+  public:
+    explicit TraceCursor(const TraceRecorder::Stream &stream)
+        : _cur(stream.bytes.data()),
+          _end(stream.bytes.data() + stream.bytes.size())
+    {}
+
+    /**
+     * Decode ops until one suspends (work, memory op, barrier) or the
+     * stream ends. Zero-cost ops (SetFootprint) apply inline.
+     * @return false once exhausted. Panics on a malformed stream —
+     * load() checksums make that unreachable for on-disk traces.
+     */
+    bool advance(Processor &p) override;
+
+  private:
+    const std::uint8_t *_cur;
+    const std::uint8_t *_end;
+};
+
+/**
+ * A loaded trace bound to per-thread cursors, ready to hand to
+ * Machine::runReplay(). Owns the trace (cursors point into it).
+ */
+class ReplayProgram
+{
+  public:
+    explicit ReplayProgram(Trace trace);
+
+    ReplayProgram(const ReplayProgram &) = delete;
+    ReplayProgram &operator=(const ReplayProgram &) = delete;
+
+    const Trace &trace() const { return _trace; }
+
+    /** One ReplaySource per recorded thread, in thread order. */
+    std::vector<ReplaySource *> sources();
+
+  private:
+    Trace _trace;
+    std::vector<TraceCursor> _cursors;
+};
+
+} // namespace trace
+} // namespace swex
+
+#endif // SWEX_TRACE_REPLAY_HH

@@ -1,0 +1,408 @@
+#include "trace/trace_format.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/directory.hh"
+#include "machine/machine.hh"
+
+namespace swex
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr std::uint64_t fnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t fnvPrime = 1099511628211ull;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < n; ++i)
+        h = (h ^ p[i]) * fnvPrime;
+    return h;
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putStr(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+struct Reader
+{
+    const std::uint8_t *cur;
+    const std::uint8_t *end;
+
+    bool
+    bytes(void *dst, std::size_t n)
+    {
+        if (static_cast<std::size_t>(end - cur) < n)
+            return false;
+        std::memcpy(dst, cur, n);
+        cur += n;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        std::uint8_t b[4];
+        if (!bytes(b, 4))
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        std::uint8_t b[8];
+        if (!bytes(b, 8))
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        std::uint32_t n;
+        if (!u32(n) || static_cast<std::size_t>(end - cur) < n)
+            return false;
+        s.assign(reinterpret_cast<const char *>(cur), n);
+        cur += n;
+        return true;
+    }
+};
+
+/** Header flag bits. */
+constexpr std::uint32_t flagPortable = 1u << 0;
+constexpr std::uint32_t flagSequential = 1u << 1;
+
+} // anonymous namespace
+
+bool
+Trace::save(const std::string &path, std::string &err) const
+{
+    std::vector<std::uint8_t> header;
+    header.insert(header.end(), traceMagic, traceMagic + 8);
+    putU32(header, meta.version);
+    putU32(header, meta.schema);
+    std::uint32_t flags = (meta.portable ? flagPortable : 0u) |
+                          (meta.sequential ? flagSequential : 0u);
+    putU32(header, flags);
+    putU32(header, meta.appNodes);
+    putU32(header, static_cast<std::uint32_t>(streams.size()));
+    putU64(header, meta.configFingerprint);
+    putU64(header, meta.recordedCycles);
+    putU64(header, meta.recordedImageHash);
+    putU64(header, meta.seed);
+    putStr(header, meta.app);
+    putStr(header, meta.params);
+    putStr(header, meta.protocol);
+    for (const auto &s : streams) {
+        putU64(header, s.bytes.size());
+        putU64(header, s.ops);
+    }
+    putU64(header, fnv1a(fnvOffset, header.data(), header.size()));
+
+    std::uint64_t payload_fnv = fnvOffset;
+    for (const auto &s : streams)
+        payload_fnv = fnv1a(payload_fnv, s.bytes.data(),
+                            s.bytes.size());
+
+    // Write to a temp name and rename, so concurrent sweep workers
+    // recording the same key never observe a half-written trace.
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        err = "cannot open " + tmp + " for writing";
+        return false;
+    }
+    bool ok = std::fwrite(header.data(), 1, header.size(), f) ==
+              header.size();
+    for (const auto &s : streams) {
+        ok = ok && (s.bytes.empty() ||
+                    std::fwrite(s.bytes.data(), 1, s.bytes.size(),
+                                f) == s.bytes.size());
+    }
+    std::uint8_t tail[8];
+    for (int i = 0; i < 8; ++i)
+        tail[i] = static_cast<std::uint8_t>(payload_fnv >> (8 * i));
+    ok = ok && std::fwrite(tail, 1, 8, f) == 8;
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        err = "short write to " + tmp;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        err = "cannot rename " + tmp + " to " + path;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+Trace::load(const std::string &path, Trace &out, std::string &err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        err = "no trace file at " + path;
+        return false;
+    }
+    std::vector<std::uint8_t> raw;
+    std::uint8_t buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        raw.insert(raw.end(), buf, buf + n);
+    bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err) {
+        err = "I/O error reading " + path;
+        return false;
+    }
+
+    Reader r{raw.data(), raw.data() + raw.size()};
+    char magic[8];
+    if (!r.bytes(magic, 8)) {
+        err = path + ": truncated (no magic)";
+        return false;
+    }
+    if (std::memcmp(magic, traceMagic, 8) != 0) {
+        err = path + ": not a swex-trace file (bad magic)";
+        return false;
+    }
+
+    Trace t;
+    std::uint32_t flags = 0, nstreams = 0;
+    if (!r.u32(t.meta.version) || !r.u32(t.meta.schema)) {
+        err = path + ": truncated header";
+        return false;
+    }
+    if (t.meta.version != traceVersion) {
+        err = path + ": unsupported trace version " +
+              std::to_string(t.meta.version) + " (expected " +
+              std::to_string(traceVersion) + ")";
+        return false;
+    }
+    if (t.meta.schema != traceSchema) {
+        err = path + ": stale op-encoding schema " +
+              std::to_string(t.meta.schema) + " (current " +
+              std::to_string(traceSchema) + "); re-record";
+        return false;
+    }
+    if (!r.u32(flags) || !r.u32(t.meta.appNodes) ||
+        !r.u32(nstreams) || !r.u64(t.meta.configFingerprint) ||
+        !r.u64(t.meta.recordedCycles) ||
+        !r.u64(t.meta.recordedImageHash) || !r.u64(t.meta.seed) ||
+        !r.str(t.meta.app) || !r.str(t.meta.params) ||
+        !r.str(t.meta.protocol)) {
+        err = path + ": truncated header";
+        return false;
+    }
+    t.meta.portable = (flags & flagPortable) != 0;
+    t.meta.sequential = (flags & flagSequential) != 0;
+    t.meta.numThreads = nstreams;
+    if (nstreams == 0 || nstreams > static_cast<std::uint32_t>(
+                                        maxNodes)) {
+        err = path + ": implausible thread count " +
+              std::to_string(nstreams);
+        return false;
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> lens;
+    lens.reserve(nstreams);
+    for (std::uint32_t i = 0; i < nstreams; ++i) {
+        std::uint64_t bytes_len, ops;
+        if (!r.u64(bytes_len) || !r.u64(ops)) {
+            err = path + ": truncated stream table";
+            return false;
+        }
+        lens.emplace_back(bytes_len, ops);
+    }
+
+    std::uint64_t stored_header_fnv;
+    std::size_t header_len =
+        static_cast<std::size_t>(r.cur - raw.data());
+    if (!r.u64(stored_header_fnv)) {
+        err = path + ": truncated header checksum";
+        return false;
+    }
+    if (fnv1a(fnvOffset, raw.data(), header_len) !=
+        stored_header_fnv) {
+        err = path + ": header checksum mismatch (corrupt trace)";
+        return false;
+    }
+
+    std::uint64_t payload_fnv = fnvOffset;
+    t.streams.resize(nstreams);
+    for (std::uint32_t i = 0; i < nstreams; ++i) {
+        auto &s = t.streams[i];
+        s.ops = lens[i].second;
+        s.bytes.resize(lens[i].first);
+        if (!r.bytes(s.bytes.data(), s.bytes.size())) {
+            err = path + ": truncated payload (stream " +
+                  std::to_string(i) + ")";
+            return false;
+        }
+        payload_fnv = fnv1a(payload_fnv, s.bytes.data(),
+                            s.bytes.size());
+    }
+
+    std::uint64_t stored_payload_fnv;
+    if (!r.u64(stored_payload_fnv)) {
+        err = path + ": truncated payload checksum";
+        return false;
+    }
+    if (payload_fnv != stored_payload_fnv) {
+        err = path + ": payload checksum mismatch (corrupt trace)";
+        return false;
+    }
+
+    out = std::move(t);
+    return true;
+}
+
+std::string
+Trace::keyMismatch(const std::string &app,
+                   const std::string &canonical_params, int app_nodes,
+                   bool sequential) const
+{
+    if (meta.app != app)
+        return "trace records app '" + meta.app + "', not '" + app +
+               "'";
+    if (meta.params != canonical_params)
+        return "trace params {" + meta.params +
+               "} do not match requested {" + canonical_params + "}";
+    if (meta.appNodes != static_cast<std::uint32_t>(app_nodes))
+        return "trace recorded for " + std::to_string(meta.appNodes) +
+               " nodes, requested " + std::to_string(app_nodes);
+    if (meta.sequential != sequential)
+        return std::string("trace records the ") +
+               (meta.sequential ? "sequential" : "parallel") +
+               " kernel, requested " +
+               (sequential ? "sequential" : "parallel");
+    return "";
+}
+
+std::string
+canonicalAppParams(const std::map<std::string, std::string> &params)
+{
+    std::string out;
+    for (const auto &[k, v] : params) {
+        if (!out.empty())
+            out += ';';
+        out += k;
+        out += '=';
+        out += v;
+    }
+    return out;
+}
+
+std::uint64_t
+configFingerprint(const MachineConfig &mc)
+{
+    std::uint64_t h = fnvOffset;
+    auto mix = [&h](std::uint64_t v) {
+        h = fnv1a(h, &v, sizeof(v));
+    };
+    mix(static_cast<std::uint64_t>(mc.numNodes));
+    mix(static_cast<std::uint64_t>(mc.protocol.hwPointers));
+    mix(static_cast<std::uint64_t>(mc.protocol.ackMode));
+    mix(mc.protocol.swBroadcast);
+    mix(mc.protocol.localBit);
+    mix(static_cast<std::uint64_t>(mc.profile));
+    mix(mc.parallelInv);
+    mix(static_cast<std::uint64_t>(mc.mutation));
+    mix(mc.memLatency);
+    mix(mc.hwCtrlLatency);
+    mix(mc.rxOccupancy);
+    mix(mc.net.hopLatency);
+    mix(mc.net.routerEntry);
+    mix(mc.net.loopback);
+    mix(mc.net.jitterMax);
+    mix(mc.net.jitterSeed);
+    mix(mc.net.faults.dropPerMille);
+    mix(mc.net.faults.dupPerMille);
+    mix(mc.net.faults.blackoutPerMille);
+    mix(mc.net.faults.blackoutMax);
+    mix(mc.net.faults.retransmitTimeout);
+    mix(mc.net.faults.retransmitBound);
+    mix(mc.net.faults.seed);
+    mix(mc.cacheCtrl.cacheBytes);
+    mix(mc.cacheCtrl.victimEntries);
+    mix(mc.cacheCtrl.hitLatency);
+    mix(mc.cacheCtrl.victimSwapLatency);
+    mix(mc.cacheCtrl.fillLatency);
+    mix(mc.cacheCtrl.missIssueLatency);
+    mix(mc.cacheCtrl.instrMissLatency);
+    mix(mc.cacheCtrl.retryBase);
+    mix(mc.cacheCtrl.retryCap);
+    mix(mc.perfectIfetch);
+    mix(static_cast<std::uint64_t>(mc.watchdog));
+    mix(mc.segBytes);
+    mix(mc.seed);
+    mix(mc.deadline);
+    return h;
+}
+
+std::string
+traceFileName(const std::string &app,
+              const std::string &canonical_params, int app_nodes,
+              bool sequential, bool portable,
+              std::uint64_t config_fingerprint)
+{
+    std::uint64_t ph = fnv1a(fnvOffset, canonical_params.data(),
+                             canonical_params.size());
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "-p%016llx-n%d",
+                  static_cast<unsigned long long>(ph), app_nodes);
+    std::string name = app + buf;
+    if (sequential)
+        name += "-seq";
+    if (!portable) {
+        std::snprintf(buf, sizeof(buf), "-c%016llx",
+                      static_cast<unsigned long long>(
+                          config_fingerprint));
+        name += buf;
+    }
+    return name + ".swextrace";
+}
+
+std::string
+resolveTraceDir(const std::string &explicit_dir)
+{
+    if (!explicit_dir.empty())
+        return explicit_dir;
+    const char *env = std::getenv("SWEX_TRACE_CACHE");
+    return env != nullptr ? env : "";
+}
+
+} // namespace trace
+} // namespace swex

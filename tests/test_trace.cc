@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Tests for the record/replay subsystem: the swex-trace-v1 container
+ * round-trips, rejects truncated and corrupt files with structured
+ * errors, invalidates stale keys; and replay reproduces bit-identical
+ * cycle counts and memory images — for config-bound traces under the
+ * recording config, and for portable traces under every protocol
+ * cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "trace/encoding.hh"
+#include "trace/replay.hh"
+#include "trace/trace_format.hh"
+
+using namespace swex;
+
+namespace
+{
+
+/** Fresh scratch directory under gtest's temp root. */
+std::string
+scratchDir(const std::string &tag)
+{
+    std::string tmpl = ::testing::TempDir() + "swextrace-" + tag +
+                       "-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *d = mkdtemp(buf.data());
+    EXPECT_NE(d, nullptr);
+    return d != nullptr ? d : ".";
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<std::uint8_t> raw;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        raw.insert(raw.end(), buf, buf + n);
+    std::fclose(f);
+    return raw;
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &raw)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(raw.data(), 1, raw.size(), f), raw.size());
+    std::fclose(f);
+}
+
+/** A small synthetic trace with two op streams. */
+trace::Trace
+sampleTrace()
+{
+    TraceRecorder rec(2);
+    rec.setFootprint(0, 0, {0x1000, 0x1040, 0x1080});
+    rec.work(0, 0, 250);
+    rec.memOp(0, 250, trace::Op::Load, 0x40000, 0);
+    rec.memOp(0, 253, trace::Op::Store, 0x40008, 7);
+    rec.memOp(0, 260, trace::Op::FetchAdd, 0x40010, 1);
+    rec.memOp(0, 270, trace::Op::Swap, 0x40018, 99);
+    rec.hwBarrier(0, 281);
+    rec.work(1, 0, 1);
+    rec.hwBarrier(1, 1);
+
+    trace::Trace t;
+    t.meta.portable = true;
+    t.meta.appNodes = 2;
+    t.meta.numThreads = 2;
+    t.meta.configFingerprint = 0xfeedULL;
+    t.meta.recordedCycles = 4242;
+    t.meta.recordedImageHash = 0xabcdULL;
+    t.meta.seed = 12345;
+    t.meta.app = "worker";
+    t.meta.params = "iterations=2;wss=2";
+    t.meta.protocol = "HW5";
+    t.streams = {rec.stream(0), rec.stream(1)};
+    return t;
+}
+
+ExperimentSpec
+workerSpec(const std::string &id, ProtocolConfig proto,
+           ExecutionMode mode, const std::string &dir)
+{
+    ExperimentSpec s{.id = id,
+                     .app = "worker",
+                     .params = {{"wss", "3"}, {"iterations", "3"}},
+                     .protocol = proto,
+                     .nodes = 8,
+                     .victimEntries = 6};
+    s.execMode = mode;
+    s.traceDir = dir;
+    return s;
+}
+
+} // anonymous namespace
+
+TEST(TraceEncoding, VarintRoundTrips)
+{
+    std::vector<std::uint8_t> buf;
+    const std::uint64_t values[] = {0, 1, 127, 128, 300, 1ull << 31,
+                                    ~0ull};
+    for (std::uint64_t v : values)
+        trace::putVarint(buf, v);
+    const std::uint8_t *cur = buf.data();
+    const std::uint8_t *end = buf.data() + buf.size();
+    for (std::uint64_t v : values) {
+        std::uint64_t got = 0;
+        ASSERT_TRUE(trace::getVarint(cur, end, got));
+        EXPECT_EQ(got, v);
+    }
+    EXPECT_EQ(cur, end);
+
+    // Truncation mid-varint decodes to failure, not garbage.
+    std::vector<std::uint8_t> cut;
+    trace::putVarint(cut, 1ull << 40);
+    cut.pop_back();
+    cur = cut.data();
+    end = cut.data() + cut.size();
+    std::uint64_t got = 0;
+    EXPECT_FALSE(trace::getVarint(cur, end, got));
+}
+
+TEST(TraceFormat, SaveLoadRoundTrips)
+{
+    std::string dir = scratchDir("roundtrip");
+    std::string path = dir + "/t.swextrace";
+    trace::Trace t = sampleTrace();
+    std::string err;
+    ASSERT_TRUE(t.save(path, err)) << err;
+
+    trace::Trace back;
+    ASSERT_TRUE(trace::Trace::load(path, back, err)) << err;
+    EXPECT_EQ(back.meta.version, trace::traceVersion);
+    EXPECT_EQ(back.meta.schema, trace::traceSchema);
+    EXPECT_TRUE(back.meta.portable);
+    EXPECT_FALSE(back.meta.sequential);
+    EXPECT_EQ(back.meta.appNodes, 2u);
+    EXPECT_EQ(back.meta.numThreads, 2u);
+    EXPECT_EQ(back.meta.configFingerprint, 0xfeedULL);
+    EXPECT_EQ(back.meta.recordedCycles, 4242u);
+    EXPECT_EQ(back.meta.recordedImageHash, 0xabcdULL);
+    EXPECT_EQ(back.meta.app, "worker");
+    EXPECT_EQ(back.meta.params, "iterations=2;wss=2");
+    EXPECT_EQ(back.meta.protocol, "HW5");
+    ASSERT_EQ(back.streams.size(), 2u);
+    EXPECT_EQ(back.streams[0].bytes, t.streams[0].bytes);
+    EXPECT_EQ(back.streams[0].ops, t.streams[0].ops);
+    EXPECT_EQ(back.streams[1].bytes, t.streams[1].bytes);
+}
+
+TEST(TraceFormat, MissingFileIsAStructuredError)
+{
+    trace::Trace out;
+    std::string err;
+    EXPECT_FALSE(trace::Trace::load("/nonexistent/t.swextrace", out,
+                                    err));
+    EXPECT_NE(err.find("no trace file"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, BadMagicIsRejected)
+{
+    std::string dir = scratchDir("magic");
+    std::string path = dir + "/t.swextrace";
+    trace::Trace t = sampleTrace();
+    std::string err;
+    ASSERT_TRUE(t.save(path, err)) << err;
+
+    auto raw = slurp(path);
+    raw[0] ^= 0xff;
+    spit(path, raw);
+    trace::Trace out;
+    EXPECT_FALSE(trace::Trace::load(path, out, err));
+    EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, EveryTruncationIsRejectedWithoutCrashing)
+{
+    std::string dir = scratchDir("trunc");
+    std::string full = dir + "/full.swextrace";
+    trace::Trace t = sampleTrace();
+    std::string err;
+    ASSERT_TRUE(t.save(full, err)) << err;
+    auto raw = slurp(full);
+
+    std::string path = dir + "/cut.swextrace";
+    for (std::size_t len = 0; len < raw.size(); len += 7) {
+        spit(path, {raw.begin(), raw.begin() +
+                                     static_cast<std::ptrdiff_t>(len)});
+        trace::Trace out;
+        err.clear();
+        EXPECT_FALSE(trace::Trace::load(path, out, err)) << len;
+        EXPECT_FALSE(err.empty()) << len;
+    }
+}
+
+TEST(TraceFormat, CorruptHeaderAndPayloadFailChecksums)
+{
+    std::string dir = scratchDir("corrupt");
+    std::string path = dir + "/t.swextrace";
+    trace::Trace t = sampleTrace();
+    std::string err;
+    ASSERT_TRUE(t.save(path, err)) << err;
+    auto raw = slurp(path);
+
+    // Flip a byte inside the app-name characters (the string length
+    // at 60 would misparse as truncation; content hits the checksum).
+    auto header_bad = raw;
+    header_bad[66] ^= 0x01;
+    spit(path, header_bad);
+    trace::Trace out;
+    EXPECT_FALSE(trace::Trace::load(path, out, err));
+    EXPECT_NE(err.find("header checksum"), std::string::npos) << err;
+
+    // Flip a byte in the payload (last stream byte before the tail).
+    auto payload_bad = raw;
+    payload_bad[raw.size() - 9] ^= 0x01;
+    spit(path, payload_bad);
+    EXPECT_FALSE(trace::Trace::load(path, out, err));
+    EXPECT_NE(err.find("payload checksum"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, StaleSchemaAsksForReRecord)
+{
+    std::string dir = scratchDir("schema");
+    std::string path = dir + "/t.swextrace";
+    trace::Trace t = sampleTrace();
+    std::string err;
+    ASSERT_TRUE(t.save(path, err)) << err;
+
+    // Bytes 12..15 hold the little-endian schema; version/schema are
+    // checked before the header checksum so old traces always get the
+    // re-record message, not a corruption report.
+    auto raw = slurp(path);
+    raw[12] = 0xee;
+    spit(path, raw);
+    trace::Trace out;
+    EXPECT_FALSE(trace::Trace::load(path, out, err));
+    EXPECT_NE(err.find("re-record"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, KeyMismatchNamesTheStaleComponent)
+{
+    trace::Trace t = sampleTrace();
+    EXPECT_EQ(t.keyMismatch("worker", "iterations=2;wss=2", 2, false),
+              "");
+    EXPECT_NE(t.keyMismatch("tsp", "iterations=2;wss=2", 2, false)
+                  .find("app"),
+              std::string::npos);
+    EXPECT_NE(t.keyMismatch("worker", "iterations=9;wss=2", 2, false)
+                  .find("params"),
+              std::string::npos);
+    EXPECT_NE(t.keyMismatch("worker", "iterations=2;wss=2", 4, false)
+                  .find("nodes"),
+              std::string::npos);
+    EXPECT_NE(t.keyMismatch("worker", "iterations=2;wss=2", 2, true)
+                  .find("sequential"),
+              std::string::npos);
+}
+
+TEST(TraceFormat, FileNamesSeparateConfigCells)
+{
+    // Config-bound traces from different machine configs must not
+    // collide in the cache directory; portable traces share one file.
+    std::string a = trace::traceFileName("aq", "p=1", 16, false,
+                                         false, 0x1111);
+    std::string b = trace::traceFileName("aq", "p=1", 16, false,
+                                         false, 0x2222);
+    std::string p = trace::traceFileName("worker", "p=1", 16, false,
+                                         true, 0x1111);
+    std::string q = trace::traceFileName("worker", "p=1", 16, false,
+                                         true, 0x2222);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(p, q);
+}
+
+TEST(TraceReplay, PortableRecordReplaysBitIdenticalAcrossProtocols)
+{
+    std::string dir = scratchDir("portable");
+    Runner runner;
+
+    // Record once under HW5.
+    RunRecord rec = runner.execute(workerSpec(
+        "rec", ProtocolConfig::hw(5), ExecutionMode::Record, dir));
+    ASSERT_EQ(rec.status, "ok");
+    ASSERT_TRUE(rec.verified);
+
+    // Replay under the recording cell and under different protocol
+    // cells; each must match its own direct run bit for bit.
+    for (ProtocolConfig proto :
+         {ProtocolConfig::hw(5), ProtocolConfig::h0(),
+          ProtocolConfig::h1Ack(), ProtocolConfig::fullMap()}) {
+        RunRecord direct = runner.execute(workerSpec(
+            "dir", proto, ExecutionMode::Direct, dir));
+        RunRecord replay = runner.execute(workerSpec(
+            "rep", proto, ExecutionMode::Replay, dir));
+        ASSERT_EQ(replay.status, "ok") << proto.name();
+        EXPECT_TRUE(replay.verified) << proto.name();
+        EXPECT_EQ(replay.simCycles, direct.simCycles) << proto.name();
+        EXPECT_EQ(replay.imageHash, direct.imageHash) << proto.name();
+        EXPECT_EQ(replay.trapsRaised, direct.trapsRaised)
+            << proto.name();
+        EXPECT_EQ(replay.messages, direct.messages) << proto.name();
+    }
+}
+
+TEST(TraceReplay, SequentialBaselineReplaysBitIdentical)
+{
+    std::string dir = scratchDir("seq");
+    Runner runner;
+    ExperimentSpec spec = workerSpec("seq", ProtocolConfig::hw(5),
+                                     ExecutionMode::Record, dir);
+    spec.sequential = true;
+    RunRecord rec = runner.execute(spec);
+    ASSERT_EQ(rec.status, "ok");
+
+    spec.execMode = ExecutionMode::Replay;
+    RunRecord replay = runner.execute(spec);
+    EXPECT_EQ(replay.status, "ok");
+    EXPECT_TRUE(replay.verified);
+    EXPECT_EQ(replay.simCycles, rec.simCycles);
+    EXPECT_EQ(replay.imageHash, rec.imageHash);
+}
+
+TEST(TraceReplay, ConfigBoundAppReplaysUnderTheRecordingConfig)
+{
+    // aq's work-queue op stream is timing-dependent (not portable),
+    // but an exact-config replay is still bit-identical.
+    std::string dir = scratchDir("aq");
+    Runner runner;
+    ExperimentSpec spec{
+        .id = "aq",
+        .app = "aq",
+        .params = AppRegistry::instance().entry("aq").smokeParams,
+        .protocol = ProtocolConfig::hw(5),
+        .nodes = 4,
+        .victimEntries = 6};
+    spec.execMode = ExecutionMode::Record;
+    spec.traceDir = dir;
+    RunRecord rec = runner.execute(spec);
+    ASSERT_EQ(rec.status, "ok");
+    ASSERT_TRUE(rec.verified);
+
+    spec.execMode = ExecutionMode::Replay;
+    RunRecord replay = runner.execute(spec);
+    EXPECT_EQ(replay.status, "ok");
+    EXPECT_TRUE(replay.verified);
+    EXPECT_EQ(replay.simCycles, rec.simCycles);
+    EXPECT_EQ(replay.imageHash, rec.imageHash);
+}
+
+TEST(TraceReplay, NonPortableAppRefusesCrossConfigReplay)
+{
+    std::string dir = scratchDir("refuse");
+    Runner runner;
+    ExperimentSpec spec{
+        .id = "aq",
+        .app = "aq",
+        .params = AppRegistry::instance().entry("aq").smokeParams,
+        .protocol = ProtocolConfig::hw(5),
+        .nodes = 4,
+        .victimEntries = 6};
+    spec.execMode = ExecutionMode::Record;
+    spec.traceDir = dir;
+    RunRecord rec = runner.execute(spec);
+    ASSERT_EQ(rec.status, "ok");
+
+    // A different protocol cell: the config-bound trace must not be
+    // found, and the error must say why a portable one cannot exist.
+    spec.protocol = ProtocolConfig::h0();
+    trace::Trace out;
+    std::string err = Runner::findReplayTrace(spec, out);
+    ASSERT_FALSE(err.empty());
+    EXPECT_NE(err.find("not trace-portable"), std::string::npos)
+        << err;
+}
+
+TEST(TraceReplay, MissingTraceIsAStructuredError)
+{
+    std::string dir = scratchDir("missing");
+    ExperimentSpec spec = workerSpec("x", ProtocolConfig::hw(5),
+                                     ExecutionMode::Replay, dir);
+    trace::Trace out;
+    std::string err = Runner::findReplayTrace(spec, out);
+    ASSERT_FALSE(err.empty());
+    EXPECT_NE(err.find("no trace file"), std::string::npos) << err;
+
+    // And with no trace directory at all, the error says how to fix
+    // it instead of pointing at a path.
+    spec.traceDir.clear();
+    unsetenv("SWEX_TRACE_CACHE");
+    err = Runner::findReplayTrace(spec, out);
+    EXPECT_NE(err.find("no trace directory"), std::string::npos)
+        << err;
+}
+
+TEST(TraceReplay, RunAllReplayMatchesDirectSweep)
+{
+    std::string dir = scratchDir("sweep");
+    std::vector<ExperimentSpec> specs;
+    for (int ptrs : {1, 2, 5}) {
+        specs.push_back(workerSpec("cell/h" + std::to_string(ptrs),
+                                   ProtocolConfig::hw(ptrs),
+                                   ExecutionMode::Direct, ""));
+    }
+    ExperimentSpec seq = workerSpec("cell/seq", ProtocolConfig::hw(5),
+                                    ExecutionMode::Direct, "");
+    seq.sequential = true;
+    specs.push_back(seq);
+
+    Runner direct;
+    auto want = direct.runAll(specs, 2);
+    Runner fast;
+    auto got = fast.runAllReplay(specs, 2, dir);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i]->simCycles, want[i]->simCycles)
+            << specs[i].id;
+        EXPECT_EQ(got[i]->imageHash, want[i]->imageHash)
+            << specs[i].id;
+        EXPECT_TRUE(got[i]->verified) << specs[i].id;
+    }
+    // One cell recorded, the rest replayed.
+    int replays = 0;
+    for (const RunRecord *r : got)
+        replays += r->execMode == "replay";
+    EXPECT_EQ(replays, 2);
+    EXPECT_EQ(got[0]->execMode, "record");
+}
+
+TEST(TraceFastForward, ExactConfigFastForwardIsBitIdentical)
+{
+    std::string dir = scratchDir("fast");
+    Runner runner;
+    RunRecord direct = runner.execute(workerSpec(
+        "dir", ProtocolConfig::hw(5), ExecutionMode::Direct, dir));
+    RunRecord rec = runner.execute(workerSpec(
+        "rec", ProtocolConfig::hw(5), ExecutionMode::Record, dir));
+    ASSERT_EQ(rec.status, "ok");
+
+    ExperimentSpec spec = workerSpec("fast", ProtocolConfig::hw(5),
+                                     ExecutionMode::Replay, dir);
+    spec.fastReplay = true;
+    RunRecord ff = runner.execute(spec);
+    EXPECT_EQ(ff.execMode, "replay-fast");
+    EXPECT_EQ(ff.status, "ok");
+    EXPECT_TRUE(ff.verified);
+    EXPECT_EQ(ff.simCycles, direct.simCycles);
+    EXPECT_EQ(ff.imageHash, direct.imageHash);
+}
+
+TEST(TraceFastForward, CrossConfigReplayFallsBackThenUpgrades)
+{
+    // fastReplay over a portable trace from a different config must
+    // fall back to event-driven replay (the gap annotations are the
+    // recording config's timing) — and that replay re-records, so
+    // the second replay of the same cell fast-forwards.
+    std::string dir = scratchDir("upgrade");
+    Runner runner;
+    RunRecord rec = runner.execute(workerSpec(
+        "rec", ProtocolConfig::hw(5), ExecutionMode::Record, dir));
+    ASSERT_EQ(rec.status, "ok");
+
+    ExperimentSpec spec = workerSpec("h0", ProtocolConfig::h0(),
+                                     ExecutionMode::Replay, dir);
+    spec.fastReplay = true;
+    RunRecord full = runner.execute(spec);
+    EXPECT_EQ(full.execMode, "replay");
+    EXPECT_TRUE(full.verified);
+
+    RunRecord ff = runner.execute(spec);
+    EXPECT_EQ(ff.execMode, "replay-fast");
+    EXPECT_TRUE(ff.verified);
+    EXPECT_EQ(ff.simCycles, full.simCycles);
+    EXPECT_EQ(ff.imageHash, full.imageHash);
+}
+
+TEST(TraceFastForward, SecondSweepFastForwardsEveryCell)
+{
+    std::string dir = scratchDir("warm");
+    std::vector<ExperimentSpec> specs;
+    for (int ptrs : {1, 2, 5}) {
+        specs.push_back(workerSpec("cell/h" + std::to_string(ptrs),
+                                   ProtocolConfig::hw(ptrs),
+                                   ExecutionMode::Direct, ""));
+    }
+    ExperimentSpec seq = workerSpec("cell/seq", ProtocolConfig::hw(5),
+                                    ExecutionMode::Direct, "");
+    seq.sequential = true;
+    specs.push_back(seq);
+
+    Runner cold;
+    auto want = cold.runAllReplay(specs, 2, dir);
+    Runner warm;
+    auto got = warm.runAllReplay(specs, 2, dir);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i]->execMode, "replay-fast") << specs[i].id;
+        EXPECT_TRUE(got[i]->verified) << specs[i].id;
+        EXPECT_EQ(got[i]->simCycles, want[i]->simCycles)
+            << specs[i].id;
+        EXPECT_EQ(got[i]->imageHash, want[i]->imageHash)
+            << specs[i].id;
+    }
+}

@@ -4,9 +4,12 @@
 # never mix. TSan matters since the sweep tier went parallel: the
 # stress label runs the (app x protocol x seed) grid with --jobs 4,
 # so any cross-run shared state in the simulator shows up as a race.
-# The stress label also carries the fault-injection sweep and the
-# --jobs determinism gate (sweep_determinism); SWEX_DET_SEEDS keeps
-# the gate's seed count small enough for sanitized binaries.
+# The stress label also carries the fault-injection sweep, the
+# record/replay stress leg (stress_replay: every grid cell records
+# its op streams and replays them on a fresh machine, digests must
+# match), and the --jobs + replay determinism gate
+# (sweep_determinism); SWEX_DET_SEEDS keeps the gate's seed count
+# small enough for sanitized binaries.
 # Usage:
 #
 #   tools/ci_sanitize.sh [builddir-prefix]

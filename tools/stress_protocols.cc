@@ -40,6 +40,9 @@
 #include "exp/pool.hh"
 #include "exp/spec.hh"
 #include "machine/machine.hh"
+#include "trace/recorder.hh"
+#include "trace/replay.hh"
+#include "trace/trace_format.hh"
 
 using namespace swex;
 
@@ -53,6 +56,7 @@ struct Options
     int nodes = 16;
     Cycles jitterMax = 37;
     unsigned jobs = 1;
+    bool replay = false;       ///< record, replay, digest the replay
     std::string onlyApp;       ///< empty = all stress apps
     std::string onlyProtocol;  ///< empty = full spectrum
 
@@ -163,6 +167,11 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt,
 
     MachineConfig mc = spec.machine();
     mc.net.traceDepth = 64;
+    // --replay: capture the op streams during the direct run so the
+    // cell can be re-executed from the trace below.
+    const bool replaying = opt.replay && adversarial;
+    if (replaying)
+        mc.executionMode = ExecutionMode::Record;
 
     auto app = AppRegistry::instance().make(sa.name, sa.params,
                                             opt.nodes);
@@ -207,6 +216,52 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt,
             "full-map reference %016llx",
             static_cast<unsigned long long>(r.image),
             static_cast<unsigned long long>(*expect_image)));
+    }
+
+    // --replay: re-execute the cell from the recorded op streams on a
+    // fresh machine under the identical (config-bound) configuration
+    // and require bit-identity; the digest is then computed from the
+    // replay machine's numbers, so `--replay` and direct sweeps must
+    // print the same grid digest. Cells that blew their deadline have
+    // truncated streams and cannot replay; their direct numbers feed
+    // the digest unchanged.
+    if (replaying && completed) {
+        const TraceRecorder *rec = m.recorder();
+        trace::Trace t;
+        t.meta.appNodes = static_cast<std::uint32_t>(opt.nodes);
+        t.meta.numThreads =
+            static_cast<std::uint32_t>(rec->numThreads());
+        t.meta.configFingerprint = trace::configFingerprint(mc);
+        t.meta.recordedCycles = r.cycles;
+        t.meta.recordedImageHash = r.image;
+        t.meta.seed = mc.seed;
+        t.meta.app = sa.name;
+        t.meta.params = trace::canonicalAppParams(sa.params);
+        t.meta.protocol = mc.protocol.name();
+        for (int i = 0; i < rec->numThreads(); ++i)
+            t.streams.push_back(rec->stream(i));
+        trace::ReplayProgram prog(std::move(t));
+
+        MachineConfig rmc = mc;
+        rmc.executionMode = ExecutionMode::Replay;
+        auto rapp = AppRegistry::instance().make(sa.name, sa.params,
+                                                opt.nodes);
+        Machine rm(rmc);
+        rapp->setup(rm);
+        Tick rcycles = rm.runReplay(prog.sources());
+        std::uint64_t rimage = rm.imageHash();
+        if (rm.runStatus() != Machine::RunStatus::Completed ||
+            rcycles != r.cycles || rimage != r.image) {
+            failures.push_back(strfmt(
+                "replay diverged from direct execution: cycles "
+                "%llu vs %llu, image %016llx vs %016llx",
+                static_cast<unsigned long long>(rcycles),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(rimage),
+                static_cast<unsigned long long>(r.image)));
+        }
+        r.cycles = rcycles;
+        r.image = rimage;
     }
 
     if (!failures.empty()) {
@@ -296,6 +351,9 @@ usage()
         "  --jitter <c>      max extra delivery delay (default 37)\n"
         "  --jobs <n>        concurrent runs on host threads "
         "(default 1; output is identical at any value)\n"
+        "  --replay          record each cell's op streams, replay "
+        "them on a fresh machine, and digest the replay run; the "
+        "grid digest must match a direct sweep bit for bit\n"
         "  --app <name>      restrict to one app (worker|tsp)\n"
         "  --protocol <lbl>  restrict to one spectrum label "
         "(e.g. DIR1SW)\n"
@@ -335,6 +393,8 @@ main(int argc, char **argv)
         else if (a == "--jobs")
             opt.jobs = static_cast<unsigned>(
                 parseLong(a, next(), 1, 256));
+        else if (a == "--replay")
+            opt.replay = true;
         else if (a == "--app")
             opt.onlyApp = next();
         else if (a == "--protocol")

@@ -13,6 +13,12 @@
 # gate the fault tier too). SWEX_DET_SEEDS overrides the seed count
 # (default 200; the sanitizer legs use a smaller count because TSan
 # slows the grid by an order of magnitude).
+#
+# A third leg re-runs the grid with --replay (every cell records its
+# op streams, replays them on a fresh machine, and digests the replay
+# run): the replayed digest must equal the direct one bit for bit,
+# gating the record/replay fast path with the same precision as the
+# --jobs gate. SWEX_DET_REPLAY=0 skips it.
 set -eu
 
 if [ "$#" -lt 1 ]; then
@@ -51,3 +57,20 @@ if [ "${par}" != "${ser}" ]; then
     exit 1
 fi
 echo "OK: digests identical"
+
+if [ "${SWEX_DET_REPLAY:-1}" != "0" ]; then
+    echo "== replay equivalence: --replay vs direct"
+    rep=$("${stress}" --app worker --seeds "${seeds}" \
+          --jobs "${jobs}" --replay "$@" | extract_digest)
+    if [ -z "${rep}" ]; then
+        echo "error: no grid digest line in --replay output" >&2
+        exit 1
+    fi
+    echo "   --replay: ${rep}"
+    if [ "${rep}" != "${par}" ]; then
+        echo "FAIL: replayed grid digest differs from direct" \
+             "(${rep} != ${par})" >&2
+        exit 1
+    fi
+    echo "OK: replayed digest identical"
+fi

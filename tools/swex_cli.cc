@@ -128,6 +128,16 @@ usage()
         "  --perfect-ifetch   one-cycle instruction fetch\n"
         "  --no-local-bit     disable the one-bit local pointer\n"
         "  --parallel-inv     Section 7 parallel invalidation\n"
+        "  --record           capture the run's op streams into the\n"
+        "                     trace cache (--trace-dir or\n"
+        "                     $SWEX_TRACE_CACHE) for later --replay\n"
+        "  --replay           drive the machine from a recorded trace\n"
+        "                     instead of executing the app (identical\n"
+        "                     cycle counts, much faster); with --sweep,\n"
+        "                     records each portable trace once and\n"
+        "                     replays every cell from it\n"
+        "  --trace-dir <path> trace cache directory (default\n"
+        "                     $SWEX_TRACE_CACHE)\n"
         "  --seq              also run the sequential reference and\n"
         "                     report speedup\n"
         "  --stats            dump the full statistics tree\n"
@@ -262,6 +272,8 @@ main(int argc, char **argv)
     spec.victimEntries = 6;
     std::string proto = "h5";
     bool local_bit_off = false;
+    bool want_record = false;
+    bool want_replay = false;
     bool want_seq = false;
     bool want_stats = false;
     bool want_sweep = false;
@@ -308,6 +320,9 @@ main(int argc, char **argv)
             spec.faultSeed = parseU64(a, next());
         else if (a == "--deadline")
             spec.deadline = static_cast<Tick>(parseU64(a, next()));
+        else if (a == "--record") want_record = true;
+        else if (a == "--replay") want_replay = true;
+        else if (a == "--trace-dir") spec.traceDir = next();
         else if (a == "--sweep") want_sweep = true;
         else if (a == "--seeds")
             sweep_seeds = parseCount(a, next(), 1, 1'000'000);
@@ -334,6 +349,30 @@ main(int argc, char **argv)
     if (!AppRegistry::instance().contains(spec.app))
         fatal("unknown app '%s' (try --list)", spec.app.c_str());
 
+    // Record/replay plumbing. Misuse is a usage error (exit 2), per
+    // the CLI convention for malformed invocations: the run never
+    // starts, and the message says exactly how to fix the call.
+    auto usageError = [](const std::string &msg) {
+        std::fprintf(stderr, "swex_cli: %s\n", msg.c_str());
+        std::fprintf(stderr, "run 'swex_cli --help' for usage\n");
+        std::exit(2);
+    };
+    if (want_record && want_replay)
+        usageError("--record and --replay are mutually exclusive");
+    if (want_record)
+        spec.execMode = ExecutionMode::Record;
+    if (want_replay)
+        spec.execMode = ExecutionMode::Replay;
+    if (spec.execMode != ExecutionMode::Direct &&
+        trace::resolveTraceDir(spec.traceDir).empty()) {
+        usageError(std::string(want_record ? "--record" : "--replay") +
+                   " needs a trace cache: pass --trace-dir or set "
+                   "$SWEX_TRACE_CACHE");
+    }
+    if (want_replay && want_seq)
+        usageError("--replay runs one recorded kernel; drop --seq "
+                   "(record and replay the sequential reference via "
+                   "--seq --record / a sequential spec instead)");
     const bool faults_on = spec.faultDropPerMille != 0 ||
                            spec.faultDupPerMille != 0 ||
                            spec.faultBlackoutPerMille != 0;
@@ -341,6 +380,19 @@ main(int argc, char **argv)
     // retransmission re-dropped); never run it without a deadline.
     if (faults_on && spec.deadline == 0)
         spec.deadline = 50'000'000;
+
+    // After every config default is in force (the deadline is part of
+    // the machine fingerprint): a --replay with no usable trace must
+    // fail before the run starts, with the reason and the fix.
+    if (want_replay && !want_sweep) {
+        trace::Trace probe;
+        std::string err = Runner::findReplayTrace(spec, probe);
+        if (!err.empty()) {
+            usageError("--replay: no usable recorded trace: " + err +
+                       " (record one first with the same --app/--param/"
+                       "--nodes and --record)");
+        }
+    }
 
     setQuiet(true);
 
@@ -380,8 +432,14 @@ main(int argc, char **argv)
                     specs.size() / static_cast<std::size_t>(sweep_seeds),
                     sweep_seeds, jobs);
 
+        // --replay/--record engage the record-once fast path: each
+        // portable trace key records one cell, every other cell
+        // replays it; non-portable apps fall back to direct cells.
         Runner runner(/*fail_fast=*/false);
-        std::vector<RunRecord *> recs = runner.runAll(specs, jobs);
+        std::vector<RunRecord *> recs =
+            want_replay || want_record
+                ? runner.runAllReplay(specs, jobs, spec.traceDir)
+                : runner.runAll(specs, jobs);
 
         bool all_ok = true;
         std::size_t i = 0;
