@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "core/coherence_interface.hh"
+#include "core/home_controller.hh"
 #include "machine/mem_api.hh"
 #include "runtime/shmem.hh"
 
@@ -75,7 +76,7 @@ main()
             // It claims write-overflow traps for this block only and
             // performs a broadcast invalidation: O(n) sends but no
             // per-pointer directory walk and no hash/free-list work.
-            m.nodes[0]->home.setCustomHandler(
+            m.nodes[0]->home().setCustomHandler(
                 [flag, &custom_fired](CoherenceInterface &ci) -> bool {
                     if (ci.item().kind != TrapKind::WriteOverflow ||
                         blockAlign(ci.item().msg.addr) != flag)

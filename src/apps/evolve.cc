@@ -86,7 +86,12 @@ EvolveApp::setup(Machine &m)
     for (unsigned v = 0; v < numVertices; ++v)
         m.debugWrite(fitness.at(v), fitnessOf(v));
 
-    bestLock = SpinLock::create(m, 0);
+    SWEX_ASSERT(truthThreads > 0,
+                "call computeGroundTruth before running EVOLVE");
+    bestSlots = SharedArray(
+        m, static_cast<std::size_t>(truthThreads) * wordsPerBlock,
+        Layout::Blocked);
+    bestSlots.fill(m, 0);
     bestAddr = m.allocOn(0, blockBytes, blockBytes);
     stepsAddr = m.allocOn(0, blockBytes, blockBytes);
     m.debugWrite(bestAddr, 0);
@@ -97,6 +102,7 @@ Task<void>
 EvolveApp::thread(Mem &m, int tid)
 {
     std::uint64_t my_steps = 0;
+    Word my_best = 0;
     for (int w = 0; w < cfg.walksPerThread; ++w) {
         unsigned cur = startVertex(tid, w);
         for (;;) {
@@ -118,21 +124,33 @@ EvolveApp::thread(Mem &m, int tid)
             ++my_steps;
         }
 
-        // Record the local maximum in the global best (hot block).
-        // Check before locking: the best only grows, so a stale read
-        // can only cause a harmless extra check under the lock.
+        // The walk's endpoint fitness only feeds a thread-local max;
+        // no shared state decides control flow here, which keeps the
+        // op stream portable across machine models.
         Word end_fit = co_await m.read(fitness.at(cur));
-        Word cur_best = co_await m.read(bestAddr);
-        if (end_fit > cur_best) {
-            co_await bestLock.acquire(m);
-            Word best = co_await m.read(bestAddr);
-            if (end_fit > best)
-                co_await m.write(bestAddr, end_fit);
-            co_await bestLock.release(m);
-        }
+        if (end_fit > my_best)
+            my_best = end_fit;
     }
+
+    // Publish into a private block, then let thread 0 reduce after
+    // the barrier. The slots are still widely read (thread 0 pulls
+    // every one of them), preserving the hot-record sharing the
+    // paper describes, without a timing-dependent lock handoff.
+    co_await m.write(bestSlots.at(
+        static_cast<std::size_t>(tid) * wordsPerBlock), my_best);
     co_await m.fetchAdd(stepsAddr, my_steps);
     observedSteps += my_steps;
+    co_await m.hwBarrier();
+    if (tid == 0) {
+        Word best = 0;
+        for (int t = 0; t < truthThreads; ++t) {
+            Word f = co_await m.read(bestSlots.at(
+                static_cast<std::size_t>(t) * wordsPerBlock));
+            if (f > best)
+                best = f;
+        }
+        co_await m.write(bestAddr, best);
+    }
 }
 
 Task<void>

@@ -7,6 +7,13 @@
  * globally shared record tracks the best maximum found. Popular
  * ridges are read by many nodes, producing the broad worker-set
  * distribution of Figure 6.
+ *
+ * The fitness table is written once in setup() and only read during
+ * the run, so every walk is a pure function of (params, nodes, tid);
+ * the global best is combined through per-thread slots, a hardware
+ * barrier, and a thread-0 reduction. That keeps the op stream
+ * trace-portable (registry tracePortable contract) -- no lock whose
+ * acquisition order would depend on timing.
  */
 
 #ifndef SWEX_APPS_EVOLVE_HH
@@ -16,7 +23,6 @@
 
 #include "apps/app.hh"
 #include "runtime/shmem.hh"
-#include "runtime/sync.hh"
 
 namespace swex
 {
@@ -59,7 +65,7 @@ class EvolveApp : public App
     int truthThreads = 0;
 
     SharedArray fitness;
-    SpinLock bestLock;
+    SharedArray bestSlots; ///< per-thread local maxima (one block each)
     Addr bestAddr = 0;     ///< globally shared best fitness (hot)
     Addr stepsAddr = 0;    ///< total steps taken (hot counter)
 

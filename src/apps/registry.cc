@@ -7,6 +7,7 @@
 
 #include "apps/aq.hh"
 #include "apps/evolve.hh"
+#include "apps/micro.hh"
 #include "apps/mp3d.hh"
 #include "apps/smgrid.hh"
 #include "apps/tsp.hh"
@@ -256,7 +257,11 @@ AppRegistry::AppRegistry()
              r.finish();
              return std::make_unique<SmgridApp>(c);
          },
-         5.0});
+         5.0,
+         // Static grid partition, hardware barriers, per-thread
+         // residual slots with a thread-0 reduction: every reference
+         // is a pure function of (params, nodes, tid).
+         /*tracePortable=*/true});
 
     add({"evolve",
          "genome evolution as hypercube traversal (Sec. 6)",
@@ -274,7 +279,12 @@ AppRegistry::AppRegistry()
              app->computeGroundTruth(nodes);
              return app;
          },
-         2.0});
+         2.0,
+         // Walks branch only on the fitness table, which is written
+         // once in setup() and never stored to during the run; the
+         // global best is a per-thread-slot write plus a barrier and
+         // a thread-0 reduction, not a lock.
+         /*tracePortable=*/true});
 
     add({"mp3d",
          "rarefied-fluid particle simulation (SPLASH, Sec. 6)",
@@ -307,6 +317,45 @@ AppRegistry::AppRegistry()
              return std::make_unique<WaterApp>(c);
          },
          15.0});
+
+    // The sharing-pattern microworkloads share one factory shape:
+    // iterations / work / jitter, kind baked into the entry.
+    auto micro_factory = [](MicroKind kind) {
+        return [kind](const AppParams &p,
+                      int nodes) -> std::unique_ptr<App> {
+            ParamReader r(p, "micro");
+            MicroConfig c;
+            c.iterations = r.getCount("iterations", c.iterations);
+            c.workCycles = static_cast<Cycles>(
+                r.getU64("work", c.workCycles));
+            c.jitter = r.getU64("jitter", c.jitter);
+            r.finish();
+            return std::make_unique<MicroApp>(kind, c, nodes);
+        };
+    };
+
+    add({"falseshare",
+         "packed per-thread counters sharing blocks (machine-model "
+         "study)",
+         {{"iterations", "4"}},
+         micro_factory(MicroKind::FalseSharing),
+         0.5,
+         /*tracePortable=*/true});
+
+    add({"padded",
+         "block-padded per-thread counters, contention-free control",
+         {{"iterations", "4"}},
+         micro_factory(MicroKind::Padded),
+         0.5,
+         /*tracePortable=*/true});
+
+    add({"hotline",
+         "one hot block read by all, written by one (machine-model "
+         "study)",
+         {{"iterations", "4"}},
+         micro_factory(MicroKind::HotLine),
+         0.5,
+         /*tracePortable=*/true});
 }
 
 } // namespace swex

@@ -91,16 +91,29 @@ class AppRegistry
 
         /**
          * Declares the app's op stream timing-independent: every
-         * control-flow decision depends only on (params, nodes, tid),
-         * never on observed memory values, so one recorded trace
-         * replays exactly under any protocol / latency / seed cell.
-         * Requires static reference streams and hardware sync only;
-         * apps that spin on shared flags or pull from work queues
+         * control-flow decision depends only on (params, nodes, tid)
+         * and on shared values that are immutable for the whole run
+         * (data written once in setup() and never stored to again —
+         * EVOLVE's fitness table is the canonical case), so one
+         * recorded trace replays exactly under any protocol /
+         * machine model / latency / seed cell. Requires static
+         * reference streams and hardware sync only; apps that spin
+         * on shared flags, take spin locks, or pull from work queues
          * (timing decides who gets what) must leave this false —
          * their traces are config-bound and the record path refuses
-         * to treat them as portable.
+         * to treat them as portable. Branching on a value another
+         * thread may write during the run is always disqualifying.
          */
         bool tracePortable = false;
+
+        /**
+         * Machine models the app runs on, as shown by swex_cli
+         * --list. Every registry app is written against the Mem API
+         * only, so all of them carry coherence on either the
+         * directory stack or the snooping bus; an out-of-tree app
+         * that pokes directory internals would narrow this.
+         */
+        std::string machineModels = "directory,snoop";
     };
 
     /** The singleton, with the built-in apps already registered. */

@@ -81,8 +81,10 @@ SmgridApp::setup(Machine &m)
         }
     }
 
-    barProto = TreeBarrier::create(m, m.numNodes());
-    resLock = SpinLock::create(m, 0);
+    resSlots = SharedArray(
+        m, static_cast<std::size_t>(m.numNodes()) * wordsPerBlock,
+        Layout::Blocked);
+    resSlots.fill(m, d2w(0.0));
     resAddr = m.allocOn(0, blockBytes, blockBytes);
     m.debugWrite(resAddr, d2w(0.0));
 
@@ -92,8 +94,7 @@ SmgridApp::setup(Machine &m)
 }
 
 Task<void>
-SmgridApp::relaxSweeps(Mem &m, int level, int tid, int nthreads,
-                       TreeBarrier &bar)
+SmgridApp::relaxSweeps(Mem &m, int level, int tid, int nthreads)
 {
     int n = sizes[static_cast<std::size_t>(level)];
     double h = 1.0 / (n - 1);
@@ -124,13 +125,12 @@ SmgridApp::relaxSweeps(Mem &m, int level, int tid, int nthreads,
                 co_await m.write(dst, d2w(nv));
             }
         }
-        co_await bar.wait(m);
+        co_await m.hwBarrier();
     }
 }
 
 Task<void>
-SmgridApp::restrictResidual(Mem &m, int level, int tid, int nthreads,
-                            TreeBarrier &bar)
+SmgridApp::restrictResidual(Mem &m, int level, int tid, int nthreads)
 {
     // Compute the residual of level `level` at coarse points and
     // inject it into f[level+1]; zero u[level+1].
@@ -157,12 +157,11 @@ SmgridApp::restrictResidual(Mem &m, int level, int tid, int nthreads,
             co_await m.write(tAt(level + 1, ci, cj), d2w(0.0));
         }
     }
-    co_await bar.wait(m);
+    co_await m.hwBarrier();
 }
 
 Task<void>
-SmgridApp::interpolateAdd(Mem &m, int level, int tid, int nthreads,
-                          TreeBarrier &bar)
+SmgridApp::interpolateAdd(Mem &m, int level, int tid, int nthreads)
 {
     // Add the bilinear interpolation of the coarse correction
     // u[level+1] into u[level]. Partition by fine rows.
@@ -211,31 +210,31 @@ SmgridApp::interpolateAdd(Mem &m, int level, int tid, int nthreads,
             co_await m.write(tAt(level, i, j), d2w(uv + corr));
         }
     }
-    co_await bar.wait(m);
+    co_await m.hwBarrier();
 }
 
 Task<void>
-SmgridApp::thread(Mem &m, int tid)
+SmgridApp::kernel(Mem &m, int tid, int nthreads)
 {
-    int nthreads = m.machine().numNodes();
-    TreeBarrier bar = barProto;   // private copy carries local sense
     int deepest = static_cast<int>(sizes.size()) - 1;
 
     for (int vc = 0; vc < cfg.vcycles; ++vc) {
         // Downstroke: relax then restrict at each level.
         for (int l = 0; l < deepest; ++l) {
-            co_await relaxSweeps(m, l, tid, nthreads, bar);
-            co_await restrictResidual(m, l, tid, nthreads, bar);
+            co_await relaxSweeps(m, l, tid, nthreads);
+            co_await restrictResidual(m, l, tid, nthreads);
         }
-        co_await relaxSweeps(m, deepest, tid, nthreads, bar);
+        co_await relaxSweeps(m, deepest, tid, nthreads);
         // Upstroke: interpolate correction and relax.
         for (int l = deepest - 1; l >= 0; --l) {
-            co_await interpolateAdd(m, l, tid, nthreads, bar);
-            co_await relaxSweeps(m, l, tid, nthreads, bar);
+            co_await interpolateAdd(m, l, tid, nthreads);
+            co_await relaxSweeps(m, l, tid, nthreads);
         }
     }
 
-    // Residual reduction: accumulate local sum of squared residuals.
+    // Residual reduction: each thread publishes its local sum of
+    // squared residuals into a private block; thread 0 combines them
+    // in tid order (so the float summation order is fixed).
     int n = sizes[0];
     double h = 1.0 / (n - 1);
     double h2 = h * h;
@@ -253,46 +252,30 @@ SmgridApp::thread(Mem &m, int tid)
             local += r * r;
         }
     }
-    co_await resLock.acquire(m);
-    double total = w2d(co_await m.read(resAddr));
-    co_await m.write(resAddr, d2w(total + local));
-    co_await resLock.release(m);
+    co_await m.write(resSlots.at(
+        static_cast<std::size_t>(tid) * wordsPerBlock), d2w(local));
+    co_await m.hwBarrier();
+    if (tid == 0) {
+        double total = 0;
+        for (int t = 0; t < nthreads; ++t) {
+            total += w2d(co_await m.read(resSlots.at(
+                static_cast<std::size_t>(t) * wordsPerBlock)));
+        }
+        co_await m.write(resAddr, d2w(total));
+    }
+}
+
+Task<void>
+SmgridApp::thread(Mem &m, int tid)
+{
+    return kernel(m, tid, m.machine().numNodes());
 }
 
 Task<void>
 SmgridApp::sequential(Mem &m)
 {
-    // The same V-cycle schedule with a single thread and no barriers.
-    TreeBarrier solo = TreeBarrier::create(m.machine(), 1);
-    int deepest = static_cast<int>(sizes.size()) - 1;
-    for (int vc = 0; vc < cfg.vcycles; ++vc) {
-        for (int l = 0; l < deepest; ++l) {
-            co_await relaxSweeps(m, l, 0, 1, solo);
-            co_await restrictResidual(m, l, 0, 1, solo);
-        }
-        co_await relaxSweeps(m, deepest, 0, 1, solo);
-        for (int l = deepest - 1; l >= 0; --l) {
-            co_await interpolateAdd(m, l, 0, 1, solo);
-            co_await relaxSweeps(m, l, 0, 1, solo);
-        }
-    }
-    int n = sizes[0];
-    double h = 1.0 / (n - 1);
-    double h2 = h * h;
-    double local = 0;
-    for (int i = 1; i < n - 1; ++i) {
-        for (int j = 1; j < n - 1; ++j) {
-            double uc = w2d(co_await m.read(uAt(0, i, j)));
-            double vn = w2d(co_await m.read(uAt(0, i - 1, j)));
-            double vs = w2d(co_await m.read(uAt(0, i + 1, j)));
-            double vw = w2d(co_await m.read(uAt(0, i, j - 1)));
-            double ve = w2d(co_await m.read(uAt(0, i, j + 1)));
-            double fv = w2d(co_await m.read(fAt(0, i, j)));
-            double r = fv + (vn + vs + vw + ve - 4.0 * uc) / h2;
-            local += r * r;
-        }
-    }
-    co_await m.write(resAddr, d2w(local));
+    // The identical schedule, solo: every barrier passes trivially.
+    return kernel(m, 0, 1);
 }
 
 double

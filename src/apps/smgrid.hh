@@ -6,6 +6,13 @@
  * subset of nodes works on the coarse levels (which bounds speedup,
  * as the paper observes), and neighboring partitions share boundary
  * rows (small worker sets).
+ *
+ * The partition is a pure function of (params, nthreads, tid) and
+ * all phases synchronize on the machine's hardware barrier; the
+ * final residual is combined through per-thread slots and a thread-0
+ * reduction. No lock, no spin: the op stream is trace-portable
+ * (registry tracePortable contract) and one recorded trace replays
+ * under any protocol or machine model.
  */
 
 #ifndef SWEX_APPS_SMGRID_HH
@@ -15,7 +22,6 @@
 
 #include "apps/app.hh"
 #include "runtime/shmem.hh"
-#include "runtime/sync.hh"
 
 namespace swex
 {
@@ -52,12 +58,14 @@ class SmgridApp : public App
     std::pair<int, int> rowRange(int level, int tid,
                                  int nthreads) const;
 
-    Task<void> relaxSweeps(Mem &m, int level, int tid, int nthreads,
-                           TreeBarrier &bar);
+    /** The whole V-cycle schedule; sequential() runs kernel(m,0,1). */
+    Task<void> kernel(Mem &m, int tid, int nthreads);
+
+    Task<void> relaxSweeps(Mem &m, int level, int tid, int nthreads);
     Task<void> restrictResidual(Mem &m, int level, int tid,
-                                int nthreads, TreeBarrier &bar);
+                                int nthreads);
     Task<void> interpolateAdd(Mem &m, int level, int tid,
-                              int nthreads, TreeBarrier &bar);
+                              int nthreads);
 
     SmgridConfig cfg;
     std::vector<int> sizes;
@@ -65,8 +73,7 @@ class SmgridApp : public App
     std::vector<SharedArray> uArr;
     std::vector<SharedArray> fArr;
     std::vector<SharedArray> tArr;
-    TreeBarrier barProto;
-    SpinLock resLock;
+    SharedArray resSlots;  ///< per-thread residual partial sums
     Addr resAddr = 0;
     double initialResidual = 0;
 };

@@ -22,9 +22,15 @@ AuditViolation::describe() const
 void
 CoherenceAuditor::addNode(const AuditNodeView &view)
 {
-    SWEX_ASSERT(view.home != nullptr,
-                "audit node view needs a home controller");
+    SWEX_ASSERT(view.home != nullptr || view.cache != nullptr,
+                "audit node view needs a home controller or a cache");
     _nodes.push_back(view);
+}
+
+void
+CoherenceAuditor::setModelStallSummary(std::function<std::string()> fn)
+{
+    _modelStallSummary = std::move(fn);
 }
 
 void
@@ -248,6 +254,93 @@ CoherenceAuditor::checkEntry(const HomeController &hc, Addr block,
 }
 
 void
+CoherenceAuditor::modelViolation(NodeId node, Addr block,
+                                 const std::string &what)
+{
+    report(node, block, what);
+}
+
+void
+CoherenceAuditor::onBusTransaction(Addr block)
+{
+    ++_transitions;
+    checkSnoopBlock(block);
+}
+
+void
+CoherenceAuditor::checkSnoopBlock(Addr block)
+{
+    const NodeId h = _homeOf ? _homeOf(block) : invalidNode;
+
+    NodeId dirtyAt = invalidNode, soleAt = invalidNode,
+           forwardAt = invalidNode;
+    const CacheLine *first = nullptr;
+    NodeId firstAt = invalidNode;
+    int copies = 0;
+
+    for (const AuditNodeView &nv : _nodes) {
+        if (!nv.cache)
+            continue;
+        const CacheLine *line = nv.cache->peek(block);
+        if (!line || line->state == LineState::Instr)
+            continue;
+        ++copies;
+
+        if (line->dirty()) {
+            if (dirtyAt != invalidNode) {
+                report(h, block,
+                       strfmt("two dirty copies: nodes %d (%s) and %d "
+                              "(%s)",
+                              static_cast<int>(dirtyAt), "dirty",
+                              static_cast<int>(nv.id),
+                              lineStateName(line->state)));
+            }
+            dirtyAt = nv.id;
+        }
+        if (line->state == LineState::Modified ||
+            line->state == LineState::Exclusive) {
+            soleAt = nv.id;
+        }
+        if (line->state == LineState::Forward) {
+            if (forwardAt != invalidNode) {
+                report(h, block,
+                       strfmt("two Forward copies: nodes %d and %d",
+                              static_cast<int>(forwardAt),
+                              static_cast<int>(nv.id)));
+            }
+            forwardAt = nv.id;
+        }
+
+        // Every valid copy of a block must hold identical data: the
+        // update protocol broadcasts words, the invalidate protocols
+        // kill stale copies, and either way divergence is corruption.
+        if (!first) {
+            first = line;
+            firstAt = nv.id;
+        } else {
+            for (unsigned i = 0; i < wordsPerBlock; ++i) {
+                Addr wa = block + i * sizeof(Word);
+                if (first->data.read(wa) != line->data.read(wa)) {
+                    report(h, block,
+                           strfmt("copies diverge: nodes %d and %d "
+                                  "disagree on word %u",
+                                  static_cast<int>(firstAt),
+                                  static_cast<int>(nv.id), i));
+                    break;
+                }
+            }
+        }
+    }
+
+    if (soleAt != invalidNode && copies > 1) {
+        report(h, block,
+               strfmt("node %d holds the block in an exclusive state "
+                      "but %d copies exist",
+                      static_cast<int>(soleAt), copies));
+    }
+}
+
+void
 CoherenceAuditor::deliveryViolation(NodeId src, NodeId dst,
                                     const std::string &what)
 {
@@ -261,8 +354,12 @@ CoherenceAuditor::stallSummary() const
 {
     constexpr std::size_t maxLines = 16;
     std::string out;
+    if (_modelStallSummary)
+        out += _modelStallSummary();
     std::size_t lines = 0, suppressed = 0;
     for (const AuditNodeView &nv : _nodes) {
+        if (!nv.home)
+            continue;
         nv.home->dir.forEach([&](Addr a, const DirEntry &e) {
             if (e.state == DirState::Uncached ||
                 e.state == DirState::Shared ||
@@ -296,9 +393,31 @@ CoherenceAuditor::stallSummary() const
 void
 CoherenceAuditor::checkQuiescent()
 {
+    // Snooping machine model: no directories to walk; sweep every
+    // block any cache holds through the cross-cache invariant check.
+    const bool anyHome = std::any_of(
+        _nodes.begin(), _nodes.end(),
+        [](const AuditNodeView &nv) { return nv.home != nullptr; });
+    if (!anyHome) {
+        std::unordered_map<Addr, bool> blocks;
+        for (const AuditNodeView &nv : _nodes) {
+            if (!nv.cache)
+                continue;
+            nv.cache->forEachLine([&](const CacheLine &line) {
+                if (line.state != LineState::Instr)
+                    blocks.emplace(line.blockAddr, true);
+            });
+        }
+        for (const auto &[a, unused] : blocks)
+            checkSnoopBlock(a);
+        return;
+    }
+
     // Per-entry checks with the quiescent-only extensions, plus
     // drained CMMU input queues.
     for (const AuditNodeView &nv : _nodes) {
+        if (!nv.home)
+            continue;
         nv.home->dir.forEach([&](Addr a, const DirEntry &e) {
             checkEntry(*nv.home, a, e, /*quiescent=*/true);
         });
@@ -328,7 +447,7 @@ CoherenceAuditor::checkQuiescent()
             const Addr a = line.blockAddr;
             const NodeId h = _homeOf(a);
             auto it = byId.find(h);
-            if (it == byId.end())
+            if (it == byId.end() || !it->second->home)
                 return;   // home outside the audited set
             const HomeController &hc = *it->second->home;
             const ProtocolConfig &p = hc.config().protocol;

@@ -49,6 +49,7 @@ struct AuditViolation
 struct AuditNodeView
 {
     NodeId id = invalidNode;
+    /** Directory home controller; null on snooping machine models. */
     const HomeController *home = nullptr;
     const Cache *cache = nullptr;   ///< may be null (unit harnesses)
 };
@@ -75,6 +76,25 @@ class CoherenceAuditor : public ProtocolAuditHook
     void onHomeTransition(const HomeController &hc, Addr block) override;
     void onInvSent(NodeId home, Addr block) override;
     void onInvAckCounted(NodeId home, Addr block) override;
+
+    // ---- snooping machine model ------------------------------------
+
+    /**
+     * One bus transaction for @p block completed its snoop phase.
+     * Cross-checks the block's copies across every registered cache:
+     * at most one dirty (Modified/Owned) copy, Modified/Exclusive are
+     * sole copies, at most one Forward copy, and all valid copies
+     * hold identical data.
+     */
+    void onBusTransaction(Addr block);
+
+    /** A model-level invariant failed (bus not idle, MSHR leaked). */
+    void modelViolation(NodeId node, Addr block,
+                        const std::string &what);
+
+    /** Extra stallSummary() lines from the machine model (the bus's
+     *  pending-transaction queue); set by SnoopBackend. */
+    void setModelStallSummary(std::function<std::string()> fn);
 
     /**
      * Full cross-node audit: terminal directory states only, no traps
@@ -124,11 +144,13 @@ class CoherenceAuditor : public ProtocolAuditHook
     void report(NodeId home, Addr block, std::string what);
     void checkEntry(const HomeController &hc, Addr block,
                     const DirEntry &e, bool quiescent);
+    void checkSnoopBlock(Addr block);
     std::int64_t outstandingInvs(Addr block) const;
 
     Mode _mode;
     std::vector<AuditNodeView> _nodes;
     std::function<NodeId(Addr)> _homeOf;
+    std::function<std::string()> _modelStallSummary;
 
     /** Invalidations sent minus acknowledgments counted, per block.
      *  (A block has exactly one home, so the block address keys it.) */

@@ -25,7 +25,9 @@ struct RunRecord
 {
     std::string id;           ///< spec identifier
     std::string app;          ///< registry name
-    std::string protocol;     ///< ProtocolConfig::name()
+    std::string protocol;     ///< ProtocolConfig::name() / snoop family
+    /** Machine model: "directory" (the historical stack) or "snoop". */
+    std::string machineModel = "directory";
     int nodes = 0;
     bool sequential = false;  ///< sequential reference run?
 

@@ -312,22 +312,26 @@ Runner::execute(const ExperimentSpec &spec) const
 
     record.id = spec.id;
     record.app = spec.app;
-    record.protocol = mc.protocol.name();
+    record.protocol = m.backend->protocolName();
+    record.machineModel = machineModelName(mc.machineModel);
     record.nodes = spec.sequential ? 1 : spec.nodes;
 
     record.hostEvents = static_cast<double>(m.eventq.numExecuted());
 
     record.trapsRaised = m.sumStat("home.trapsRaised");
     record.handlerCycles = m.sumStat("home.handlerCycles");
-    record.messages = m.network.msgCount.value();
+    record.messages = m.backend->trafficMessages();
 
     double rsum = 0, wsum = 0;
     std::uint64_t rcnt = 0, wcnt = 0;
     for (const auto &node : m.nodes) {
-        rsum += node->home.readHandlerCycles.sum();
-        rcnt += node->home.readHandlerCycles.count();
-        wsum += node->home.writeHandlerCycles.sum();
-        wcnt += node->home.writeHandlerCycles.count();
+        const HomeController *home = node->coh->home();
+        if (!home)
+            continue;   // non-directory models have no trap handlers
+        rsum += home->readHandlerCycles.sum();
+        rcnt += home->readHandlerCycles.count();
+        wsum += home->writeHandlerCycles.sum();
+        wcnt += home->writeHandlerCycles.count();
     }
     record.readHandlerMean = rcnt ? rsum / static_cast<double>(rcnt) : 0;
     record.readHandlerCount = rcnt;

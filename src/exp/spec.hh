@@ -43,6 +43,15 @@ struct ExperimentSpec
     ProtocolConfig protocol = ProtocolConfig::hw(5);
     int nodes = 16;
 
+    /**
+     * Which machine model carries coherence. Directory (default) uses
+     * `protocol`; Snoop uses `snoopProtocol` + `busArbitration` and
+     * ignores the directory spectrum point.
+     */
+    MachineModel machineModel = MachineModel::Directory;
+    SnoopProtocol snoopProtocol = SnoopProtocol::Mesi;
+    BusArbitration busArbitration = BusArbitration::Fifo;
+
     unsigned victimEntries = 0;     ///< victim cache size (0 = off)
     bool perfectIfetch = false;     ///< simulator-only option (Fig. 3)
     bool parallelInv = false;       ///< Section 7 enhancement
@@ -113,6 +122,9 @@ struct ExperimentSpec
     {
         MachineConfig mc;
         mc.numNodes = nodes;
+        mc.machineModel = machineModel;
+        mc.snoopProtocol = snoopProtocol;
+        mc.bus.arbitration = busArbitration;
         mc.protocol = protocol;
         mc.profile = profile;
         mc.parallelInv = parallelInv;

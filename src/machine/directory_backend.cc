@@ -1,0 +1,126 @@
+#include "machine/directory_backend.hh"
+
+#include "audit/auditor.hh"
+#include "base/logging.hh"
+#include "machine/machine.hh"
+#include "machine/node.hh"
+
+namespace swex
+{
+
+namespace
+{
+
+HomeConfig
+homeConfig(const MachineConfig &mc)
+{
+    HomeConfig hc;
+    hc.protocol = mc.protocol;
+    hc.profile = mc.profile;
+    hc.memLatency = mc.memLatency;
+    hc.hwCtrlLatency = mc.hwCtrlLatency;
+    hc.parallelInv = mc.parallelInv;
+    hc.mutation = mc.mutation;
+    return hc;
+}
+
+} // anonymous namespace
+
+DirectoryNodeCoherence::DirectoryNodeCoherence(Node &node,
+                                               const MachineConfig &mc)
+    : cacheCtrl(node, mc.cacheCtrl, &node.statsGroup,
+                mc.seed * 1000003 +
+                static_cast<std::uint64_t>(node.id())),
+      homeCtrl(node.id(), mc.numNodes, homeConfig(mc), node,
+               &node.statsGroup),
+      _node(node)
+{
+}
+
+void
+DirectoryNodeCoherence::dispatchRx(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq:
+      case MsgType::InvAck:
+      case MsgType::Writeback:
+      case MsgType::FetchReply:
+        homeCtrl.handleMessage(msg);
+        break;
+      case MsgType::ReadData:
+      case MsgType::WriteData:
+      case MsgType::Busy:
+      case MsgType::Inv:
+      case MsgType::FetchS:
+      case MsgType::FetchI:
+        cacheCtrl.handleMessage(msg);
+        break;
+      default:
+        panic("unroutable message %s", msg.describe().c_str());
+    }
+}
+
+bool
+DirectoryNodeCoherence::interceptSend(const Message &msg, Cycles delay)
+{
+    const MachineConfig &mc = _node.machine().config();
+
+    // Local data grants are applied to the cache synchronously, at
+    // the moment the directory transitions: the CMMU's directory and
+    // cache sides are co-located, and an in-flight loopback grant
+    // could otherwise race with a synchronous local invalidation or
+    // flush (leaving a stale or duplicate-dirty copy). The DRAM and
+    // handler latency is still charged, on the processor's resume.
+    if (msg.dst == _node.id() && (msg.type == MsgType::ReadData ||
+                                  msg.type == MsgType::WriteData)) {
+        cacheCtrl.handleMessage(msg, delay + mc.net.loopback);
+        return true;
+    }
+
+    // Local writebacks in the software-only directory's uniprocessor
+    // mode bypass the network loopback: there is no directory state to
+    // order an in-flight local writeback against a remote request, so
+    // the CMMU drains the local writeback synchronously.
+    if (msg.type == MsgType::Writeback && msg.dst == _node.id() &&
+        mc.protocol.hwPointers == 0 && delay == 0) {
+        homeCtrl.handleMessage(msg);
+        return true;
+    }
+    return false;
+}
+
+void
+DirectoryNodeCoherence::setAuditHook(CoherenceAuditor *a)
+{
+    homeCtrl.setAuditHook(a);
+}
+
+AuditNodeView
+DirectoryNodeCoherence::auditView(NodeId id) const
+{
+    return {id, &homeCtrl, &cacheCtrl.cache};
+}
+
+std::string
+DirectoryBackend::protocolName() const
+{
+    return _m.config().protocol.name();
+}
+
+std::unique_ptr<NodeCoherence>
+DirectoryBackend::makeNode(Node &node)
+{
+    auto nc = std::make_unique<DirectoryNodeCoherence>(node, _m.config());
+    if (_m.config().trackSharing)
+        nc->homeCtrl.setTracker(&_m.tracker);
+    return nc;
+}
+
+std::uint64_t
+DirectoryBackend::trafficMessages() const
+{
+    return static_cast<std::uint64_t>(_m.network.msgCount.value());
+}
+
+} // namespace swex

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The directory machine model behind the CoherenceBackend seam: the
+ * historical CacheController (transaction side) + HomeController
+ * (directory side) pair over the point-to-point mesh, extracted from
+ * Node without changing a single simulated cycle.
+ */
+
+#ifndef SWEX_MACHINE_DIRECTORY_BACKEND_HH
+#define SWEX_MACHINE_DIRECTORY_BACKEND_HH
+
+#include "core/home_controller.hh"
+#include "machine/cache_controller.hh"
+#include "machine/coherence.hh"
+
+namespace swex
+{
+
+/** One node's directory-model engine: cache side + home side. */
+class DirectoryNodeCoherence final : public NodeCoherence
+{
+  public:
+    DirectoryNodeCoherence(Node &node, const MachineConfig &mc);
+
+    // ---- NodeCoherence ----------------------------------------------
+    void
+    issue(MemOpType type, Addr addr, Word operand) override
+    {
+        cacheCtrl.issue(type, addr, operand);
+    }
+
+    Cycles
+    instrTouch(Addr block_addr) override
+    {
+        return cacheCtrl.instrTouch(block_addr);
+    }
+
+    Cycles
+    runTrap(const TrapItem &item) override
+    {
+        return homeCtrl.runTrap(item);
+    }
+
+    RemovalResult
+    invalidateLocal(Addr block_addr) override
+    {
+        return cacheCtrl.invalidateLocal(block_addr);
+    }
+
+    RemovalResult
+    downgradeLocal(Addr block_addr) override
+    {
+        return cacheCtrl.downgradeLocal(block_addr);
+    }
+
+    void dispatchRx(const Message &msg) override;
+    bool interceptSend(const Message &msg, Cycles delay) override;
+
+    Cache &cache() override { return cacheCtrl.cache; }
+    HomeController *home() override { return &homeCtrl; }
+
+    void setAuditHook(CoherenceAuditor *a) override;
+    AuditNodeView auditView(NodeId id) const override;
+
+    void checkInvariants() const override { homeCtrl.checkInvariants(); }
+
+    // Public members: the directory stack is the repository's main
+    // subject, and tests/benches inspect both halves directly (via
+    // Node::cacheCtrl()/home()).
+    CacheController cacheCtrl;
+    HomeController homeCtrl;
+
+  private:
+    Node &_node;
+};
+
+/** The directory machine model. */
+class DirectoryBackend final : public CoherenceBackend
+{
+  public:
+    explicit DirectoryBackend(Machine &m) : _m(m) {}
+
+    MachineModel model() const override { return MachineModel::Directory; }
+    std::string protocolName() const override;
+    std::unique_ptr<NodeCoherence> makeNode(Node &node) override;
+    std::uint64_t trafficMessages() const override;
+
+  private:
+    Machine &_m;
+};
+
+} // namespace swex
+
+#endif // SWEX_MACHINE_DIRECTORY_BACKEND_HH

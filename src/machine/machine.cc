@@ -21,6 +21,8 @@ Machine::Machine(const MachineConfig &config)
                 "numNodes out of range: %d", cfg.numNodes);
     SWEX_ASSERT(isPowerOf2(cfg.segBytes), "segBytes must be 2^k");
 
+    backend = makeCoherenceBackend(*this, cfg);
+
     nodes.reserve(static_cast<std::size_t>(cfg.numNodes));
     for (int i = 0; i < cfg.numNodes; ++i) {
         nodes.push_back(std::make_unique<Node>(*this, i));
@@ -45,7 +47,7 @@ Machine::~Machine() = default;
 unsigned
 Machine::cacheIndexOf(Addr a) const
 {
-    return nodes[0]->cacheCtrl.cache.indexOf(blockAlign(a));
+    return nodes[0]->cache().indexOf(blockAlign(a));
 }
 
 Addr
@@ -69,7 +71,7 @@ Machine::allocAtIndex(NodeId n, std::uint64_t bytes,
     // Advance the bump pointer until the block's set index matches.
     auto &ptr = heapPtr[static_cast<std::size_t>(n)];
     ptr = roundUp(ptr, blockBytes);
-    unsigned sets = nodes[0]->cacheCtrl.cache.numSets();
+    unsigned sets = nodes[0]->cache().numSets();
     unsigned cur = static_cast<unsigned>(
         ((nodeBase(n) + ptr) / blockBytes) % sets);
     unsigned skip = (cache_index + sets - cur) % sets;
@@ -169,6 +171,7 @@ Machine::runMainLoop(Tick start)
     }
     if (_auditor)
         _auditor->checkQuiescent();
+    backend->auditQuiescent(_auditor);
     network.checkDeliveryQuiescent(
         [this](NodeId src, NodeId dst, const std::string &what) {
             if (_auditor) {
@@ -187,12 +190,13 @@ Machine::attachAuditor(CoherenceAuditor *a)
 {
     _auditor = a;
     for (auto &node : nodes)
-        node->home.setAuditHook(a);
+        node->coh->setAuditHook(a);
+    backend->attachAuditor(a);
     if (!a)
         return;
     a->setHomeOf([this](Addr addr) { return homeOf(addr); });
     for (auto &node : nodes)
-        a->addNode({node->id(), &node->home, &node->cacheCtrl.cache});
+        a->addNode(node->coh->auditView(node->id()));
 }
 
 std::uint64_t
@@ -204,7 +208,7 @@ Machine::imageHash() const
     for (const auto &node : nodes) {
         node->mem.forEachBlock(
             [&](Addr a, const DataBlock &) { blocks.insert(a); });
-        node->cacheCtrl.cache.forEachLine([&](const CacheLine &line) {
+        node->cache().forEachLine([&](const CacheLine &line) {
             if (line.state != LineState::Instr)
                 blocks.insert(line.blockAddr);
         });
@@ -256,8 +260,8 @@ Machine::debugRead(Addr a) const
 {
     Addr baddr = blockAlign(a);
     for (const auto &node : nodes) {
-        const CacheLine *line = node->cacheCtrl.cache.peek(baddr);
-        if (line && line->state == LineState::Modified)
+        const CacheLine *line = node->cache().peek(baddr);
+        if (line && line->dirty())
             return line->data.read(a);
     }
     return nodes[static_cast<std::size_t>(homeOf(a))]
@@ -270,7 +274,7 @@ Machine::debugWrite(Addr a, Word v)
     Addr baddr = blockAlign(a);
     for (auto &node : nodes) {
         // Keep any cached copies consistent with the backdoor write.
-        Cache &c = node->cacheCtrl.cache;
+        Cache &c = node->cache();
         bool victim_hit = false;
         if (CacheLine *line = c.access(baddr, victim_hit))
             line->data.write(a, v);
@@ -281,23 +285,33 @@ Machine::debugWrite(Addr a, Word v)
 void
 Machine::checkCoherence() const
 {
-    // Collect dirty copies per block; verify exclusivity.
+    // Collect dirty and exclusive-claim copies per block. At most one
+    // cache may hold data newer than memory (Modified/Owned), and a
+    // Modified or Exclusive line must be the sole copy. Owned lines
+    // (snooping MOESI/Dragon) legitimately coexist with Shared peers.
     std::unordered_map<Addr, int> dirty;
+    std::unordered_map<Addr, int> sole;
     std::unordered_map<Addr, int> copies;
     for (const auto &node : nodes) {
-        node->cacheCtrl.cache.forEachLine([&](const CacheLine &line) {
+        node->cache().forEachLine([&](const CacheLine &line) {
             if (line.state == LineState::Instr)
                 return;
             ++copies[line.blockAddr];
-            if (line.state == LineState::Modified)
+            if (line.dirty())
                 ++dirty[line.blockAddr];
+            if (line.state == LineState::Modified ||
+                line.state == LineState::Exclusive) {
+                ++sole[line.blockAddr];
+            }
         });
     }
     for (const auto &[addr, n] : dirty) {
         SWEX_ASSERT(n <= 1, "%d dirty copies of block %#llx", n,
                     static_cast<unsigned long long>(addr));
+    }
+    for (const auto &[addr, n] : sole) {
         SWEX_ASSERT(copies[addr] == 1,
-                    "dirty block %#llx also cached elsewhere (%d)",
+                    "exclusive block %#llx also cached elsewhere (%d)",
                     static_cast<unsigned long long>(addr),
                     copies[addr]);
     }
@@ -307,7 +321,7 @@ void
 Machine::checkInvariants() const
 {
     for (const auto &node : nodes)
-        node->home.checkInvariants();
+        node->coh->checkInvariants();
     checkCoherence();
 }
 

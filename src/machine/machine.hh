@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "core/cost_model.hh"
 #include "core/protocol.hh"
 #include "core/sharing_tracker.hh"
 #include "machine/cache_controller.hh"
+#include "machine/coherence.hh"
 #include "machine/node.hh"
 #include "net/network.hh"
 #include "sim/event_queue.hh"
@@ -53,6 +55,13 @@ struct MachineConfig
     int numNodes = 16;
 
     ExecutionMode executionMode = ExecutionMode::Direct;
+
+    /** Which machine model carries coherence. */
+    MachineModel machineModel = MachineModel::Directory;
+
+    /** Snooping protocol + bus knobs (MachineModel::Snoop only). */
+    SnoopProtocol snoopProtocol = SnoopProtocol::Mesi;
+    SnoopBusConfig bus;
 
     ProtocolConfig protocol;
     HandlerProfile profile = HandlerProfile::FlexibleC;
@@ -289,6 +298,13 @@ class Machine
     stats::Group root;
     MeshNetwork network;
     SharingTracker tracker;
+
+    /**
+     * The machine model (directory stack or snooping bus). Declared
+     * before the nodes: every Node's coherence engine is built by and
+     * may reference it, so it must outlive them.
+     */
+    std::unique_ptr<CoherenceBackend> backend;
     std::vector<std::unique_ptr<Node>> nodes;
 
     /**

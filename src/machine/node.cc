@@ -1,6 +1,7 @@
 #include "machine/node.hh"
 
 #include "base/logging.hh"
+#include "machine/directory_backend.hh"
 #include "machine/machine.hh"
 
 namespace swex
@@ -14,22 +15,15 @@ procConfig(const MachineConfig &mc)
 {
     ProcessorConfig pc;
     pc.perfectIfetch = mc.perfectIfetch;
-    pc.watchdog = mc.watchdog < 0 ? mc.protocol.needsWatchdog()
-                                  : mc.watchdog != 0;
+    if (mc.machineModel == MachineModel::Snoop) {
+        // No software-extension traps on the bus path, hence nothing
+        // for the watchdog to flush.
+        pc.watchdog = false;
+    } else {
+        pc.watchdog = mc.watchdog < 0 ? mc.protocol.needsWatchdog()
+                                      : mc.watchdog != 0;
+    }
     return pc;
-}
-
-HomeConfig
-homeConfig(const MachineConfig &mc)
-{
-    HomeConfig hc;
-    hc.protocol = mc.protocol;
-    hc.profile = mc.profile;
-    hc.memLatency = mc.memLatency;
-    hc.hwCtrlLatency = mc.hwCtrlLatency;
-    hc.parallelInv = mc.parallelInv;
-    hc.mutation = mc.mutation;
-    return hc;
 }
 
 } // anonymous namespace
@@ -37,15 +31,37 @@ homeConfig(const MachineConfig &mc)
 Node::Node(Machine &machine, NodeId id)
     : statsGroup(&machine.root, strfmt("node%d", static_cast<int>(id))),
       proc(*this, procConfig(machine.config()), &statsGroup),
-      cacheCtrl(*this, machine.config().cacheCtrl, &statsGroup,
-                machine.config().seed * 1000003 +
-                static_cast<std::uint64_t>(id)),
-      home(id, machine.config().numNodes, homeConfig(machine.config()),
-           *this, &statsGroup),
       _machine(machine), _id(id)
 {
-    if (machine.config().trackSharing)
-        home.setTracker(&machine.tracker);
+    coh = machine.backend->makeNode(*this);
+}
+
+CacheController &
+Node::cacheCtrl()
+{
+    auto *d = dynamic_cast<DirectoryNodeCoherence *>(coh.get());
+    SWEX_ASSERT(d, "cacheCtrl() on a non-directory machine model");
+    return d->cacheCtrl;
+}
+
+const CacheController &
+Node::cacheCtrl() const
+{
+    return const_cast<Node *>(this)->cacheCtrl();
+}
+
+HomeController &
+Node::home()
+{
+    auto *d = dynamic_cast<DirectoryNodeCoherence *>(coh.get());
+    SWEX_ASSERT(d, "home() on a non-directory machine model");
+    return d->homeCtrl;
+}
+
+const HomeController &
+Node::home() const
+{
+    return const_cast<Node *>(this)->home();
 }
 
 EventQueue &
@@ -57,28 +73,11 @@ Node::eventq()
 void
 Node::sendMsg(const Message &msg, Cycles delay)
 {
-    // Local data grants are applied to the cache synchronously, at
-    // the moment the directory transitions: the CMMU's directory and
-    // cache sides are co-located, and an in-flight loopback grant
-    // could otherwise race with a synchronous local invalidation or
-    // flush (leaving a stale or duplicate-dirty copy). The DRAM and
-    // handler latency is still charged, on the processor's resume.
-    if (msg.dst == _id && (msg.type == MsgType::ReadData ||
-                           msg.type == MsgType::WriteData)) {
-        cacheCtrl.handleMessage(msg,
-                                delay + _machine.config().net.loopback);
+    // The backend gets first claim: the directory model applies local
+    // grants and uniprocessor-mode local writebacks synchronously.
+    if (coh->interceptSend(msg, delay))
         return;
-    }
 
-    // Local writebacks in the software-only directory's uniprocessor
-    // mode bypass the network loopback: there is no directory state to
-    // order an in-flight local writeback against a remote request, so
-    // the CMMU drains the local writeback synchronously.
-    if (msg.type == MsgType::Writeback && msg.dst == _id &&
-        _machine.config().protocol.hwPointers == 0 && delay == 0) {
-        home.handleMessage(msg);
-        return;
-    }
     if (delay == 0) {
         _machine.network.send(msg);
     } else {
@@ -119,25 +118,7 @@ Node::rxDispatchHandler(void *ctx, Message &msg)
 void
 Node::dispatchRx(const Message &msg)
 {
-    switch (msg.type) {
-      case MsgType::ReadReq:
-      case MsgType::WriteReq:
-      case MsgType::InvAck:
-      case MsgType::Writeback:
-      case MsgType::FetchReply:
-        home.handleMessage(msg);
-        break;
-      case MsgType::ReadData:
-      case MsgType::WriteData:
-      case MsgType::Busy:
-      case MsgType::Inv:
-      case MsgType::FetchS:
-      case MsgType::FetchI:
-        cacheCtrl.handleMessage(msg);
-        break;
-      default:
-        panic("unroutable message %s", msg.describe().c_str());
-    }
+    coh->dispatchRx(msg);
 }
 
 void
@@ -149,13 +130,13 @@ Node::raiseTrap(const TrapItem &item)
 RemovalResult
 Node::invalidateLocal(Addr block_addr)
 {
-    return cacheCtrl.invalidateLocal(block_addr);
+    return coh->invalidateLocal(block_addr);
 }
 
 RemovalResult
 Node::downgradeLocal(Addr block_addr)
 {
-    return cacheCtrl.downgradeLocal(block_addr);
+    return coh->downgradeLocal(block_addr);
 }
 
 void

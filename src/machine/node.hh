@@ -1,9 +1,11 @@
 /**
  * @file
- * One Alewife node: processor, combined cache + victim cache (via the
- * cache controller), home directory controller, and 4 MB of globally
- * shared memory. The node routes arriving network messages to the
- * correct CMMU half and models receive-side occupancy.
+ * One node: processor, 4 MB of globally shared memory, and a
+ * NodeCoherence engine built by the machine's CoherenceBackend (the
+ * directory model's cache controller + home directory pair, or the
+ * snooping model's bus-attached cache controller). The node routes
+ * arriving network messages to the engine and models receive-side
+ * occupancy.
  */
 
 #ifndef SWEX_MACHINE_NODE_HH
@@ -12,8 +14,7 @@
 #include <memory>
 
 #include "base/stats.hh"
-#include "core/home_controller.hh"
-#include "machine/cache_controller.hh"
+#include "machine/coherence.hh"
 #include "machine/processor.hh"
 #include "mem/memory.hh"
 #include "net/network.hh"
@@ -21,6 +22,8 @@
 namespace swex
 {
 
+class CacheController;
+class HomeController;
 class Machine;
 
 class Node : public MsgReceiver, public NodeServices
@@ -44,12 +47,25 @@ class Node : public MsgReceiver, public NodeServices
     MemoryModule &memory() override { return mem; }
     void schedule(Cycles delay, std::function<void()> fn) override;
 
+    // ---- coherence engine --------------------------------------------
+    /** The node's cache, whichever model owns it. */
+    Cache &cache() { return coh->cache(); }
+    const Cache &cache() const { return coh->cache(); }
+
+    /**
+     * Directory-model accessors (assert the machine model). Tests and
+     * benches reach into the directory stack through these.
+     */
+    CacheController &cacheCtrl();
+    const CacheController &cacheCtrl() const;
+    HomeController &home();
+    const HomeController &home() const;
+
     // ---- components --------------------------------------------------
     stats::Group statsGroup;
     MemoryModule mem;
     Processor proc;
-    CacheController cacheCtrl;
-    HomeController home;
+    std::unique_ptr<NodeCoherence> coh;
 
   private:
     void dispatchRx(const Message &msg);

@@ -122,7 +122,7 @@ Processor::instrFetchPenalty()
         return 0;
     Cycles penalty = 0;
     for (Addr a : footprint)
-        penalty += _node.cacheCtrl.instrTouch(a);
+        penalty += _node.coh->instrTouch(a);
     ifetchPenalty += static_cast<double>(penalty);
     return penalty;
 }
@@ -145,7 +145,7 @@ Processor::startMemOp(MemOpType t, Addr a, Word operand,
     memCont = h;
     memResumeReady = false;
     memIssueTick = _node.eventq().curTick();
-    _node.cacheCtrl.issue(t, a, operand);
+    _node.coh->issue(t, a, operand);
 }
 
 void
@@ -306,7 +306,7 @@ Processor::startNextHandler()
     ++trapsRun;
     ++handlersSinceUser;
 
-    Cycles c = _node.home.runTrap(item);
+    Cycles c = _node.coh->runTrap(item);
     handlerCycles += static_cast<double>(c);
     _node.eventq().scheduleIn(handlerDoneEvent, c);
 }

@@ -8,6 +8,21 @@
 namespace swex
 {
 
+const char *
+lineStateName(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid: return "Invalid";
+      case LineState::Shared: return "Shared";
+      case LineState::Modified: return "Modified";
+      case LineState::Instr: return "Instr";
+      case LineState::Exclusive: return "Exclusive";
+      case LineState::Owned: return "Owned";
+      case LineState::Forward: return "Forward";
+    }
+    return "?";
+}
+
 Cache::Cache(unsigned cache_bytes, unsigned victim_entries,
              stats::Group *stats_parent)
     : statsGroup(stats_parent, "cache"),
@@ -154,6 +169,18 @@ Cache::downgrade(Addr block_addr)
     if (line->state == LineState::Modified)
         line->state = LineState::Shared;
     return res;
+}
+
+CacheLine *
+Cache::findLine(Addr block_addr)
+{
+    CacheLine &slot = _sets[indexOf(block_addr)];
+    if (slot.valid() && slot.blockAddr == block_addr)
+        return &slot;
+    for (auto &line : _victim)
+        if (line.valid() && line.blockAddr == block_addr)
+            return &line;
+    return nullptr;
 }
 
 const CacheLine *

@@ -25,14 +25,25 @@
 namespace swex
 {
 
-/** Per-line coherence state. Instr lines are never coherent. */
+/**
+ * Per-line coherence state. Instr lines are never coherent. The
+ * directory machine model uses only {Shared, Modified}; the snooping
+ * model additionally uses Exclusive (MESI/MOESI/MESIF/Dragon),
+ * Owned (MOESI's O, also Dragon's shared-modified Sm), and Forward
+ * (MESIF's clean-forwarder F).
+ */
 enum class LineState : std::uint8_t
 {
     Invalid,
     Shared,     ///< clean, read-only copy
     Modified,   ///< dirty, exclusive copy
     Instr,      ///< instruction line (read-only, non-coherent)
+    Exclusive,  ///< clean, sole copy (snooping E)
+    Owned,      ///< dirty, shared copy; this cache supplies (O / Sm)
+    Forward,    ///< clean, shared copy; designated supplier (MESIF F)
 };
+
+const char *lineStateName(LineState s);
 
 /** One cache line. */
 struct CacheLine
@@ -42,7 +53,14 @@ struct CacheLine
     DataBlock data;
 
     bool valid() const { return state != LineState::Invalid; }
-    bool dirty() const { return state == LineState::Modified; }
+
+    /** Holds data newer than home memory (must be written back). */
+    bool
+    dirty() const
+    {
+        return state == LineState::Modified ||
+               state == LineState::Owned;
+    }
 };
 
 /** Result of evicting a line to make room. */
@@ -120,6 +138,13 @@ class Cache
 
     /** Non-perturbing lookup across main array and victim buffer. */
     const CacheLine *peek(Addr block_addr) const;
+
+    /**
+     * Mutable non-perturbing lookup (no victim swap, no stats):
+     * snooping peers change a line's state in place when they observe
+     * a bus transaction, wherever the line is parked.
+     */
+    CacheLine *findLine(Addr block_addr);
 
     /** Visit every valid line (main array, then victim buffer). */
     template <typename Fn>

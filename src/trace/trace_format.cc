@@ -369,6 +369,17 @@ configFingerprint(const MachineConfig &mc)
     mix(mc.segBytes);
     mix(mc.seed);
     mix(mc.deadline);
+    // Snooping machine model: mixed only when selected, so every
+    // directory fingerprint (and its cached traces) is unchanged.
+    if (mc.machineModel != MachineModel::Directory) {
+        mix(static_cast<std::uint64_t>(mc.machineModel));
+        mix(static_cast<std::uint64_t>(mc.snoopProtocol));
+        mix(static_cast<std::uint64_t>(mc.bus.arbitration));
+        mix(mc.bus.addrCycles);
+        mix(mc.bus.dataCycles);
+        mix(mc.bus.updCycles);
+        mix(mc.bus.c2cLatency);
+    }
     return h;
 }
 

@@ -45,10 +45,11 @@ class RegistrySmoke : public ::testing::TestWithParam<std::string>
 TEST(Registry, HasTheBuiltInApps)
 {
     const auto names = AppRegistry::instance().names();
-    ASSERT_EQ(names.size(), 7u);
+    ASSERT_EQ(names.size(), 10u);
     EXPECT_EQ(names.front(), "worker");
     for (const char *n :
-         {"tsp", "aq", "smgrid", "evolve", "mp3d", "water"}) {
+         {"tsp", "aq", "smgrid", "evolve", "mp3d", "water",
+          "falseshare", "padded", "hotline"}) {
         EXPECT_TRUE(AppRegistry::instance().contains(n)) << n;
     }
     EXPECT_FALSE(AppRegistry::instance().contains("nosuch"));

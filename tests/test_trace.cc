@@ -317,6 +317,80 @@ TEST(TraceReplay, PortableRecordReplaysBitIdenticalAcrossProtocols)
     }
 }
 
+TEST(TraceReplay, EvolveIsTracePortableAcrossProtocols)
+{
+    // EVOLVE qualified for portability by replacing its best-fitness
+    // lock with per-thread slots and a thread-0 reduction: its walks
+    // branch only on the fitness table, written once in setup. A
+    // trace recorded under HW5 must replay bit-identically under
+    // other protocol cells.
+    ASSERT_TRUE(AppRegistry::instance().entry("evolve").tracePortable);
+    std::string dir = scratchDir("evolve");
+    Runner runner;
+    ExperimentSpec spec{
+        .id = "evolve",
+        .app = "evolve",
+        .params = {{"dims", "5"}, {"walks", "1"}},
+        .protocol = ProtocolConfig::hw(5),
+        .nodes = 8,
+        .victimEntries = 6};
+    spec.execMode = ExecutionMode::Record;
+    spec.traceDir = dir;
+    RunRecord rec = runner.execute(spec);
+    ASSERT_EQ(rec.status, "ok");
+    ASSERT_TRUE(rec.verified);
+
+    for (ProtocolConfig proto :
+         {ProtocolConfig::h0(), ProtocolConfig::h1Ack(),
+          ProtocolConfig::fullMap()}) {
+        spec.protocol = proto;
+        spec.execMode = ExecutionMode::Direct;
+        RunRecord direct = runner.execute(spec);
+        spec.execMode = ExecutionMode::Replay;
+        RunRecord replay = runner.execute(spec);
+        ASSERT_EQ(replay.status, "ok") << proto.name();
+        EXPECT_TRUE(replay.verified) << proto.name();
+        EXPECT_EQ(replay.simCycles, direct.simCycles) << proto.name();
+        EXPECT_EQ(replay.imageHash, direct.imageHash) << proto.name();
+    }
+}
+
+TEST(TraceReplay, SmgridIsTracePortableAcrossProtocols)
+{
+    // SMGRID's unified kernel (static partition, hardware barriers,
+    // residual slots reduced by thread 0) makes every reference a
+    // pure function of (params, nodes, tid).
+    ASSERT_TRUE(AppRegistry::instance().entry("smgrid").tracePortable);
+    std::string dir = scratchDir("smgrid");
+    Runner runner;
+    ExperimentSpec spec{
+        .id = "smgrid",
+        .app = "smgrid",
+        .params = {{"fine", "9"}, {"levels", "2"}},
+        .protocol = ProtocolConfig::hw(5),
+        .nodes = 4,
+        .victimEntries = 6};
+    spec.execMode = ExecutionMode::Record;
+    spec.traceDir = dir;
+    RunRecord rec = runner.execute(spec);
+    ASSERT_EQ(rec.status, "ok");
+    ASSERT_TRUE(rec.verified);
+
+    for (ProtocolConfig proto :
+         {ProtocolConfig::h0(), ProtocolConfig::h1Lack(),
+          ProtocolConfig::fullMap()}) {
+        spec.protocol = proto;
+        spec.execMode = ExecutionMode::Direct;
+        RunRecord direct = runner.execute(spec);
+        spec.execMode = ExecutionMode::Replay;
+        RunRecord replay = runner.execute(spec);
+        ASSERT_EQ(replay.status, "ok") << proto.name();
+        EXPECT_TRUE(replay.verified) << proto.name();
+        EXPECT_EQ(replay.simCycles, direct.simCycles) << proto.name();
+        EXPECT_EQ(replay.imageHash, direct.imageHash) << proto.name();
+    }
+}
+
 TEST(TraceReplay, SequentialBaselineReplaysBitIdentical)
 {
     std::string dir = scratchDir("seq");

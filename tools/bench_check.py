@@ -9,8 +9,10 @@ number.
 
 With --cli the positional binary is swex_cli; the script runs a tiny
 experiment with --json and validates the emitted swex-run-v1 document
-(schema tag, per-record required fields, finite metrics), and checks
-that $SWEX_RUN_JSON produces the same document shape.
+(schema tag, per-record required fields, finite metrics), checks
+that $SWEX_RUN_JSON produces the same document shape, and runs one
+snooping-bus experiment to validate the optional machine_model field
+(directory records omit it; bus records must carry "snoop").
 
 With --replay-equiv the positional binary is swex_cli; the script
 records a run into a scratch trace directory, validates every emitted
@@ -147,6 +149,11 @@ def check_run_json(json_path, expect_records):
         if not isinstance(r.get("stats"), dict) or not r["stats"]:
             sys.exit(f"FAIL: record {r.get('id')!r} has no stats "
                      f"tree")
+        # machine_model is optional: directory records omit it, and
+        # the only other backend is the snooping bus.
+        if "machine_model" in r and r["machine_model"] != "snoop":
+            sys.exit(f"FAIL: record {r.get('id')!r} has unknown "
+                     f"machine_model {r['machine_model']!r}")
         check_finite_numbers(r.get("id", "?"), r)
     seq = [r for r in records if r["sequential"]]
     if len(seq) != 1:
@@ -328,7 +335,23 @@ def run_cli(binary, tmp):
                  f"{proc.stdout}")
     n = check_run_json(json_path, expect_records=2)
     check_run_json(env_path, expect_records=2)
-    return n
+
+    # Directory records must omit machine_model; a snooping-bus run
+    # must stamp it so downstream tooling can tell the two apart.
+    records = [r for r in
+               json.load(open(json_path, encoding="utf-8"))["records"]]
+    if any("machine_model" in r for r in records):
+        sys.exit("FAIL: directory record carries machine_model")
+    snoop = cli_run(binary,
+                    ["--app", "falseshare", "--nodes", "4",
+                     "--protocol", "mesi"],
+                    os.path.join(tmp, "run_snoop.json"))
+    if snoop.get("machine_model") != "snoop":
+        sys.exit(f"FAIL: snooping record machine_model is "
+                 f"{snoop.get('machine_model')!r}, expected 'snoop'")
+    if not snoop.get("verified"):
+        sys.exit("FAIL: snooping record not verified")
+    return n + 1
 
 
 def main():

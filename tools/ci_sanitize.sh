@@ -7,9 +7,11 @@
 # The stress label also carries the fault-injection sweep, the
 # record/replay stress leg (stress_replay: every grid cell records
 # its op streams and replays them on a fresh machine, digests must
-# match), and the --jobs + replay determinism gate
-# (sweep_determinism); SWEX_DET_SEEDS keeps the gate's seed count
-# small enough for sanitized binaries.
+# match), the snooping machine-model grid (stress_snoop: 4 bus
+# protocols x 2 arbitration disciplines over the sharing
+# microbenchmarks, auditor attached), and the --jobs + replay + snoop
+# determinism gate (sweep_determinism); SWEX_DET_SEEDS keeps the
+# gates' seed counts small enough for sanitized binaries.
 # Usage:
 #
 #   tools/ci_sanitize.sh [builddir-prefix]

@@ -25,6 +25,7 @@
  * sweep is `stress_protocols --app worker --seeds 200 --jobs 8`.
  */
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -57,8 +58,9 @@ struct Options
     Cycles jitterMax = 37;
     unsigned jobs = 1;
     bool replay = false;       ///< record, replay, digest the replay
+    std::string family = "directory";   ///< directory|snoop|all
     std::string onlyApp;       ///< empty = all stress apps
-    std::string onlyProtocol;  ///< empty = full spectrum
+    std::string onlyProtocol;  ///< empty = full grid
 
     // Adversarial fault tier (all zero = jitter-only stressing).
     unsigned drop = 0;         ///< per-mille drop rate
@@ -80,10 +82,10 @@ struct StressApp
     bool imageStable;   ///< final memory independent of interleaving
 };
 
-/** The workloads the stressor sweeps. WORKER computes the same final
- *  memory under any interleaving; TSP's shared frontier makes its
- *  heap layout timing-dependent, so only its own verification and the
- *  auditor apply there. */
+/** The workloads the directory stressor sweeps. WORKER computes the
+ *  same final memory under any interleaving; TSP's shared frontier
+ *  makes its heap layout timing-dependent, so only its own
+ *  verification and the auditor apply there. */
 std::vector<StressApp>
 stressApps()
 {
@@ -91,6 +93,58 @@ stressApps()
         {"worker", {{"wss", "4"}, {"iterations", "2"}}, true},
         {"tsp", {{"cities", "6"}, {"frontier", "8"}}, false},
     };
+}
+
+/** The snooping-grid workloads: the sharing-pattern microbenchmarks.
+ *  Seeds perturb their per-step compute through the `jitter` app
+ *  parameter (the bus machine has no network to jitter), so every
+ *  seed is a distinct deterministic interleaving. */
+std::vector<StressApp>
+snoopStressApps()
+{
+    return {
+        {"falseshare", {{"iterations", "8"}}, false},
+        {"padded", {{"iterations", "8"}}, false},
+        {"hotline", {{"iterations", "8"}}, false},
+    };
+}
+
+/** One cell of the protocol axis: a directory spectrum point or a
+ *  (snooping protocol, bus arbitration) combination. */
+struct GridPoint
+{
+    std::string label;          ///< e.g. "H5" or "MESI/fifo"
+    bool snoop = false;
+    ProtocolConfig dir;         ///< directory points only
+    SnoopProtocol sp = SnoopProtocol::Mesi;
+    BusArbitration arb = BusArbitration::Fifo;
+};
+
+std::vector<GridPoint>
+directoryPoints()
+{
+    std::vector<GridPoint> out;
+    for (const auto &pt : protocolSpectrum())
+        out.push_back({pt.label, false, pt.protocol,
+                       SnoopProtocol::Mesi, BusArbitration::Fifo});
+    return out;
+}
+
+std::vector<GridPoint>
+snoopPoints()
+{
+    std::vector<GridPoint> out;
+    for (SnoopProtocol sp : {SnoopProtocol::Mesi, SnoopProtocol::Moesi,
+                             SnoopProtocol::Mesif,
+                             SnoopProtocol::Dragon}) {
+        for (BusArbitration arb :
+             {BusArbitration::Fifo, BusArbitration::RoundRobin}) {
+            out.push_back({strfmt("%s/%s", snoopProtocolName(sp),
+                                  busArbitrationName(arb)),
+                           true, ProtocolConfig::fullMap(), sp, arb});
+        }
+    }
+    return out;
 }
 
 /** The swex_cli spelling of a spectrum label, for replay lines. */
@@ -143,26 +197,39 @@ struct RunResult
  *  cannot interleave their reports. @p adversarial enables the
  *  jitter/fault stressors from @p opt; the reference run clears it. */
 RunResult
-stressRun(const StressApp &sa, const SpectrumPoint &pt,
+stressRun(const StressApp &sa, const GridPoint &pt,
           const Options &opt, std::uint64_t seed, bool adversarial,
           const std::uint64_t *expect_image)
 {
-    const Cycles jitter_max = adversarial ? opt.jitterMax : 0;
+    // The bus machine has no network: seeds perturb the app's own
+    // compute via the `jitter` parameter instead of delivery delays.
+    const Cycles jitter_max =
+        adversarial && !pt.snoop ? opt.jitterMax : 0;
+
+    AppParams params = sa.params;
+    if (pt.snoop && adversarial)
+        params["jitter"] = std::to_string(seed);
 
     ExperimentSpec spec;
     spec.app = sa.name;
-    spec.params = sa.params;
-    spec.protocol = pt.protocol;
+    spec.params = params;
     spec.nodes = opt.nodes;
     spec.victimEntries = 6;
-    spec.jitterMax = jitter_max;
-    spec.jitterSeed = seed;
-    if (adversarial) {
-        spec.faultDropPerMille = opt.drop;
-        spec.faultDupPerMille = opt.dup;
-        spec.faultBlackoutPerMille = opt.blackout;
-        spec.faultSeed = seed;   // one seed replays the whole run
-        spec.deadline = opt.deadline;
+    if (pt.snoop) {
+        spec.machineModel = MachineModel::Snoop;
+        spec.snoopProtocol = pt.sp;
+        spec.busArbitration = pt.arb;
+    } else {
+        spec.protocol = pt.dir;
+        spec.jitterMax = jitter_max;
+        spec.jitterSeed = seed;
+        if (adversarial) {
+            spec.faultDropPerMille = opt.drop;
+            spec.faultDupPerMille = opt.dup;
+            spec.faultBlackoutPerMille = opt.blackout;
+            spec.faultSeed = seed;   // one seed replays the whole run
+            spec.deadline = opt.deadline;
+        }
     }
 
     MachineConfig mc = spec.machine();
@@ -173,7 +240,7 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt,
     if (replaying)
         mc.executionMode = ExecutionMode::Record;
 
-    auto app = AppRegistry::instance().make(sa.name, sa.params,
+    auto app = AppRegistry::instance().make(sa.name, params,
                                             opt.nodes);
     Machine m(mc);
     CoherenceAuditor auditor(CoherenceAuditor::Mode::Collect);
@@ -236,7 +303,7 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt,
         t.meta.recordedImageHash = r.image;
         t.meta.seed = mc.seed;
         t.meta.app = sa.name;
-        t.meta.params = trace::canonicalAppParams(sa.params);
+        t.meta.params = trace::canonicalAppParams(params);
         t.meta.protocol = mc.protocol.name();
         for (int i = 0; i < rec->numThreads(); ++i)
             t.streams.push_back(rec->stream(i));
@@ -244,7 +311,7 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt,
 
         MachineConfig rmc = mc;
         rmc.executionMode = ExecutionMode::Replay;
-        auto rapp = AppRegistry::instance().make(sa.name, sa.params,
+        auto rapp = AppRegistry::instance().make(sa.name, params,
                                                 opt.nodes);
         Machine rm(rmc);
         rapp->setup(rm);
@@ -296,24 +363,39 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt,
         os << "last messages delivered:\n";
         m.network.dumpTrace(os);
         // The stress machine uses the default machine seed; only the
-        // jitter and fault streams are seeded per run, so the replay
-        // sets --jitter-seed and --fault-seed (NOT --seed, which
-        // would change the machine). Every reproduction flag appears
-        // even at its default, so the line is self-contained.
-        std::string replay = strfmt(
-            "swex_cli --app %s --nodes %d --protocol %s --victim 6 "
-            "--jitter %llu --jitter-seed %llu --faults %u,%u,%u "
-            "--fault-seed %llu --deadline %llu --audit",
-            sa.name.c_str(), opt.nodes,
-            cliProtocolName(pt.label).c_str(),
-            static_cast<unsigned long long>(jitter_max),
-            static_cast<unsigned long long>(seed),
-            adversarial ? opt.drop : 0, adversarial ? opt.dup : 0,
-            adversarial ? opt.blackout : 0,
-            static_cast<unsigned long long>(seed),
-            static_cast<unsigned long long>(
-                adversarial ? opt.deadline : 0));
-        for (const auto &[k, v] : sa.params)
+        // jitter and fault streams (directory) or the app's jitter
+        // parameter (snoop) are seeded per run, so the replay sets
+        // those knobs (NOT --seed, which would change the machine).
+        // Every reproduction flag appears even at its default, so the
+        // line is self-contained. Snoop seeds ride in `params`
+        // already, so the --param loop reproduces them.
+        std::string replay;
+        if (pt.snoop) {
+            std::string proto = snoopProtocolName(pt.sp);
+            for (char &c : proto)
+                c = static_cast<char>(std::tolower(
+                    static_cast<unsigned char>(c)));
+            replay = strfmt(
+                "swex_cli --app %s --nodes %d --protocol %s --bus %s "
+                "--audit",
+                sa.name.c_str(), opt.nodes, proto.c_str(),
+                busArbitrationName(pt.arb));
+        } else {
+            replay = strfmt(
+                "swex_cli --app %s --nodes %d --protocol %s --victim "
+                "6 --jitter %llu --jitter-seed %llu --faults "
+                "%u,%u,%u --fault-seed %llu --deadline %llu --audit",
+                sa.name.c_str(), opt.nodes,
+                cliProtocolName(pt.label).c_str(),
+                static_cast<unsigned long long>(jitter_max),
+                static_cast<unsigned long long>(seed),
+                adversarial ? opt.drop : 0, adversarial ? opt.dup : 0,
+                adversarial ? opt.blackout : 0,
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(
+                    adversarial ? opt.deadline : 0));
+        }
+        for (const auto &[k, v] : params)
             replay += strfmt(" --param %s=%s", k.c_str(), v.c_str());
         os << "replay: " << replay << "\n";
         r.diagnostics = os.str();
@@ -326,9 +408,9 @@ stressRun(const StressApp &sa, const SpectrumPoint &pt,
 std::uint64_t
 referenceImage(const StressApp &sa, const Options &opt)
 {
-    RunResult r = stressRun(sa, {"FULLMAP", ProtocolConfig::fullMap()},
-                            opt, /*seed=*/0, /*adversarial=*/false,
-                            nullptr);
+    RunResult r = stressRun(
+        sa, {"FULLMAP", false, ProtocolConfig::fullMap()}, opt,
+        /*seed=*/0, /*adversarial=*/false, nullptr);
     if (!r.ok) {
         std::fputs(r.diagnostics.c_str(), stderr);
         std::fprintf(stderr, "stress_protocols: reference run of %s "
@@ -354,9 +436,14 @@ usage()
         "  --replay          record each cell's op streams, replay "
         "them on a fresh machine, and digest the replay run; the "
         "grid digest must match a direct sweep bit for bit\n"
-        "  --app <name>      restrict to one app (worker|tsp)\n"
-        "  --protocol <lbl>  restrict to one spectrum label "
-        "(e.g. DIR1SW)\n"
+        "  --family <f>      directory|snoop|all: which machine-model\n"
+        "                    grid to sweep (default directory; snoop\n"
+        "                    = 4 protocols x 2 bus disciplines over\n"
+        "                    the sharing microbenchmarks)\n"
+        "  --app <name>      restrict to one app (worker|tsp, or\n"
+        "                    falseshare|padded|hotline with snoop)\n"
+        "  --protocol <lbl>  restrict to one grid label "
+        "(e.g. DIR1SW or MESI/fifo)\n"
         "  --drop <pm>       fault tier: per-mille wire drop rate\n"
         "  --dup <pm>        fault tier: per-mille duplication rate\n"
         "  --blackout <pm>   fault tier: per-mille blackout rate\n"
@@ -395,6 +482,12 @@ main(int argc, char **argv)
                 parseLong(a, next(), 1, 256));
         else if (a == "--replay")
             opt.replay = true;
+        else if (a == "--family") {
+            opt.family = next();
+            if (opt.family != "directory" && opt.family != "snoop" &&
+                opt.family != "all")
+                badValue(a, opt.family);
+        }
         else if (a == "--app")
             opt.onlyApp = next();
         else if (a == "--protocol")
@@ -431,7 +524,7 @@ main(int argc, char **argv)
     struct Pair
     {
         std::size_t app;        ///< index into apps
-        SpectrumPoint pt;
+        GridPoint pt;
         std::size_t firstJob;   ///< index of this pair's first seed
     };
     struct Job
@@ -440,30 +533,38 @@ main(int argc, char **argv)
         std::uint64_t seed;
     };
 
+    // Each family pairs its own workloads with its own protocol
+    // axis; `all` concatenates the two grids. The pair order is the
+    // digest order, so the directory prefix of an `all` sweep prints
+    // the same per-pair summaries as a pure directory sweep.
     std::vector<StressApp> apps;
     std::vector<std::uint64_t> references;   ///< 0 = no image check
-    for (const StressApp &sa : stressApps()) {
-        if (!opt.onlyApp.empty() && sa.name != opt.onlyApp)
-            continue;
-        apps.push_back(sa);
-        references.push_back(
-            sa.imageStable ? referenceImage(sa, opt) : 0);
-    }
-
     std::vector<Pair> pairs;
     std::vector<Job> jobs;
-    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
-        for (const auto &pt : protocolSpectrum()) {
-            if (!opt.onlyProtocol.empty() &&
-                pt.label != opt.onlyProtocol)
+    auto addFamily = [&](const std::vector<StressApp> &fam_apps,
+                         const std::vector<GridPoint> &points) {
+        for (const StressApp &sa : fam_apps) {
+            if (!opt.onlyApp.empty() && sa.name != opt.onlyApp)
                 continue;
-            pairs.push_back({ai, pt, jobs.size()});
-            for (int s = 0; s < opt.seeds; ++s)
-                jobs.push_back({pairs.size() - 1,
-                                opt.startSeed +
-                                    static_cast<std::uint64_t>(s)});
+            apps.push_back(sa);
+            references.push_back(
+                sa.imageStable ? referenceImage(sa, opt) : 0);
+            for (const GridPoint &pt : points) {
+                if (!opt.onlyProtocol.empty() &&
+                    pt.label != opt.onlyProtocol)
+                    continue;
+                pairs.push_back({apps.size() - 1, pt, jobs.size()});
+                for (int s = 0; s < opt.seeds; ++s)
+                    jobs.push_back({pairs.size() - 1,
+                                    opt.startSeed +
+                                        static_cast<std::uint64_t>(s)});
+            }
         }
-    }
+    };
+    if (opt.family == "directory" || opt.family == "all")
+        addFamily(stressApps(), directoryPoints());
+    if (opt.family == "snoop" || opt.family == "all")
+        addFamily(snoopStressApps(), snoopPoints());
 
     auto t0 = std::chrono::steady_clock::now();
     std::vector<RunResult> results(jobs.size());

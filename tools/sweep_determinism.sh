@@ -19,6 +19,11 @@
 # run): the replayed digest must equal the direct one bit for bit,
 # gating the record/replay fast path with the same precision as the
 # --jobs gate. SWEX_DET_REPLAY=0 skips it.
+#
+# A fourth leg gates the snooping machine-model grid (--family snoop:
+# 4 protocols x 2 bus disciplines over the sharing microbenchmarks)
+# the same way: the digest must not depend on --jobs.
+# SWEX_DET_SNOOP=0 skips it.
 set -eu
 
 if [ "$#" -lt 1 ]; then
@@ -73,4 +78,24 @@ if [ "${SWEX_DET_REPLAY:-1}" != "0" ]; then
         exit 1
     fi
     echo "OK: replayed digest identical"
+fi
+
+if [ "${SWEX_DET_SNOOP:-1}" != "0" ]; then
+    echo "== snoop grid determinism: --jobs ${jobs} vs --jobs 1"
+    spar=$("${stress}" --family snoop --seeds "${seeds}" \
+           --jobs "${jobs}" | extract_digest)
+    sser=$("${stress}" --family snoop --seeds "${seeds}" --jobs 1 \
+           | extract_digest)
+    if [ -z "${spar}" ] || [ -z "${sser}" ]; then
+        echo "error: no grid digest line in --family snoop output" >&2
+        exit 1
+    fi
+    echo "   --jobs ${jobs}: ${spar}"
+    echo "   --jobs 1: ${sser}"
+    if [ "${spar}" != "${sser}" ]; then
+        echo "FAIL: snoop grid digest depends on --jobs" \
+             "(${spar} != ${sser})" >&2
+        exit 1
+    fi
+    echo "OK: snoop digests identical"
 fi

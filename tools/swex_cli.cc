@@ -91,7 +91,13 @@ usage()
         "  --app <name>       worker|tsp|aq|smgrid|evolve|mp3d|water\n"
         "  --nodes <n>        machine size (default 16, max 256)\n"
         "  --protocol <p>     h0|h1ack|h1lack|h1|h2|h3|h4|h5|dir1sw|"
-        "full (default h5)\n"
+        "full (default h5);\n"
+        "                     mesi|moesi|mesif|dragon select the\n"
+        "                     snooping-bus machine model instead of\n"
+        "                     the directory spectrum\n"
+        "  --bus <a>          fifo|rr bus arbitration (snooping "
+        "machine\n"
+        "                     model only; default fifo)\n"
         "  --profile <p>      c|asm handler cost profile (default c)\n"
         "  --victim <n>       victim cache entries (default 6)\n"
         "  --param <k=v>      app parameter (repeatable; see --list)\n"
@@ -231,6 +237,18 @@ replayLine(const ExperimentSpec &sp, const std::string &proto_key,
     return s;
 }
 
+/** Snooping protocol names accepted by --protocol; false if @p s
+ *  names a directory spectrum point instead. */
+bool
+parseSnoopProtocol(const std::string &s, SnoopProtocol &out)
+{
+    if (s == "mesi") { out = SnoopProtocol::Mesi; return true; }
+    if (s == "moesi") { out = SnoopProtocol::Moesi; return true; }
+    if (s == "mesif") { out = SnoopProtocol::Mesif; return true; }
+    if (s == "dragon") { out = SnoopProtocol::Dragon; return true; }
+    return false;
+}
+
 ProtocolConfig
 parseProtocol(const std::string &s)
 {
@@ -251,14 +269,28 @@ void
 listEverything()
 {
     std::printf("applications:\n");
+    std::printf("  %-10s %-9s %-16s %s\n", "name", "portable",
+                "machine models", "summary");
     for (const std::string &name : AppRegistry::instance().names()) {
         const auto &e = AppRegistry::instance().entry(name);
-        std::printf("  %-8s %s\n", name.c_str(), e.summary.c_str());
+        std::printf("  %-10s %-9s %-16s %s\n", name.c_str(),
+                    e.tracePortable ? "yes" : "no",
+                    e.machineModels.c_str(), e.summary.c_str());
     }
-    std::printf("\nprotocols:\n");
+    std::printf("\ndirectory protocols (--protocol):\n");
     for (const auto &pt : protocolSpectrum())
         std::printf("  %-10s %s\n", pt.label.c_str(),
                     pt.protocol.name().c_str());
+    std::printf("\nsnooping protocols (--protocol, shared-bus "
+                "machine model):\n");
+    std::printf("  %-10s invalidate-based; E for private clean "
+                "lines\n", "mesi");
+    std::printf("  %-10s invalidate-based; O supplies dirty-shared "
+                "data\n", "moesi");
+    std::printf("  %-10s invalidate-based; F designates the clean "
+                "forwarder\n", "mesif");
+    std::printf("  %-10s update-based; shared writes broadcast the "
+                "word\n", "dragon");
 }
 
 } // anonymous namespace
@@ -271,6 +303,7 @@ main(int argc, char **argv)
     spec.nodes = 16;
     spec.victimEntries = 6;
     std::string proto = "h5";
+    std::string bus;
     bool local_bit_off = false;
     bool want_record = false;
     bool want_replay = false;
@@ -292,6 +325,7 @@ main(int argc, char **argv)
         else if (a == "--nodes")
             spec.nodes = parseCount(a, next(), 1, maxNodes);
         else if (a == "--protocol") proto = next();
+        else if (a == "--bus") bus = next();
         else if (a == "--profile")
             spec.profile = next() == "asm" ? HandlerProfile::TunedAsm
                                            : HandlerProfile::FlexibleC;
@@ -343,9 +377,26 @@ main(int argc, char **argv)
         }
     }
 
-    spec.protocol = parseProtocol(proto);
-    if (local_bit_off)
-        spec.protocol.localBit = false;
+    SnoopProtocol snoop_proto{};
+    const bool snoop = parseSnoopProtocol(proto, snoop_proto);
+    if (snoop) {
+        // Directory knobs (spec.protocol, victim cache, local bit)
+        // stay at their defaults and are inert on the bus machine.
+        spec.machineModel = MachineModel::Snoop;
+        spec.snoopProtocol = snoop_proto;
+    } else {
+        spec.protocol = parseProtocol(proto);
+        if (local_bit_off)
+            spec.protocol.localBit = false;
+    }
+    if (!bus.empty()) {
+        if (bus == "fifo")
+            spec.busArbitration = BusArbitration::Fifo;
+        else if (bus == "rr")
+            spec.busArbitration = BusArbitration::RoundRobin;
+        else
+            badValue("--bus", bus, "expected fifo or rr");
+    }
     if (!AppRegistry::instance().contains(spec.app))
         fatal("unknown app '%s' (try --list)", spec.app.c_str());
 
@@ -376,6 +427,23 @@ main(int argc, char **argv)
     const bool faults_on = spec.faultDropPerMille != 0 ||
                            spec.faultDupPerMille != 0 ||
                            spec.faultBlackoutPerMille != 0;
+    // The snooping machine model carries coherence on a lossless
+    // shared bus: there is no network to jitter or fault, and the
+    // --sweep grid is the directory spectrum by definition.
+    if (snoop && want_sweep) {
+        usageError("--sweep walks the directory protocol spectrum; "
+                   "sweep the snooping grid with 'stress_protocols "
+                   "--family snoop' instead");
+    }
+    if (snoop && (spec.jitterMax != 0 || faults_on)) {
+        usageError("the snooping bus models no interconnection "
+                   "network; drop --jitter/--faults (directory "
+                   "machine model only)");
+    }
+    if (!snoop && !bus.empty()) {
+        usageError("--bus applies to the snooping machine model "
+                   "only (pick --protocol mesi|moesi|mesif|dragon)");
+    }
     // Fault injection can legitimately livelock a run (every
     // retransmission re-dropped); never run it without a deadline.
     if (faults_on && spec.deadline == 0)
@@ -498,11 +566,21 @@ main(int argc, char **argv)
         return all_ok && json_ok && emit_ok ? 0 : 1;
     }
 
-    std::printf("app=%s nodes=%d protocol=%s profile=%s victim=%u\n",
-                spec.app.c_str(), spec.nodes,
-                spec.protocol.name().c_str(),
-                spec.profile == HandlerProfile::TunedAsm ? "asm" : "C",
-                spec.victimEntries);
+    if (snoop) {
+        std::printf("app=%s nodes=%d machine=snoop protocol=%s "
+                    "bus=%s\n",
+                    spec.app.c_str(), spec.nodes,
+                    snoopProtocolName(spec.snoopProtocol),
+                    busArbitrationName(spec.busArbitration));
+    } else {
+        std::printf("app=%s nodes=%d protocol=%s profile=%s "
+                    "victim=%u\n",
+                    spec.app.c_str(), spec.nodes,
+                    spec.protocol.name().c_str(),
+                    spec.profile == HandlerProfile::TunedAsm ? "asm"
+                                                             : "C",
+                    spec.victimEntries);
+    }
 
     Runner runner(/*fail_fast=*/false);
     RunRecord &r = runner.run(spec);
