@@ -1,0 +1,59 @@
+#include "base/atomic_file.hh"
+
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace swex
+{
+
+namespace
+{
+
+/** Process-wide writer sequence: two threads saving the same path get
+ *  distinct temp names even within one pid. */
+std::atomic<std::uint64_t> tmpSeq{0};
+
+std::string
+uniqueTmpName(const std::string &path)
+{
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llu",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(
+                      tmpSeq.fetch_add(1, std::memory_order_relaxed)));
+    return path + suffix;
+}
+
+} // anonymous namespace
+
+bool
+atomicWriteFile(const std::string &path,
+                const std::vector<std::uint8_t> &bytes,
+                std::string &err)
+{
+    std::string tmp = uniqueTmpName(path);
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        err = "cannot open " + tmp + " for writing";
+        return false;
+    }
+    bool ok = bytes.empty() ||
+              std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                  bytes.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        err = "short write to " + tmp;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        err = "cannot rename " + tmp + " to " + path;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace swex

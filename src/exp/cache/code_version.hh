@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The code-version half of the experiment-cache key. A cached
+ * swex-run-v1 record is only as good as the code that produced it, so
+ * every cache entry is fingerprinted with the version of each code
+ * component that could change its bytes. The invalidation path is
+ * deliberately manual and component-scoped: touch the directory
+ * protocol stack, bump `directoryVersion`, and every directory cell
+ * goes cold while the snooping-bus cells stay warm (and vice versa) —
+ * exactly the incremental re-sweep the cache exists for.
+ *
+ * Components:
+ *  - core: the simulation substrate every run shares (event kernel,
+ *    machine/node/processor timing, caches, network, delivery).
+ *  - apps: the workload kernels and the registry defaults.
+ *  - directory: the software-extended directory stack (home
+ *    controller, ext directory, handler cost model).
+ *  - snoop: the snooping split-transaction-bus backend.
+ *
+ * A run's fingerprint mixes core + apps + the backend it actually
+ * exercised; sequential references always run on the 1-node full-map
+ * directory machine, so they key on the directory component.
+ *
+ * $SWEX_CACHE_EPOCH (a non-negative integer, default 0) is mixed into
+ * every fingerprint as a run-time master switch: bumping it invalidates
+ * the whole cache without recompiling, for when "which component
+ * changed" is not worth reconstructing.
+ */
+
+#ifndef SWEX_EXP_CACHE_CODE_VERSION_HH
+#define SWEX_EXP_CACHE_CODE_VERSION_HH
+
+#include <cstdint>
+
+namespace swex
+{
+
+struct ExperimentSpec;
+
+namespace cache
+{
+
+/** Per-component code versions. Bump the constant for the component
+ *  you touched; only cells that exercised it go cold. */
+struct CodeVersions
+{
+    std::uint32_t core = 1;        ///< sim kernel, machine, mem, net
+    std::uint32_t apps = 1;        ///< workload kernels + registry
+    std::uint32_t directory = 1;   ///< directory protocol stack
+    std::uint32_t snoop = 1;       ///< snooping bus backend
+    std::uint64_t epoch = 0;       ///< $SWEX_CACHE_EPOCH at startup
+
+    /** The compiled-in versions plus the environment epoch. */
+    static CodeVersions current();
+};
+
+/**
+ * The code-version fingerprint for @p spec under @p versions: core,
+ * apps, the epoch, and the coherence backend the spec runs on. Two
+ * specs on different backends never share fingerprint sensitivity —
+ * that is the component-scoped invalidation contract.
+ */
+std::uint64_t codeFingerprint(const ExperimentSpec &spec,
+                              const CodeVersions &versions);
+
+} // namespace cache
+} // namespace swex
+
+#endif // SWEX_EXP_CACHE_CODE_VERSION_HH

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <numeric>
+
+#include "base/logging.hh"
 
 namespace swex
 {
@@ -157,13 +160,25 @@ parallelFor(std::size_t n, unsigned jobs,
 unsigned
 defaultJobs()
 {
-    if (const char *env = std::getenv("SWEX_JOBS")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    if (hw == 0)
+        hw = 1;
+    const char *env = std::getenv("SWEX_JOBS");
+    if (env == nullptr || *env == '\0')
+        return hw;
+    // Whole-string parse, same contract as the registry's getCount:
+    // "4x" must not silently run as 4, and a malformed value must say
+    // what it fell back to, not vanish into a default.
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || v < 1 ||
+        v > 1'000'000) {
+        warn("ignoring malformed $SWEX_JOBS='%s' (want a positive "
+             "integer); using hardware concurrency (%u)", env, hw);
+        return hw;
+    }
+    return static_cast<unsigned>(v);
 }
 
 } // namespace swex

@@ -11,6 +11,7 @@
 #include "base/logging.hh"
 #include "base/trace.hh"
 #include "core/home_controller.hh"
+#include "exp/cache/result_cache.hh"
 #include "exp/pool.hh"
 #include "machine/node.hh"
 #include "trace/recorder.hh"
@@ -193,6 +194,20 @@ Runner::findReplayTrace(const ExperimentSpec &spec, trace::Trace &out)
 RunRecord
 Runner::execute(const ExperimentSpec &spec) const
 {
+    // A warm result-cache cell short-circuits everything below — no
+    // app, no machine, no simulation. The probe comes before replay
+    // trace resolution on purpose: a cached record must be servable
+    // even when the trace directory is gone. A corrupt or stale entry
+    // reads as a miss (and is deleted), so the recompute below is the
+    // fallback path, not an error path. Record runs never probe: the
+    // caller asked for the trace-capture side effect, which a served
+    // record would silently skip.
+    if (_cache != nullptr && spec.execMode != ExecutionMode::Record) {
+        RunRecord cached;
+        if (_cache->lookup(spec, cached))
+            return cached;
+    }
+
     // Attribute any SWEX_TRACE output from this run (which may share
     // the sink with concurrent runs) to its spec.
     TraceRunScope trace_scope(spec.id);
@@ -373,6 +388,22 @@ Runner::execute(const ExperimentSpec &spec) const
             warn("replay %s: could not cache exact-config trace: %s",
                  spec.id.c_str(), err.c_str());
     }
+
+    // Store policy: only a direct-mode, completed, verified,
+    // violation-free record enters the cache, so a later hit serves
+    // exactly the bytes a direct run would emit. Replay results are
+    // bit-identical anyway but carry execMode "replay"/"replay-fast"
+    // in the document; caching them would leak the execution strategy
+    // into cache-served records. A store failure costs throughput,
+    // never correctness.
+    if (_cache != nullptr && spec.execMode == ExecutionMode::Direct &&
+        !record.failed() && record.verified &&
+        record.auditViolations == 0) {
+        std::string err;
+        if (!_cache->store(spec, record, err))
+            warn("cache %s: store failed: %s", spec.id.c_str(),
+                 err.c_str());
+    }
     return record;
 }
 
@@ -479,6 +510,17 @@ Runner::runAllReplay(const std::vector<ExperimentSpec> &specs,
     std::vector<std::size_t> first, second;
     for (std::size_t i = 0; i < work.size(); ++i) {
         ExperimentSpec &s = work[i];
+        // Result-cache-warm cells leave the record/replay economy
+        // entirely: run them "Direct" so execute()'s cache probe
+        // serves them from disk (or, if the entry turns out corrupt,
+        // falls back to a genuine direct run). They neither claim a
+        // recording slot nor need the trace — only the cold cells
+        // partition below.
+        if (_cache != nullptr && _cache->contains(s)) {
+            s.execMode = ExecutionMode::Direct;
+            first.push_back(i);
+            continue;
+        }
         if (!appIsPortable(s.app)) {
             s.execMode = ExecutionMode::Direct;
             first.push_back(i);

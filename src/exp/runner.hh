@@ -27,6 +27,11 @@
 namespace swex
 {
 
+namespace cache
+{
+class ResultCache;
+} // namespace cache
+
 class Runner
 {
   public:
@@ -104,6 +109,18 @@ class Runner
     static std::string findReplayTrace(const ExperimentSpec &spec,
                                        trace::Trace &out);
 
+    /**
+     * Consult @p cache (not owned; may be nullptr to detach) on every
+     * execute(): a warm cell is served straight from disk — no app,
+     * no machine, no simulation — and a direct-mode, completed,
+     * verified, violation-free result is stored back. Cache misses
+     * that recompute are indistinguishable from uncached runs, so a
+     * sweep's emitted document is byte-identical with the cache on,
+     * off, cold, or warm.
+     */
+    void attachCache(cache::ResultCache *cache) { _cache = cache; }
+    cache::ResultCache *attachedCache() const { return _cache; }
+
     RunLog &log() { return _log; }
     const RunLog &log() const { return _log; }
 
@@ -121,6 +138,7 @@ class Runner
     void enforce(const RunRecord &r) const;
 
     bool failFast;
+    cache::ResultCache *_cache = nullptr;
     RunLog _log;
 };
 

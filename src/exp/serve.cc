@@ -1,0 +1,690 @@
+#include "exp/serve.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/cache/result_cache.hh"
+#include "exp/pool.hh"
+#include "exp/runner.hh"
+
+namespace swex
+{
+namespace serve
+{
+
+namespace
+{
+
+/**
+ * A deliberately small JSON value + recursive-descent parser for the
+ * request lines. Strict: whole-line parse, duplicate-free objects are
+ * the client's responsibility, numbers keep their raw token so 64-bit
+ * seeds survive without a double round-trip. Errors are strings, not
+ * exceptions — a malformed request answers {"ok":false}, it never
+ * takes the server down.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Object, Array };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string raw;   ///< number token, or decoded string value
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> items;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+struct JsonParser
+{
+    const char *cur;
+    const char *end;
+    std::string err;
+
+    explicit JsonParser(const std::string &s)
+        : cur(s.data()), end(s.data() + s.size())
+    {}
+
+    void
+    ws()
+    {
+        while (cur < end && (*cur == ' ' || *cur == '\t' ||
+                             *cur == '\r' || *cur == '\n'))
+            ++cur;
+    }
+
+    bool
+    fail(const std::string &why)
+    {
+        if (err.empty())
+            err = why;
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (static_cast<std::size_t>(end - cur) < n ||
+            std::strncmp(cur, word, n) != 0)
+            return fail(std::string("expected '") + word + "'");
+        cur += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (cur >= end || *cur != '"')
+            return fail("expected string");
+        ++cur;
+        out.clear();
+        while (cur < end && *cur != '"') {
+            char c = *cur++;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (cur >= end)
+                return fail("dangling escape");
+            char e = *cur++;
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case 'r': out.push_back('\r'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                if (end - cur < 4)
+                    return fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *cur++;
+                    v <<= 4;
+                    if (h >= '0' && h <= '9') v |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // The request surface is ASCII identifiers; encode
+                // anything else as UTF-8 so round-trips stay lossless.
+                if (v < 0x80) {
+                    out.push_back(static_cast<char>(v));
+                } else if (v < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (v >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (v >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((v >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (cur >= end)
+            return fail("unterminated string");
+        ++cur;   // closing quote
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        ws();
+        if (cur >= end)
+            return fail("unexpected end of input");
+        char c = *cur;
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.raw);
+        }
+        if (c == '{') {
+            ++cur;
+            out.kind = JsonValue::Kind::Object;
+            ws();
+            if (cur < end && *cur == '}') { ++cur; return true; }
+            for (;;) {
+                ws();
+                std::string key;
+                if (!string(key))
+                    return false;
+                ws();
+                if (cur >= end || *cur != ':')
+                    return fail("expected ':'");
+                ++cur;
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.members.emplace_back(std::move(key), std::move(v));
+                ws();
+                if (cur < end && *cur == ',') { ++cur; continue; }
+                if (cur < end && *cur == '}') { ++cur; return true; }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++cur;
+            out.kind = JsonValue::Kind::Array;
+            ws();
+            if (cur < end && *cur == ']') { ++cur; return true; }
+            for (;;) {
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.items.push_back(std::move(v));
+                ws();
+                if (cur < end && *cur == ',') { ++cur; continue; }
+                if (cur < end && *cur == ']') { ++cur; return true; }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == 't') { out.kind = JsonValue::Kind::Bool;
+                        out.boolean = true; return literal("true"); }
+        if (c == 'f') { out.kind = JsonValue::Kind::Bool;
+                        out.boolean = false; return literal("false"); }
+        if (c == 'n') { out.kind = JsonValue::Kind::Null;
+                        return literal("null"); }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            out.kind = JsonValue::Kind::Number;
+            const char *start = cur;
+            if (*cur == '-')
+                ++cur;
+            while (cur < end &&
+                   ((*cur >= '0' && *cur <= '9') || *cur == '.' ||
+                    *cur == 'e' || *cur == 'E' || *cur == '+' ||
+                    *cur == '-'))
+                ++cur;
+            out.raw.assign(start, static_cast<std::size_t>(cur - start));
+            return true;
+        }
+        return fail("unexpected character");
+    }
+
+    bool
+    parseWhole(JsonValue &out)
+    {
+        if (!value(out))
+            return false;
+        ws();
+        if (cur != end)
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** A JSON number token as a u64, refusing signs/fractions/exponents
+ *  (seeds must survive exactly; doubles would round them). */
+bool
+numberAsU64(const JsonValue &v, std::uint64_t &out)
+{
+    if (v.kind != JsonValue::Kind::Number || v.raw.empty())
+        return false;
+    for (char c : v.raw)
+        if (c < '0' || c > '9')
+            return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long r = std::strtoull(v.raw.c_str(), &end, 10);
+    if (end != v.raw.c_str() + v.raw.size() || errno == ERANGE)
+        return false;
+    out = static_cast<std::uint64_t>(r);
+    return true;
+}
+
+bool
+parseSnoopProtocol(const std::string &s, SnoopProtocol &out)
+{
+    if (s == "mesi") { out = SnoopProtocol::Mesi; return true; }
+    if (s == "moesi") { out = SnoopProtocol::Moesi; return true; }
+    if (s == "mesif") { out = SnoopProtocol::Mesif; return true; }
+    if (s == "dragon") { out = SnoopProtocol::Dragon; return true; }
+    return false;
+}
+
+bool
+parseDirProtocol(const std::string &s, ProtocolConfig &out)
+{
+    if (s == "h0") { out = ProtocolConfig::h0(); return true; }
+    if (s == "h1ack") { out = ProtocolConfig::h1Ack(); return true; }
+    if (s == "h1lack") { out = ProtocolConfig::h1Lack(); return true; }
+    if (s == "h1") { out = ProtocolConfig::h1(); return true; }
+    if (s == "h2") { out = ProtocolConfig::hw(2); return true; }
+    if (s == "h3") { out = ProtocolConfig::hw(3); return true; }
+    if (s == "h4") { out = ProtocolConfig::hw(4); return true; }
+    if (s == "h5") { out = ProtocolConfig::hw(5); return true; }
+    if (s == "dir1sw") { out = ProtocolConfig::dir1sw(); return true; }
+    if (s == "full") { out = ProtocolConfig::fullMap(); return true; }
+    return false;
+}
+
+/**
+ * Build an ExperimentSpec from a "run" request object. The accepted
+ * fields mirror swex_cli's option surface (see serve.hh); unknown
+ * fields are errors so a typo'd knob can never silently run the
+ * default. @return "" on success, else the error message.
+ */
+std::string
+specFromJson(const JsonValue &req, ExperimentSpec &spec)
+{
+    spec = ExperimentSpec{};
+    spec.id = "serve";
+    spec.nodes = 16;
+    spec.victimEntries = 6;
+    std::string proto = "h5";
+    std::string bus;
+
+    auto u64Field = [](const JsonValue &v, const char *name,
+                       std::uint64_t lo, std::uint64_t hi,
+                       std::uint64_t &out) -> std::string {
+        if (!numberAsU64(v, out) || out < lo || out > hi)
+            return std::string("bad value for '") + name +
+                   "' (want an integer in range)";
+        return "";
+    };
+
+    for (const auto &[key, v] : req.members) {
+        std::string e;
+        std::uint64_t n = 0;
+        if (key == "op" || key == "tag" || key == "canonical") {
+            continue;   // envelope fields, handled by the caller
+        } else if (key == "id") {
+            if (v.kind != JsonValue::Kind::String)
+                return "bad value for 'id' (want a string)";
+            spec.id = v.raw;
+        } else if (key == "app") {
+            if (v.kind != JsonValue::Kind::String)
+                return "bad value for 'app' (want a string)";
+            spec.app = v.raw;
+        } else if (key == "params") {
+            if (v.kind != JsonValue::Kind::Object)
+                return "bad value for 'params' (want an object of "
+                       "string values)";
+            for (const auto &[pk, pv] : v.members) {
+                if (pv.kind == JsonValue::Kind::String)
+                    spec.params[pk] = pv.raw;
+                else if (pv.kind == JsonValue::Kind::Number)
+                    spec.params[pk] = pv.raw;
+                else
+                    return "bad value for params." + pk +
+                           " (want string or number)";
+            }
+        } else if (key == "protocol") {
+            if (v.kind != JsonValue::Kind::String)
+                return "bad value for 'protocol' (want a string)";
+            proto = v.raw;
+        } else if (key == "bus") {
+            if (v.kind != JsonValue::Kind::String)
+                return "bad value for 'bus' (want fifo or rr)";
+            bus = v.raw;
+        } else if (key == "profile") {
+            if (v.kind != JsonValue::Kind::String ||
+                (v.raw != "c" && v.raw != "asm"))
+                return "bad value for 'profile' (want c or asm)";
+            spec.profile = v.raw == "asm" ? HandlerProfile::TunedAsm
+                                          : HandlerProfile::FlexibleC;
+        } else if (key == "nodes") {
+            e = u64Field(v, "nodes", 1, maxNodes, n);
+            spec.nodes = static_cast<int>(n);
+        } else if (key == "victim") {
+            e = u64Field(v, "victim", 0, 4096, n);
+            spec.victimEntries = static_cast<unsigned>(n);
+        } else if (key == "seed") {
+            e = u64Field(v, "seed", 0, ~0ull, spec.seed);
+        } else if (key == "seq") {
+            if (v.kind != JsonValue::Kind::Bool)
+                return "bad value for 'seq' (want a bool)";
+            spec.sequential = v.boolean;
+        } else if (key == "audit") {
+            if (v.kind != JsonValue::Kind::Bool)
+                return "bad value for 'audit' (want a bool)";
+            spec.audit = v.boolean;
+        } else if (key == "track_sharing") {
+            if (v.kind != JsonValue::Kind::Bool)
+                return "bad value for 'track_sharing' (want a bool)";
+            spec.trackSharing = v.boolean;
+        } else if (key == "jitter") {
+            e = u64Field(v, "jitter", 0, 1u << 20, n);
+            spec.jitterMax = static_cast<Cycles>(n);
+        } else if (key == "jitter_seed") {
+            e = u64Field(v, "jitter_seed", 0, ~0ull, spec.jitterSeed);
+        } else if (key == "fault_drop") {
+            e = u64Field(v, "fault_drop", 0, 1000, n);
+            spec.faultDropPerMille = static_cast<unsigned>(n);
+        } else if (key == "fault_dup") {
+            e = u64Field(v, "fault_dup", 0, 1000, n);
+            spec.faultDupPerMille = static_cast<unsigned>(n);
+        } else if (key == "fault_blackout") {
+            e = u64Field(v, "fault_blackout", 0, 1000, n);
+            spec.faultBlackoutPerMille = static_cast<unsigned>(n);
+        } else if (key == "fault_seed") {
+            e = u64Field(v, "fault_seed", 0, ~0ull, spec.faultSeed);
+        } else if (key == "deadline") {
+            e = u64Field(v, "deadline", 0, ~0ull, n);
+            spec.deadline = static_cast<Tick>(n);
+        } else {
+            return "unknown field '" + key + "'";
+        }
+        if (!e.empty())
+            return e;
+    }
+
+    if (!AppRegistry::instance().contains(spec.app))
+        return "unknown app '" + spec.app + "'";
+
+    SnoopProtocol sp{};
+    if (parseSnoopProtocol(proto, sp)) {
+        spec.machineModel = MachineModel::Snoop;
+        spec.snoopProtocol = sp;
+        if (spec.jitterMax != 0 || spec.faultDropPerMille != 0 ||
+            spec.faultDupPerMille != 0 ||
+            spec.faultBlackoutPerMille != 0)
+            return "the snooping bus models no network: drop "
+                   "jitter/fault fields";
+    } else if (!parseDirProtocol(proto, spec.protocol)) {
+        return "unknown protocol '" + proto + "'";
+    }
+    if (!bus.empty()) {
+        if (spec.machineModel != MachineModel::Snoop)
+            return "'bus' applies to snooping protocols only";
+        if (bus == "fifo")
+            spec.busArbitration = BusArbitration::Fifo;
+        else if (bus == "rr")
+            spec.busArbitration = BusArbitration::RoundRobin;
+        else
+            return "bad value for 'bus' (want fifo or rr)";
+    }
+    // Fault injection can legitimately livelock; same guard as the
+    // CLI, so a served cell and a CLI cell with equal knobs key (and
+    // run) identically.
+    const bool faults_on = spec.faultDropPerMille != 0 ||
+                           spec.faultDupPerMille != 0 ||
+                           spec.faultBlackoutPerMille != 0;
+    if (faults_on && spec.deadline == 0)
+        spec.deadline = 50'000'000;
+    return "";
+}
+
+/** One connected client: line reader + locked line writer. */
+struct Connection
+{
+    int fd;
+    std::mutex writeMutex;
+    std::string inbuf;
+
+    explicit Connection(int fd_) : fd(fd_) {}
+
+    /** Next full line (without the '\n'); false on EOF/error. */
+    bool
+    readLine(std::string &line)
+    {
+        for (;;) {
+            std::size_t nl = inbuf.find('\n');
+            if (nl != std::string::npos) {
+                line = inbuf.substr(0, nl);
+                inbuf.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                return true;
+            }
+            char buf[4096];
+            ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                return false;
+            }
+            inbuf.append(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    /** Send one response line. A dead client is not an error — the
+     *  remaining scheduled runs still complete (and fill the cache). */
+    void
+    sendLine(const std::string &line)
+    {
+        std::unique_lock<std::mutex> hold(writeMutex);
+        std::string out = line;
+        out.push_back('\n');
+        std::size_t off = 0;
+        while (off < out.size()) {
+            ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+    }
+};
+
+std::string
+errorLine(const std::string &tag, const std::string &msg)
+{
+    std::string out = "{\"ok\":false";
+    if (!tag.empty())
+        out += ",\"tag\":\"" + jsonEscape(tag) + "\"";
+    out += ",\"error\":\"" + jsonEscape(msg) + "\"}";
+    return out;
+}
+
+} // anonymous namespace
+
+int
+serveLoop(const ServeConfig &cfg)
+{
+    if (cfg.socketPath.empty()) {
+        std::fprintf(stderr, "serve: no socket path\n");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg.socketPath.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "serve: socket path too long (%zu >= "
+                     "%zu)\n", cfg.socketPath.size(),
+                     sizeof(addr.sun_path));
+        return 1;
+    }
+    std::memcpy(addr.sun_path, cfg.socketPath.c_str(),
+                cfg.socketPath.size() + 1);
+
+    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+        std::perror("serve: socket");
+        return 1;
+    }
+    ::unlink(cfg.socketPath.c_str());   // replace a stale socket file
+    if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        std::perror("serve: bind");
+        ::close(listener);
+        return 1;
+    }
+    if (::listen(listener, 8) != 0) {
+        std::perror("serve: listen");
+        ::close(listener);
+        return 1;
+    }
+
+    std::unique_ptr<cache::ResultCache> cache;
+    if (!cfg.cacheDir.empty())
+        cache = std::make_unique<cache::ResultCache>(cfg.cacheDir);
+    Runner runner(/*fail_fast=*/false);
+    runner.attachCache(cache.get());
+
+    // Responses carry canonical record JSON when the environment asks
+    // for canonical documents, or per request via "canonical":true.
+    const bool canonical_default =
+        std::getenv(RunLog::canonicalEnvVar) != nullptr;
+
+    ThreadPool pool(cfg.jobs == 0 ? 1 : cfg.jobs);
+    std::atomic<std::uint64_t> requests{0};
+    bool stop = false;
+
+    while (!stop) {
+        int cfd = ::accept(listener, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        Connection conn(cfd);
+        std::string line;
+        while (!stop && conn.readLine(line)) {
+            if (line.empty())
+                continue;
+            requests.fetch_add(1, std::memory_order_relaxed);
+
+            JsonValue req;
+            JsonParser p(line);
+            if (!p.parseWhole(req) ||
+                req.kind != JsonValue::Kind::Object) {
+                conn.sendLine(errorLine(
+                    "", p.err.empty() ? "request is not a JSON object"
+                                      : p.err));
+                continue;
+            }
+            std::string tag;
+            if (const JsonValue *t = req.find("tag"))
+                tag = t->kind == JsonValue::Kind::String ? t->raw
+                                                         : t->raw;
+            const JsonValue *opv = req.find("op");
+            std::string op =
+                opv != nullptr && opv->kind == JsonValue::Kind::String
+                    ? opv->raw : "";
+
+            if (op == "shutdown") {
+                // Drain scheduled runs first so every accepted "run"
+                // gets its response before the socket goes away.
+                pool.wait();
+                conn.sendLine("{\"ok\":true,\"shutdown\":true}");
+                stop = true;
+                break;
+            }
+            if (op == "stats") {
+                cache::ResultCache::Counters c;
+                if (cache)
+                    c = cache->counters();
+                std::ostringstream os;
+                os << "{\"ok\":true,\"stats\":{\"requests\":"
+                   << requests.load(std::memory_order_relaxed)
+                   << ",\"cache\":" << (cache ? "true" : "false")
+                   << ",\"hits\":" << c.hits
+                   << ",\"misses\":" << c.misses
+                   << ",\"stores\":" << c.stores
+                   << ",\"corrupt\":" << c.corrupt
+                   << ",\"stale\":" << c.stale << "}}";
+                conn.sendLine(os.str());
+                continue;
+            }
+            if (op != "run") {
+                conn.sendLine(errorLine(
+                    tag, op.empty()
+                             ? "missing 'op' (want run|stats|shutdown)"
+                             : "unknown op '" + op + "'"));
+                continue;
+            }
+
+            ExperimentSpec spec;
+            std::string err = specFromJson(req, spec);
+            if (!err.empty()) {
+                conn.sendLine(errorLine(tag, err));
+                continue;
+            }
+            bool canonical = canonical_default;
+            if (const JsonValue *cv = req.find("canonical"))
+                canonical = cv->kind == JsonValue::Kind::Bool &&
+                            cv->boolean;
+
+            // Hot or cold, the op runs on the pool: a hit is just a
+            // task that returns in microseconds, and the response
+            // streams back whenever it lands. execute() itself does
+            // the cache probe (and the store on a miss), so the serve
+            // path and the CLI path share one cache discipline.
+            pool.submit([&runner, &conn, &cache, spec = std::move(spec),
+                         tag = std::move(tag), canonical] {
+                const char *source =
+                    cache && cache->contains(spec) ? "cache" : "sim";
+                RunRecord rec = runner.execute(spec);
+                std::ostringstream os;
+                os << "{\"ok\":true";
+                if (!tag.empty())
+                    os << ",\"tag\":\"" << jsonEscape(tag) << "\"";
+                os << ",\"source\":\"" << source << "\",\"record\":";
+                rec.writeJson(os, canonical);
+                os << "}";
+                conn.sendLine(os.str());
+            });
+        }
+        // The client hung up (or asked for shutdown): drain the pool
+        // before closing so no task writes into a destroyed
+        // Connection.
+        pool.wait();
+        ::close(cfd);
+    }
+
+    ::close(listener);
+    ::unlink(cfg.socketPath.c_str());
+    return 0;
+}
+
+} // namespace serve
+} // namespace swex

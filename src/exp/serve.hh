@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The experiment-serving front end behind `swex_cli --serve`: a local
+ * Unix-domain stream socket speaking line-delimited JSON. Each
+ * request line is one op; each response is one line. Hot cells are
+ * served straight from the result cache (exp/cache/); cold cells are
+ * scheduled on the experiment thread pool and their responses stream
+ * back as the simulations land — a client that submits a sweep's
+ * worth of "run" lines gets cache hits immediately and misses in
+ * completion order, tagged so it can reassemble the grid.
+ *
+ * Protocol (one JSON object per line, both directions):
+ *
+ *   {"op":"run","app":"worker","protocol":"h5","nodes":16,
+ *    "tag":"fig4/W16/H5"}
+ *     -> {"ok":true,"tag":"fig4/W16/H5","source":"cache"|"sim",
+ *         "record":{...swex-run-v1 record...}}
+ *   {"op":"stats"}
+ *     -> {"ok":true,"stats":{"requests":N,"hits":...,"misses":...,
+ *         "stores":...,"corrupt":...,"stale":...}}
+ *   {"op":"shutdown"}
+ *     -> {"ok":true,"shutdown":true}   (server exits afterwards)
+ *
+ * A malformed line or unknown field answers
+ * {"ok":false,"tag":...,"error":"..."} and never takes the server
+ * down. "run" accepts the swex_cli option surface by name: id, app,
+ * params, protocol, bus, profile, nodes, victim, seed, seq, audit,
+ * track_sharing, jitter, jitter_seed, fault_drop, fault_dup,
+ * fault_blackout, fault_seed, deadline, canonical.
+ */
+
+#ifndef SWEX_EXP_SERVE_HH
+#define SWEX_EXP_SERVE_HH
+
+#include <string>
+
+namespace swex
+{
+namespace serve
+{
+
+struct ServeConfig
+{
+    /** Path of the Unix-domain socket to listen on (required). A
+     *  stale socket file at the path is replaced. */
+    std::string socketPath;
+
+    /** Result-cache directory; "" serves without a cache (every run
+     *  simulates). */
+    std::string cacheDir;
+
+    /** Concurrent cold-cell simulations (cache hits never queue). */
+    unsigned jobs = 1;
+};
+
+/**
+ * Bind, listen, and serve until a client sends {"op":"shutdown"}.
+ * Connections are accepted one at a time; run ops within a
+ * connection execute concurrently (up to cfg.jobs) and respond in
+ * completion order. @return a process exit code (0 = clean
+ * shutdown op; 1 = socket setup failure, with the reason on stderr).
+ */
+int serveLoop(const ServeConfig &cfg);
+
+} // namespace serve
+} // namespace swex
+
+#endif // SWEX_EXP_SERVE_HH

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "base/atomic_file.hh"
 #include "core/directory.hh"
 #include "machine/machine.hh"
 
@@ -135,37 +136,15 @@ Trace::save(const std::string &path, std::string &err) const
         payload_fnv = fnv1a(payload_fnv, s.bytes.data(),
                             s.bytes.size());
 
-    // Write to a temp name and rename, so concurrent sweep workers
-    // recording the same key never observe a half-written trace.
-    std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
-        err = "cannot open " + tmp + " for writing";
-        return false;
-    }
-    bool ok = std::fwrite(header.data(), 1, header.size(), f) ==
-              header.size();
-    for (const auto &s : streams) {
-        ok = ok && (s.bytes.empty() ||
-                    std::fwrite(s.bytes.data(), 1, s.bytes.size(),
-                                f) == s.bytes.size());
-    }
-    std::uint8_t tail[8];
-    for (int i = 0; i < 8; ++i)
-        tail[i] = static_cast<std::uint8_t>(payload_fnv >> (8 * i));
-    ok = ok && std::fwrite(tail, 1, 8, f) == 8;
-    ok = (std::fclose(f) == 0) && ok;
-    if (!ok) {
-        err = "short write to " + tmp;
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        err = "cannot rename " + tmp + " to " + path;
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    // Assemble the whole container and hand it to the atomic writer:
+    // a uniquely named temp sibling plus rename, so concurrent sweep
+    // workers recording the same key never observe (or produce) a
+    // half-written trace.
+    std::vector<std::uint8_t> blob = std::move(header);
+    for (const auto &s : streams)
+        blob.insert(blob.end(), s.bytes.begin(), s.bytes.end());
+    putU64(blob, payload_fnv);
+    return atomicWriteFile(path, blob, err);
 }
 
 bool

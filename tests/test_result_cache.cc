@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the content-addressed result cache: the swex-rec-v1
+ * container survives concurrent same-key stores, a hit serves the
+ * byte-identical canonical document a direct run emits, invalidation
+ * is component-scoped (a directory bump leaves snoop cells warm),
+ * corrupt entries fall back to recompute-and-replace, and the warm
+ * path is --jobs invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "exp/cache/code_version.hh"
+#include "exp/cache/record_io.hh"
+#include "exp/cache/result_cache.hh"
+#include "exp/runner.hh"
+
+using namespace swex;
+
+namespace
+{
+
+/** Fresh scratch directory under gtest's temp root. */
+std::string
+scratchDir(const std::string &tag)
+{
+    std::string tmpl = ::testing::TempDir() + "swexcache-" + tag +
+                       "-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *d = mkdtemp(buf.data());
+    EXPECT_NE(d, nullptr);
+    return d != nullptr ? d : ".";
+}
+
+/** A small directory-machine WORKER cell. */
+ExperimentSpec
+workerSpec(const std::string &id)
+{
+    return ExperimentSpec{.id = id,
+                          .app = "worker",
+                          .params = {{"wss", "3"}, {"iterations", "2"}},
+                          .protocol = ProtocolConfig::hw(5),
+                          .nodes = 8,
+                          .victimEntries = 6};
+}
+
+/** A snooping-bus cell over a sharing microbenchmark. */
+ExperimentSpec
+snoopSpec(const std::string &id)
+{
+    ExperimentSpec s{.id = id,
+                     .app = "falseshare",
+                     .params = AppRegistry::instance()
+                                   .entry("falseshare").smokeParams,
+                     .nodes = 4,
+                     .victimEntries = 6};
+    s.machineModel = MachineModel::Snoop;
+    s.snoopProtocol = SnoopProtocol::Mesi;
+    return s;
+}
+
+std::string
+canonicalJson(const RunRecord &r)
+{
+    std::ostringstream os;
+    r.writeJson(os, /*canonical=*/true);
+    return os.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<std::uint8_t> raw;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        raw.insert(raw.end(), buf, buf + n);
+    std::fclose(f);
+    return raw;
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &raw)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(raw.data(), 1, raw.size(), f), raw.size());
+    std::fclose(f);
+}
+
+} // anonymous namespace
+
+// The headline-bug regression at the cache layer: many writers
+// racing the same entry path. Unique-temp + rename means the file at
+// the path is always one writer's complete output — never a torn
+// interleaving — so it must load with a passing checksum after every
+// racing store.
+TEST(RecordIo, ConcurrentSameKeyStoresLeaveACompleteEntry)
+{
+    setQuiet(true);
+    const std::string path = scratchDir("race") + "/entry.swexrec";
+    constexpr std::uint64_t specKey = 0x1234;
+    constexpr std::uint64_t codeFp = 0x5678;
+    constexpr int writers = 8;
+    constexpr int rounds = 20;
+
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    for (int t = 0; t < writers; ++t) {
+        threads.emplace_back([&, t] {
+            RunRecord r;
+            r.id = "race/" + std::to_string(t);
+            r.app = "worker";
+            r.protocol = "HW5";
+            r.nodes = 8;
+            r.verified = true;
+            r.simCycles = 1000 + t;
+            r.imageHash = 0xabcd0000 + t;
+            // Vary the payload size per writer so a torn mix of two
+            // writers cannot accidentally parse.
+            r.stallSummary = std::string(16 * (t + 1), 'x');
+            for (int i = 0; i < rounds; ++i) {
+                std::string err;
+                ASSERT_TRUE(cache::saveRecord(path, r, specKey,
+                                              codeFp, err)) << err;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    RunRecord out;
+    std::string err;
+    ASSERT_EQ(cache::loadRecord(path, out, specKey, codeFp, err),
+              cache::LoadStatus::Ok) << err;
+    // The surviving entry is exactly one writer's record.
+    ASSERT_GE(out.simCycles, 1000u);
+    ASSERT_LT(out.simCycles, 1000u + writers);
+    const auto t = out.simCycles - 1000;
+    EXPECT_EQ(out.id, "race/" + std::to_string(t));
+    EXPECT_EQ(out.imageHash, 0xabcd0000 + t);
+    EXPECT_EQ(out.stallSummary.size(), 16 * (t + 1));
+}
+
+TEST(ResultCache, MissThenStoreThenByteIdenticalHit)
+{
+    setQuiet(true);
+    cache::ResultCache rcache(scratchDir("roundtrip"));
+
+    Runner cold;
+    cold.attachCache(&rcache);
+    const RunRecord direct = cold.execute(workerSpec("cache/rt"));
+    ASSERT_TRUE(direct.verified);
+
+    auto c = rcache.counters();
+    EXPECT_EQ(c.hits, 0u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.stores, 1u);
+    EXPECT_TRUE(fileExists(rcache.entryPath(workerSpec("cache/rt"))));
+
+    Runner warm;
+    warm.attachCache(&rcache);
+    const RunRecord served = warm.execute(workerSpec("cache/rt"));
+
+    c = rcache.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(canonicalJson(served), canonicalJson(direct));
+
+    // A different cell is a different key: no false hit.
+    ExperimentSpec other = workerSpec("cache/rt");
+    other.params["wss"] = "4";
+    EXPECT_NE(cache::ResultCache::specKey(other),
+              cache::ResultCache::specKey(workerSpec("cache/rt")));
+    EXPECT_FALSE(rcache.contains(other));
+}
+
+TEST(ResultCache, InvalidationIsComponentScoped)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("invalidate");
+
+    const ExperimentSpec dirCell = workerSpec("cache/dir");
+    const ExperimentSpec busCell = snoopSpec("cache/bus");
+
+    {
+        cache::ResultCache rcache(dir);
+        Runner runner;
+        runner.attachCache(&rcache);
+        ASSERT_TRUE(runner.execute(dirCell).verified);
+        ASSERT_TRUE(runner.execute(busCell).verified);
+        ASSERT_EQ(rcache.counters().stores, 2u);
+    }
+
+    // Bump the directory component: the directory cell must go cold
+    // (stale, deleted) while the snoop cell stays warm.
+    cache::CodeVersions bumped;
+    bumped.directory += 1;
+    cache::ResultCache rcache(dir, bumped);
+
+    RunRecord out;
+    EXPECT_TRUE(rcache.lookup(busCell, out));
+    EXPECT_FALSE(rcache.lookup(dirCell, out));
+    auto c = rcache.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.stale, 1u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_FALSE(fileExists(rcache.entryPath(dirCell)));
+
+    // The epoch is a whole-cache master switch: under a bumped epoch
+    // even the surviving snoop entry reads stale.
+    cache::CodeVersions epoch;
+    epoch.epoch = 99;
+    cache::ResultCache swept(dir, epoch);
+    EXPECT_FALSE(swept.lookup(busCell, out));
+    EXPECT_EQ(swept.counters().stale, 1u);
+}
+
+TEST(ResultCache, CorruptEntryFallsBackToRecompute)
+{
+    setQuiet(true);
+    cache::ResultCache rcache(scratchDir("corrupt"));
+    const ExperimentSpec spec = workerSpec("cache/corrupt");
+
+    Runner runner;
+    runner.attachCache(&rcache);
+    const RunRecord direct = runner.execute(spec);
+    ASSERT_TRUE(direct.verified);
+
+    // Flip one payload byte: the whole-file checksum must catch it.
+    const std::string path = rcache.entryPath(spec);
+    auto raw = slurp(path);
+    ASSERT_GT(raw.size(), 64u);
+    raw[raw.size() / 2] ^= 0xff;
+    spit(path, raw);
+
+    RunRecord out;
+    EXPECT_FALSE(rcache.lookup(spec, out));
+    auto c = rcache.counters();
+    EXPECT_EQ(c.corrupt, 1u);
+    EXPECT_FALSE(fileExists(path)) << "corrupt entry not deleted";
+
+    // The Runner's transparent fallback: recompute, re-store, and the
+    // replacement serves the same bytes as the original direct run.
+    const RunRecord recomputed = runner.execute(spec);
+    EXPECT_EQ(canonicalJson(recomputed), canonicalJson(direct));
+    const RunRecord served = runner.execute(spec);
+    EXPECT_EQ(canonicalJson(served), canonicalJson(direct));
+    c = rcache.counters();
+    EXPECT_EQ(c.stores, 2u);
+    EXPECT_EQ(c.hits, 1u);
+
+    // Truncation is equally fatal: cut the stored entry short.
+    auto whole = slurp(path);
+    ASSERT_GT(whole.size(), 40u);
+    whole.resize(40);
+    spit(path, whole);
+    EXPECT_FALSE(rcache.lookup(spec, out));
+    EXPECT_EQ(rcache.counters().corrupt, 2u);
+}
+
+TEST(ResultCache, WarmSweepIsJobsInvariant)
+{
+    setQuiet(true);
+    cache::ResultCache rcache(scratchDir("jobs"));
+
+    std::vector<ExperimentSpec> specs;
+    for (int wss : {2, 3, 4, 5}) {
+        ExperimentSpec s = workerSpec("cache/jobs/w" +
+                                      std::to_string(wss));
+        s.params["wss"] = std::to_string(wss);
+        specs.push_back(std::move(s));
+    }
+
+    // Cold at full parallelism, warm serially: per-cell canonical
+    // documents must match, so a cached re-sweep can never depend on
+    // the --jobs level that populated the cache.
+    Runner cold;
+    cold.attachCache(&rcache);
+    const auto coldRecs = cold.runAll(specs, 4);
+
+    Runner warm;
+    warm.attachCache(&rcache);
+    const auto warmRecs = warm.runAll(specs, 1);
+
+    ASSERT_EQ(coldRecs.size(), specs.size());
+    ASSERT_EQ(warmRecs.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(canonicalJson(*warmRecs[i]),
+                  canonicalJson(*coldRecs[i])) << specs[i].id;
+
+    auto c = rcache.counters();
+    EXPECT_EQ(c.stores, specs.size());
+    EXPECT_EQ(c.hits, specs.size());
+}

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/runner.hh"
@@ -160,6 +161,50 @@ TEST(TraceFormat, SaveLoadRoundTrips)
     EXPECT_EQ(back.streams[0].bytes, t.streams[0].bytes);
     EXPECT_EQ(back.streams[0].ops, t.streams[0].ops);
     EXPECT_EQ(back.streams[1].bytes, t.streams[1].bytes);
+}
+
+// Regression for the torn-write bug: Trace::save used a fixed
+// "<path>.tmp" staging name, so two writers racing the same trace
+// path could interleave their writes in one temp file and rename a
+// torn hybrid into place. With unique per-writer temp names the file
+// at the path is always some writer's complete save — every racing
+// round must leave a trace that loads with passing checksums.
+TEST(TraceFormat, ConcurrentSameKeySavesLeaveALoadableFile)
+{
+    std::string dir = scratchDir("saverace");
+    std::string path = dir + "/t.swextrace";
+    constexpr int writers = 8;
+    constexpr int rounds = 20;
+
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    for (int t = 0; t < writers; ++t) {
+        threads.emplace_back([&, t] {
+            trace::Trace mine = sampleTrace();
+            // Distinct per-writer sizes, so a torn interleaving of
+            // two writers cannot masquerade as either one.
+            mine.meta.seed = 1000 + t;
+            mine.meta.params += ";pad=" + std::string(64 * (t + 1),
+                                                      'p');
+            for (int i = 0; i < rounds; ++i) {
+                std::string err;
+                ASSERT_TRUE(mine.save(path, err)) << err;
+                trace::Trace back;
+                ASSERT_TRUE(trace::Trace::load(path, back, err))
+                    << err;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    trace::Trace back;
+    std::string err;
+    ASSERT_TRUE(trace::Trace::load(path, back, err)) << err;
+    const auto t = back.meta.seed - 1000;
+    ASSERT_LT(t, static_cast<std::uint64_t>(writers));
+    EXPECT_NE(back.meta.params.find(std::string(64 * (t + 1), 'p')),
+              std::string::npos);
 }
 
 TEST(TraceFormat, MissingFileIsAStructuredError)

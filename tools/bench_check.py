@@ -22,6 +22,14 @@ recording config and under a different protocol via the portable
 trace — and requires bit-identical sim_cycles and image_hash against
 direct execution.
 
+With --cache-equiv the positional binary is swex_cli; the script runs
+the same experiment direct, cold-cache, and warm-cache and requires
+the canonical swex-run-v1 documents to be byte-identical, checks that
+a $SWEX_CACHE_EPOCH bump invalidates (and transparently recomputes)
+the entry, then starts `swex_cli --serve` on a scratch Unix socket
+and requires the served record to equal the direct run's, with the
+stats op accounting the hit.
+
 All validators reject unknown schema versions outright. Exits
 non-zero on any malformed or missing output, so CI catches a broken
 reporting layer before anyone trusts a checked-in artifact.
@@ -309,6 +317,134 @@ def check_replay_equiv(binary, tmp):
     return checks
 
 
+def canonical_doc(binary, args, json_path, extra_env=None):
+    """Run swex_cli with canonical $SWEX_RUN_JSON output and return
+    the document bytes (the byte-identity currency of --cache-equiv)."""
+    env = dict(os.environ, SWEX_RUN_JSON=json_path,
+               SWEX_RUN_CANONICAL="1")
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.run(
+        [binary, *args], env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"FAIL: {binary} {' '.join(args)} exited with "
+                 f"{proc.returncode}:\n{proc.stdout}")
+    with open(json_path, "rb") as f:
+        return f.read()
+
+
+def check_cache_equiv(binary, tmp):
+    """Direct, cold-cache, and warm-cache runs must emit byte-identical
+    canonical documents; the serve front end must hand back the same
+    record over the socket."""
+    import socket
+    import time
+
+    cache_dir = os.path.join(tmp, "cache")
+    spec = ["--app", "worker", "--nodes", "8", "--protocol", "h5",
+            "--wss", "4", "--iters", "2"]
+    checks = 0
+
+    direct = canonical_doc(binary, spec,
+                           os.path.join(tmp, "direct.json"))
+    cold = canonical_doc(binary, spec + ["--cache-dir", cache_dir],
+                         os.path.join(tmp, "cold.json"))
+    warm = canonical_doc(binary, spec + ["--cache-dir", cache_dir],
+                         os.path.join(tmp, "warm.json"))
+    if cold != direct:
+        sys.exit("FAIL: cold-cache document differs from direct")
+    if warm != direct:
+        sys.exit("FAIL: warm-cache document differs from direct")
+    entries = [f for f in os.listdir(cache_dir)
+               if f.endswith(".swexrec")]
+    if len(entries) != 1:
+        sys.exit(f"FAIL: expected 1 cache entry, found {entries}")
+    print(f"OK: direct/cold/warm canonical documents byte-identical "
+          f"({len(direct)} bytes, entry {entries[0]})")
+    checks += 3
+
+    # Serve round-trip: the record streamed over the socket must equal
+    # the record in the direct document, served from the cache.
+    sock_path = os.path.join(tmp, "serve.sock")
+    srv = subprocess.Popen(
+        [binary, "--serve", sock_path, "--cache-dir", cache_dir,
+         "--jobs", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        for _ in range(200):
+            if os.path.exists(sock_path):
+                break
+            time.sleep(0.05)
+        else:
+            sys.exit("FAIL: --serve never created its socket")
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.connect(sock_path)
+        f = conn.makefile("rw")
+
+        def rpc(obj):
+            f.write(json.dumps(obj) + "\n")
+            f.flush()
+            line = f.readline()
+            if not line:
+                sys.exit("FAIL: serve connection closed mid-request")
+            return json.loads(line)
+
+        # The direct run's spec, by name (id included: it is part of
+        # the record and therefore of the cache key).
+        resp = rpc({"op": "run", "id": "cli", "app": "worker",
+                    "nodes": 8, "protocol": "h5",
+                    "params": {"wss": "4", "iterations": "2"},
+                    "tag": "equiv", "canonical": True})
+        if not resp.get("ok"):
+            sys.exit(f"FAIL: serve run failed: {resp.get('error')!r}")
+        if resp.get("source") != "cache":
+            sys.exit(f"FAIL: serve source {resp.get('source')!r}, "
+                     f"expected 'cache'")
+        direct_rec = json.loads(direct)["records"][0]
+        if resp.get("record") != direct_rec:
+            sys.exit("FAIL: served record differs from the direct "
+                     "run's record")
+        stats = rpc({"op": "stats"})
+        if not stats.get("ok") or \
+                stats.get("stats", {}).get("hits", 0) < 1:
+            sys.exit(f"FAIL: serve stats did not account the hit: "
+                     f"{stats!r}")
+        down = rpc({"op": "shutdown"})
+        if not down.get("ok"):
+            sys.exit(f"FAIL: shutdown op failed: {down!r}")
+        f.close()
+        conn.close()
+        if srv.wait(timeout=30) != 0:
+            sys.exit(f"FAIL: serve exited with {srv.returncode}")
+        print("OK: serve round-trip record identical, hit accounted, "
+              "clean shutdown")
+        checks += 3
+    finally:
+        if srv.poll() is None:
+            srv.kill()
+            srv.wait()
+    # An epoch bump must go cold (stale entry replaced) and still
+    # produce the identical document — invalidation changes cost,
+    # never results.
+    bumped = canonical_doc(binary, spec + ["--cache-dir", cache_dir],
+                           os.path.join(tmp, "bumped.json"),
+                           extra_env={"SWEX_CACHE_EPOCH": "7"})
+    if bumped != direct:
+        sys.exit("FAIL: post-invalidation document differs from "
+                 "direct")
+    entries = [f for f in os.listdir(cache_dir)
+               if f.endswith(".swexrec")]
+    if len(entries) != 1:
+        sys.exit(f"FAIL: epoch bump left {len(entries)} entries "
+                 f"(stale entry not replaced)")
+    print("OK: $SWEX_CACHE_EPOCH bump recomputes to the identical "
+          "document")
+    checks += 1
+
+    return checks
+
+
 def run_cli(binary, tmp):
     """One tiny WORKER experiment; --json and $SWEX_RUN_JSON must
     both carry the same schema-valid document."""
@@ -364,10 +500,16 @@ def main():
     ap.add_argument("--replay-equiv", action="store_true",
                     help="validate swex-trace-v1 files and "
                          "direct-vs-replay bit-identity via swex_cli")
+    ap.add_argument("--cache-equiv", action="store_true",
+                    help="validate result-cache and serve byte-"
+                         "identity via swex_cli")
     args = ap.parse_args()
 
     with tempfile.TemporaryDirectory() as tmp:
-        if args.replay_equiv:
+        if args.cache_equiv:
+            n = check_cache_equiv(args.binary, tmp)
+            print(f"OK: {n} cache equivalence checks passed")
+        elif args.replay_equiv:
             n = check_replay_equiv(args.binary, tmp)
             print(f"OK: {n} replay equivalence checks passed")
         elif args.cli:

@@ -9,7 +9,10 @@
 # its op streams and replays them on a fresh machine, digests must
 # match), the snooping machine-model grid (stress_snoop: 4 bus
 # protocols x 2 arbitration disciplines over the sharing
-# microbenchmarks, auditor attached), and the --jobs + replay + snoop
+# microbenchmarks, auditor attached), the content-addressed result
+# cache leg (stress_cache: cold store then warm re-sweep against one
+# scratch cache, so concurrent entry stores and the lock-free counters
+# race under TSan), and the --jobs + replay + snoop + cache
 # determinism gate (sweep_determinism); SWEX_DET_SEEDS keeps the
 # gates' seed counts small enough for sanitized binaries.
 # Usage:

@@ -30,6 +30,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "audit/auditor.hh"
 #include "base/logging.hh"
 #include "core/spectrum.hh"
+#include "exp/cache/result_cache.hh"
 #include "exp/pool.hh"
 #include "exp/spec.hh"
 #include "machine/machine.hh"
@@ -58,6 +60,7 @@ struct Options
     Cycles jitterMax = 37;
     unsigned jobs = 1;
     bool replay = false;       ///< record, replay, digest the replay
+    std::string cacheDir;      ///< result cache; "" = every cell runs
     std::string family = "directory";   ///< directory|snoop|all
     std::string onlyApp;       ///< empty = all stress apps
     std::string onlyProtocol;  ///< empty = full grid
@@ -404,6 +407,44 @@ stressRun(const StressApp &sa, const GridPoint &pt,
     return r;
 }
 
+/**
+ * The declarative spec of one adversarial grid cell, mirroring the
+ * knobs stressRun() applies — the result-cache key for --cache. A
+ * warm cell's stored (cycles, image) pair feeds the summaries and
+ * the grid digest exactly as a fresh run's would, so warm, cold, and
+ * cache-off sweeps print the same digest bit for bit.
+ */
+ExperimentSpec
+cellSpec(const StressApp &sa, const GridPoint &pt, const Options &opt,
+         std::uint64_t seed)
+{
+    ExperimentSpec spec;
+    spec.id = strfmt("stress/%s/%s/s%llu", sa.name.c_str(),
+                     pt.label.c_str(),
+                     static_cast<unsigned long long>(seed));
+    spec.app = sa.name;
+    spec.params = sa.params;
+    spec.nodes = opt.nodes;
+    spec.victimEntries = 6;
+    spec.audit = true;
+    if (pt.snoop) {
+        spec.machineModel = MachineModel::Snoop;
+        spec.snoopProtocol = pt.sp;
+        spec.busArbitration = pt.arb;
+        spec.params["jitter"] = std::to_string(seed);
+    } else {
+        spec.protocol = pt.dir;
+        spec.jitterMax = opt.jitterMax;
+        spec.jitterSeed = seed;
+        spec.faultDropPerMille = opt.drop;
+        spec.faultDupPerMille = opt.dup;
+        spec.faultBlackoutPerMille = opt.blackout;
+        spec.faultSeed = seed;
+        spec.deadline = opt.deadline;
+    }
+    return spec;
+}
+
 /** Quiet full-map run: the reference memory image for this app. */
 std::uint64_t
 referenceImage(const StressApp &sa, const Options &opt)
@@ -436,6 +477,10 @@ usage()
         "  --replay          record each cell's op streams, replay "
         "them on a fresh machine, and digest the replay run; the "
         "grid digest must match a direct sweep bit for bit\n"
+        "  --cache <dir>     content-addressed result cache: warm "
+        "cells serve their stored (cycles, image) without running; "
+        "cold cells run as usual and store back. The grid digest is "
+        "identical warm, cold, or with the cache off\n"
         "  --family <f>      directory|snoop|all: which machine-model\n"
         "                    grid to sweep (default directory; snoop\n"
         "                    = 4 protocols x 2 bus disciplines over\n"
@@ -482,6 +527,8 @@ main(int argc, char **argv)
                 parseLong(a, next(), 1, 256));
         else if (a == "--replay")
             opt.replay = true;
+        else if (a == "--cache")
+            opt.cacheDir = next();
         else if (a == "--family") {
             opt.family = next();
             if (opt.family != "directory" && opt.family != "snoop" &&
@@ -566,6 +613,14 @@ main(int argc, char **argv)
     if (opt.family == "snoop" || opt.family == "all")
         addFamily(snoopStressApps(), snoopPoints());
 
+    // --cache: grid cells become content-addressed. Only passing runs
+    // are stored (a failure must re-run and re-diagnose every sweep),
+    // so a hit is always a pass and carries the direct run's exact
+    // (cycles, image) pair into the digest.
+    std::unique_ptr<cache::ResultCache> rcache;
+    if (!opt.cacheDir.empty())
+        rcache = std::make_unique<cache::ResultCache>(opt.cacheDir);
+
     auto t0 = std::chrono::steady_clock::now();
     std::vector<RunResult> results(jobs.size());
     parallelFor(jobs.size(), opt.jobs, [&](std::size_t i) {
@@ -573,8 +628,34 @@ main(int argc, char **argv)
         const Pair &p = pairs[j.pair];
         const std::uint64_t *expect =
             apps[p.app].imageStable ? &references[p.app] : nullptr;
+        ExperimentSpec spec;
+        if (rcache) {
+            spec = cellSpec(apps[p.app], p.pt, opt, j.seed);
+            RunRecord rec;
+            if (rcache->lookup(spec, rec)) {
+                results[i].ok = true;
+                results[i].cycles = rec.simCycles;
+                results[i].image = rec.imageHash;
+                return;
+            }
+        }
         results[i] = stressRun(apps[p.app], p.pt, opt, j.seed,
                                /*adversarial=*/true, expect);
+        if (rcache && results[i].ok) {
+            RunRecord rec;
+            rec.id = spec.id;
+            rec.app = spec.app;
+            rec.protocol = p.pt.label;
+            rec.machineModel = p.pt.snoop ? "snoop" : "directory";
+            rec.nodes = opt.nodes;
+            rec.verified = true;
+            rec.simCycles = results[i].cycles;
+            rec.imageHash = results[i].image;
+            std::string err;
+            if (!rcache->store(spec, rec, err))
+                std::fprintf(stderr, "cache store %s: %s\n",
+                             spec.id.c_str(), err.c_str());
+        }
     });
     double wall = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
@@ -612,6 +693,16 @@ main(int argc, char **argv)
     std::printf("grid digest %016llx (%d runs, --jobs %u, %.2fs)\n",
                 static_cast<unsigned long long>(digest), runs,
                 opt.jobs, wall);
+    if (rcache) {
+        cache::ResultCache::Counters c = rcache->counters();
+        std::printf("cache: %llu hits, %llu misses, %llu stores "
+                    "(%llu corrupt, %llu stale)\n",
+                    static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.misses),
+                    static_cast<unsigned long long>(c.stores),
+                    static_cast<unsigned long long>(c.corrupt),
+                    static_cast<unsigned long long>(c.stale));
+    }
     if (failed > 0) {
         std::fprintf(stderr,
                      "stress_protocols: %d of %d runs FAILED\n",

@@ -24,6 +24,13 @@
 # 4 protocols x 2 bus disciplines over the sharing microbenchmarks)
 # the same way: the digest must not depend on --jobs.
 # SWEX_DET_SNOOP=0 skips it.
+#
+# A fifth leg gates the content-addressed result cache: the grid runs
+# twice against one scratch cache directory — cold (every cell
+# simulates and stores) and warm (every cell served from disk) — and
+# both digests must equal the direct digest bit for bit. A cache that
+# changes a published number is worse than no cache.
+# SWEX_DET_CACHE=0 skips it.
 set -eu
 
 if [ "$#" -lt 1 ]; then
@@ -98,4 +105,28 @@ if [ "${SWEX_DET_SNOOP:-1}" != "0" ]; then
         exit 1
     fi
     echo "OK: snoop digests identical"
+fi
+
+if [ "${SWEX_DET_CACHE:-1}" != "0" ]; then
+    echo "== cache equivalence: cold store, then warm re-sweep"
+    cache_dir=$(mktemp -d)
+    trap 'rm -rf "${cache_dir}"' EXIT
+    cold=$("${stress}" --app worker --seeds "${seeds}" \
+           --jobs "${jobs}" --cache "${cache_dir}" "$@" \
+           | extract_digest)
+    warm=$("${stress}" --app worker --seeds "${seeds}" \
+           --jobs "${jobs}" --cache "${cache_dir}" "$@" \
+           | extract_digest)
+    if [ -z "${cold}" ] || [ -z "${warm}" ]; then
+        echo "error: no grid digest line in --cache output" >&2
+        exit 1
+    fi
+    echo "   cold: ${cold}"
+    echo "   warm: ${warm}"
+    if [ "${cold}" != "${par}" ] || [ "${warm}" != "${par}" ]; then
+        echo "FAIL: cached grid digest differs from direct" \
+             "(cold ${cold}, warm ${warm}, direct ${par})" >&2
+        exit 1
+    fi
+    echo "OK: cold and warm cached digests identical to direct"
 fi

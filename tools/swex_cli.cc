@@ -21,13 +21,16 @@
 #include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "base/logging.hh"
 #include "core/spectrum.hh"
+#include "exp/cache/result_cache.hh"
 #include "exp/runner.hh"
+#include "exp/serve.hh"
 
 using namespace swex;
 
@@ -144,6 +147,16 @@ usage()
         "                     replays every cell from it\n"
         "  --trace-dir <path> trace cache directory (default\n"
         "                     $SWEX_TRACE_CACHE)\n"
+        "  --cache-dir <path> content-addressed result cache: warm\n"
+        "                     cells are served from disk instead of\n"
+        "                     simulated, and finished direct runs are\n"
+        "                     stored back (default $SWEX_RESULT_CACHE;\n"
+        "                     records are byte-identical either way)\n"
+        "  --serve <socket>   serve experiments over a Unix socket\n"
+        "                     speaking line-delimited JSON: cache hits\n"
+        "                     answer immediately, misses run on --jobs\n"
+        "                     workers and stream back as they land\n"
+        "                     (ops: run, stats, shutdown)\n"
         "  --seq              also run the sequential reference and\n"
         "                     report speedup\n"
         "  --stats            dump the full statistics tree\n"
@@ -313,6 +326,8 @@ main(int argc, char **argv)
     int sweep_seeds = 1;
     unsigned jobs = 1;
     std::string json_path;
+    std::string cache_dir;
+    std::string serve_socket;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -357,6 +372,8 @@ main(int argc, char **argv)
         else if (a == "--record") want_record = true;
         else if (a == "--replay") want_replay = true;
         else if (a == "--trace-dir") spec.traceDir = next();
+        else if (a == "--cache-dir") cache_dir = next();
+        else if (a == "--serve") serve_socket = next();
         else if (a == "--sweep") want_sweep = true;
         else if (a == "--seeds")
             sweep_seeds = parseCount(a, next(), 1, 1'000'000);
@@ -375,6 +392,18 @@ main(int argc, char **argv)
             usage();
             return a == "--help" || a == "-h" ? 0 : 1;
         }
+    }
+
+    // --serve is its own front end: the spec comes per request over
+    // the socket, so every other positional knob is ignored. Only
+    // --jobs (worker pool size) and --cache-dir travel with it.
+    if (!serve_socket.empty()) {
+        setQuiet(true);
+        serve::ServeConfig scfg;
+        scfg.socketPath = serve_socket;
+        scfg.cacheDir = cache::resolveCacheDir(cache_dir);
+        scfg.jobs = jobs;
+        return serve::serveLoop(scfg);
     }
 
     SnoopProtocol snoop_proto{};
@@ -464,6 +493,18 @@ main(int argc, char **argv)
 
     setQuiet(true);
 
+    // The content-addressed result cache (tentpole of the sweep
+    // tier): warm cells skip simulation, finished direct cells are
+    // stored back. The emitted records are byte-identical with the
+    // cache on, off, cold, or warm — it only changes how fast they
+    // arrive.
+    std::unique_ptr<cache::ResultCache> result_cache;
+    {
+        std::string cdir = cache::resolveCacheDir(cache_dir);
+        if (!cdir.empty())
+            result_cache = std::make_unique<cache::ResultCache>(cdir);
+    }
+
     if (want_sweep) {
         // Grid: every spectrum point x sweep_seeds jitter seeds, run
         // through Runner::runAll. Records land in the log in spec
@@ -504,6 +545,7 @@ main(int argc, char **argv)
         // portable trace key records one cell, every other cell
         // replays it; non-portable apps fall back to direct cells.
         Runner runner(/*fail_fast=*/false);
+        runner.attachCache(result_cache.get());
         std::vector<RunRecord *> recs =
             want_replay || want_record
                 ? runner.runAllReplay(specs, jobs, spec.traceDir)
@@ -583,6 +625,7 @@ main(int argc, char **argv)
     }
 
     Runner runner(/*fail_fast=*/false);
+    runner.attachCache(result_cache.get());
     RunRecord &r = runner.run(spec);
     if (want_stats)
         std::cout << r.statsText;
