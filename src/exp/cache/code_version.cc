@@ -47,7 +47,12 @@ envEpoch()
 CodeVersions
 CodeVersions::current()
 {
+    const GeneratedFingerprints &fp = generatedFingerprints();
     CodeVersions v;
+    v.core = fp.core;
+    v.apps = fp.apps;
+    v.directory = fp.directory;
+    v.snoop = fp.snoop;
     v.epoch = envEpoch();
     return v;
 }

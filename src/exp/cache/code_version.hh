@@ -2,12 +2,14 @@
  * @file
  * The code-version half of the experiment-cache key. A cached
  * swex-run-v1 record is only as good as the code that produced it, so
- * every cache entry is fingerprinted with the version of each code
- * component that could change its bytes. The invalidation path is
- * deliberately manual and component-scoped: touch the directory
- * protocol stack, bump `directoryVersion`, and every directory cell
- * goes cold while the snooping-bus cells stay warm (and vice versa) —
- * exactly the incremental re-sweep the cache exists for.
+ * every cache entry is fingerprinted with a hash of each code
+ * component that could change its bytes. The fingerprints are derived
+ * automatically at build time (gen_code_fingerprint.cmake hashes each
+ * component's sources into a generated translation unit), so touching
+ * the directory protocol stack and rebuilding sends every directory
+ * cell cold while the snooping-bus cells stay warm — exactly the
+ * incremental re-sweep the cache exists for, with no hand-bumped
+ * version constant anywhere.
  *
  * Components:
  *  - core: the simulation substrate every run shares (event kernel,
@@ -40,17 +42,33 @@ struct ExperimentSpec;
 namespace cache
 {
 
-/** Per-component code versions. Bump the constant for the component
- *  you touched; only cells that exercised it go cold. */
+/**
+ * The build-time component fingerprints, emitted by
+ * gen_code_fingerprint.cmake into a generated translation unit: a
+ * 64-bit hash over each component's source files (sorted relative
+ * path + content hash), recomputed whenever any of them changes.
+ */
+struct GeneratedFingerprints
+{
+    std::uint64_t core;
+    std::uint64_t apps;
+    std::uint64_t directory;
+    std::uint64_t snoop;
+};
+const GeneratedFingerprints &generatedFingerprints();
+
+/** Per-component code versions: normally the build-time source
+ *  hashes (CodeVersions::current()); tests construct perturbed values
+ *  to exercise component-scoped invalidation. */
 struct CodeVersions
 {
-    std::uint32_t core = 1;        ///< sim kernel, machine, mem, net
-    std::uint32_t apps = 1;        ///< workload kernels + registry
-    std::uint32_t directory = 1;   ///< directory protocol stack
-    std::uint32_t snoop = 1;       ///< snooping bus backend
+    std::uint64_t core = 1;        ///< sim kernel, machine, mem, net
+    std::uint64_t apps = 1;        ///< workload kernels + registry
+    std::uint64_t directory = 1;   ///< directory protocol stack
+    std::uint64_t snoop = 1;       ///< snooping bus backend
     std::uint64_t epoch = 0;       ///< $SWEX_CACHE_EPOCH at startup
 
-    /** The compiled-in versions plus the environment epoch. */
+    /** The build-derived fingerprints plus the environment epoch. */
     static CodeVersions current();
 };
 

@@ -192,8 +192,11 @@ Runner::findReplayTrace(const ExperimentSpec &spec, trace::Trace &out)
 }
 
 RunRecord
-Runner::execute(const ExperimentSpec &spec) const
+Runner::execute(const ExperimentSpec &spec, ExecSource *source) const
 {
+    if (source != nullptr)
+        *source = ExecSource::Sim;
+
     // A warm result-cache cell short-circuits everything below — no
     // app, no machine, no simulation. The probe comes before replay
     // trace resolution on purpose: a cached record must be servable
@@ -204,8 +207,11 @@ Runner::execute(const ExperimentSpec &spec) const
     // record would silently skip.
     if (_cache != nullptr && spec.execMode != ExecutionMode::Record) {
         RunRecord cached;
-        if (_cache->lookup(spec, cached))
+        if (_cache->lookup(spec, cached)) {
+            if (source != nullptr)
+                *source = ExecSource::Cache;
             return cached;
+        }
     }
 
     // Attribute any SWEX_TRACE output from this run (which may share

@@ -36,6 +36,18 @@ class Runner
 {
   public:
     /**
+     * Where an execute() result actually came from — reported by the
+     * execution itself, so callers (e.g. the serve front end) never
+     * have to guess with a contains() probe that can race a
+     * concurrent store or eviction.
+     */
+    enum class ExecSource
+    {
+        Sim,    ///< computed by simulation (cache off, miss, or Record)
+        Cache,  ///< served verbatim from the attached result cache
+    };
+
+    /**
      * @param fail_fast fatal() as soon as an app fails its own
      * verification (benches want this; swex_cli reports instead).
      */
@@ -73,8 +85,13 @@ class Runner
      * Execute one spec to a standalone record without touching the
      * log or enforcing fail-fast. Thread-safe: concurrent calls on
      * distinct specs share nothing but the (locked) app registry.
+     * When @p source is non-null it receives the authoritative
+     * provenance of the returned record (cache hit vs simulated) —
+     * decided by the lookup that actually served it, not by a
+     * separate racy existence probe.
      */
-    RunRecord execute(const ExperimentSpec &spec) const;
+    RunRecord execute(const ExperimentSpec &spec,
+                      ExecSource *source = nullptr) const;
 
     /**
      * Record-once, replay-everywhere sweep. Specs whose app the

@@ -1,5 +1,7 @@
 #include "exp/serve.hh"
 
+#include <algorithm>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -13,6 +15,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -30,11 +33,12 @@ namespace
 
 /**
  * A deliberately small JSON value + recursive-descent parser for the
- * request lines. Strict: whole-line parse, duplicate-free objects are
- * the client's responsibility, numbers keep their raw token so 64-bit
- * seeds survive without a double round-trip. Errors are strings, not
- * exceptions — a malformed request answers {"ok":false}, it never
- * takes the server down.
+ * request lines. Strict: whole-line parse, duplicate object keys are
+ * rejected (a request that says "nodes" twice is ambiguous, and
+ * silently taking either occurrence would run the wrong cell),
+ * numbers keep their raw token so 64-bit seeds survive without a
+ * double round-trip. Errors are strings, not exceptions — a malformed
+ * request answers {"ok":false}, it never takes the server down.
  */
 struct JsonValue
 {
@@ -185,6 +189,8 @@ struct JsonParser
                 JsonValue v;
                 if (!value(v))
                     return false;
+                if (out.find(key) != nullptr)
+                    return fail("duplicate key '" + key + "'");
                 out.members.emplace_back(std::move(key), std::move(v));
                 ws();
                 if (cur < end && *cur == ',') { ++cur; continue; }
@@ -267,6 +273,53 @@ jsonEscape(const std::string &s)
         }
     }
     return out;
+}
+
+/** Re-render a parsed value as JSON — used to echo a rejected tag
+ *  back verbatim (whatever its type), so the client can correlate the
+ *  error with the request that caused it. */
+void
+renderJson(const JsonValue &v, std::string &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number:
+        out += v.raw;
+        break;
+      case JsonValue::Kind::String:
+        out += "\"" + jsonEscape(v.raw) + "\"";
+        break;
+      case JsonValue::Kind::Object: {
+        out += "{";
+        bool first = true;
+        for (const auto &[k, m] : v.members) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\"" + jsonEscape(k) + "\":";
+            renderJson(m, out);
+        }
+        out += "}";
+        break;
+      }
+      case JsonValue::Kind::Array: {
+        out += "[";
+        bool first = true;
+        for (const JsonValue &i : v.items) {
+            if (!first)
+                out += ",";
+            first = false;
+            renderJson(i, out);
+        }
+        out += "]";
+        break;
+      }
+    }
 }
 
 /** A JSON number token as a u64, refusing signs/fractions/exponents
@@ -461,7 +514,18 @@ specFromJson(const JsonValue &req, ExperimentSpec &spec)
     return "";
 }
 
-/** One connected client: line reader + locked line writer. */
+/** Reject request lines past this size — a runaway (or adversarial)
+ *  client must not grow the server's buffer without bound. Generous:
+ *  a maximal run request is a few hundred bytes. */
+constexpr std::size_t maxRequestLine = 1u << 20;
+
+/**
+ * One connected client: line reader + locked line writer. Owned by
+ * shared_ptr — the reader thread holds one reference and every pool
+ * task responding to this client holds another, so the fd outlives
+ * the last in-flight response no matter when the client hangs up.
+ * The destructor (last reference dropped) closes the fd.
+ */
 struct Connection
 {
     int fd;
@@ -469,9 +533,19 @@ struct Connection
     std::string inbuf;
 
     explicit Connection(int fd_) : fd(fd_) {}
+    ~Connection() { ::close(fd); }
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
 
-    /** Next full line (without the '\n'); false on EOF/error. */
-    bool
+    enum class ReadStatus
+    {
+        Line,       ///< @p line holds the next request line
+        Eof,        ///< clean hang-up (or SHUT_RD during shutdown)
+        Overflow,   ///< line exceeded maxRequestLine; drop the client
+    };
+
+    /** Next full line (without the '\n'). */
+    ReadStatus
     readLine(std::string &line)
     {
         for (;;) {
@@ -481,14 +555,16 @@ struct Connection
                 inbuf.erase(0, nl + 1);
                 if (!line.empty() && line.back() == '\r')
                     line.pop_back();
-                return true;
+                return ReadStatus::Line;
             }
+            if (inbuf.size() > maxRequestLine)
+                return ReadStatus::Overflow;
             char buf[4096];
             ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
             if (n <= 0) {
                 if (n < 0 && errno == EINTR)
                     continue;
-                return false;
+                return ReadStatus::Eof;
             }
             inbuf.append(buf, static_cast<std::size_t>(n));
         }
@@ -516,14 +592,381 @@ struct Connection
     }
 };
 
+/** @p tag_json is a pre-rendered JSON value ("" = no tag), so error
+ *  responses can echo a tag of any type verbatim. */
 std::string
-errorLine(const std::string &tag, const std::string &msg)
+errorLine(const std::string &tag_json, const std::string &msg)
 {
     std::string out = "{\"ok\":false";
-    if (!tag.empty())
-        out += ",\"tag\":\"" + jsonEscape(tag) + "\"";
+    if (!tag_json.empty())
+        out += ",\"tag\":" + tag_json;
     out += ",\"error\":\"" + jsonEscape(msg) + "\"}";
     return out;
+}
+
+} // anonymous namespace
+
+namespace
+{
+
+/** Server-side sweeps stop here: a grid this large belongs in a
+ *  driver that can checkpoint, not in one request line. */
+constexpr std::size_t maxSweepCells = 4096;
+
+/**
+ * Everything the per-connection reader threads share. The pool is the
+ * single execution queue — every run or sweep cell from every client
+ * lands on it, so cfg.jobs bounds concurrent simulations globally,
+ * not per client.
+ */
+struct ServerState
+{
+    std::unique_ptr<cache::ResultCache> cache;
+    Runner runner{/*fail_fast=*/false};
+    ThreadPool pool;
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<bool> stopping{false};
+    bool canonicalDefault = false;
+    int wakeWrite = -1;   ///< pipe end that unblocks the accept loop
+
+    std::mutex connMutex;
+    std::vector<std::weak_ptr<Connection>> conns;
+
+    explicit ServerState(unsigned jobs) : pool(jobs) {}
+
+    /** Track @p c for the shutdown broadcast. If shutdown already
+     *  started, the new connection is wound down immediately — this
+     *  check under the same mutex closes the accept-vs-shutdown race
+     *  (a reader the broadcast missed would hang the final join). */
+    void
+    registerConn(const std::shared_ptr<Connection> &c)
+    {
+        std::lock_guard<std::mutex> hold(connMutex);
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const std::weak_ptr<Connection> &w) {
+                                       return w.expired();
+                                   }),
+                    conns.end());
+        conns.push_back(c);
+        if (stopping.load(std::memory_order_acquire))
+            ::shutdown(c->fd, SHUT_RD);
+    }
+
+    /** Begin global shutdown: every connected client's read side is
+     *  closed, so every reader thread drains its buffered requests
+     *  and exits. Write sides stay open — in-flight responses still
+     *  deliver. */
+    void
+    beginShutdown()
+    {
+        std::lock_guard<std::mutex> hold(connMutex);
+        stopping.store(true, std::memory_order_release);
+        for (const auto &w : conns)
+            if (std::shared_ptr<Connection> c = w.lock())
+                ::shutdown(c->fd, SHUT_RD);
+    }
+
+    /** Unblock the accept loop's poll() so it can observe stopping. */
+    void
+    wakeAccept()
+    {
+        char b = 0;
+        ssize_t r = ::write(wakeWrite, &b, 1);
+        (void)r;   // pipe full means a wake-up is already pending
+    }
+};
+
+/**
+ * Execute @p spec and format its response line. @p extra is a
+ * pre-rendered fragment spliced into the envelope (sweep cell
+ * coordinates); "" for plain runs, so a sweep cell's "record" value
+ * stays byte-identical to the same cell requested as a single run.
+ */
+std::string
+runResponse(const Runner &runner, const ExperimentSpec &spec,
+            const std::string &tag_json, const std::string &extra,
+            bool canonical)
+{
+    Runner::ExecSource src = Runner::ExecSource::Sim;
+    RunRecord rec = runner.execute(spec, &src);
+    std::ostringstream os;
+    os << "{\"ok\":true";
+    if (!tag_json.empty())
+        os << ",\"tag\":" << tag_json;
+    os << extra;
+    os << ",\"source\":\""
+       << (src == Runner::ExecSource::Cache ? "cache" : "sim")
+       << "\",\"record\":";
+    rec.writeJson(os, canonical);
+    os << "}";
+    return os.str();
+}
+
+/** A sweep request expanded to per-cell specs, every one validated
+ *  before anything runs. */
+struct SweepPlan
+{
+    std::vector<ExperimentSpec> specs;
+    std::vector<std::string> extras;   ///< ,"cell":K,"of":N,"cell_key":...
+};
+
+/**
+ * Expand a "sweep" request: the base fields describe one run, and
+ * each "grid" entry (a request field name, or "params.<key>", mapped
+ * to a non-empty array of scalar values) becomes an axis. Cells
+ * enumerate row-major in grid key order with the last axis fastest.
+ * All-or-nothing: every cell must validate or the whole sweep is
+ * rejected with the offending cell named. @return "" on success.
+ */
+std::string
+planSweep(const JsonValue &req, SweepPlan &plan)
+{
+    const JsonValue *gv = req.find("grid");
+    if (gv == nullptr || gv->kind != JsonValue::Kind::Object)
+        return "sweep needs a 'grid' object";
+    if (gv->members.empty())
+        return "'grid' must name at least one field";
+
+    JsonValue base;
+    base.kind = JsonValue::Kind::Object;
+    for (const auto &[k, v] : req.members)
+        if (k != "grid" && k != "op" && k != "tag" && k != "canonical")
+            base.members.emplace_back(k, v);
+
+    std::size_t cells = 1;
+    for (const auto &[k, axis] : gv->members) {
+        if (axis.kind != JsonValue::Kind::Array || axis.items.empty())
+            return "grid." + k + " must be a non-empty array";
+        for (const JsonValue &e : axis.items)
+            if (e.kind == JsonValue::Kind::Object ||
+                e.kind == JsonValue::Kind::Array)
+                return "grid." + k + " values must be scalars";
+        if (k.rfind("params.", 0) == 0) {
+            const std::string sub = k.substr(7);
+            if (sub.empty())
+                return "bad grid key '" + k + "'";
+            const JsonValue *p = base.find("params");
+            if (p != nullptr && p->find(sub) != nullptr)
+                return "grid key '" + k + "' duplicates a base field";
+        } else {
+            if (k == "op" || k == "tag" || k == "canonical" ||
+                k == "grid" || k == "params")
+                return "grid key '" + k + "' is not sweepable";
+            if (base.find(k) != nullptr)
+                return "grid key '" + k + "' duplicates a base field";
+        }
+        cells *= axis.items.size();
+        if (cells > maxSweepCells)
+            return "sweep too large (more than " +
+                   std::to_string(maxSweepCells) + " cells)";
+    }
+
+    const auto &axes = gv->members;
+    for (std::size_t c = 0; c < cells; ++c) {
+        std::vector<std::size_t> idx(axes.size());
+        std::size_t rem = c;
+        for (std::size_t a = axes.size(); a-- > 0;) {
+            idx[a] = rem % axes[a].second.items.size();
+            rem /= axes[a].second.items.size();
+        }
+
+        JsonValue cell_req = base;
+        std::string cell_key;
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            const std::string &k = axes[a].first;
+            const JsonValue &val = axes[a].second.items[idx[a]];
+            if (!cell_key.empty())
+                cell_key += " ";
+            cell_key += k + "=";
+            if (val.kind == JsonValue::Kind::String)
+                cell_key += val.raw;
+            else
+                renderJson(val, cell_key);
+            if (k.rfind("params.", 0) == 0) {
+                JsonValue *params = nullptr;
+                for (auto &[bk, bv] : cell_req.members)
+                    if (bk == "params")
+                        params = &bv;
+                if (params == nullptr) {
+                    JsonValue obj;
+                    obj.kind = JsonValue::Kind::Object;
+                    cell_req.members.emplace_back("params",
+                                                  std::move(obj));
+                    params = &cell_req.members.back().second;
+                }
+                params->members.emplace_back(k.substr(7), val);
+            } else {
+                cell_req.members.emplace_back(k, val);
+            }
+        }
+
+        ExperimentSpec spec;
+        std::string err = specFromJson(cell_req, spec);
+        if (!err.empty())
+            return "sweep cell " + std::to_string(c) + " (" +
+                   cell_key + "): " + err;
+
+        std::ostringstream ex;
+        ex << ",\"cell\":" << c << ",\"of\":" << cells
+           << ",\"cell_key\":\"" << jsonEscape(cell_key) << "\"";
+        plan.specs.push_back(std::move(spec));
+        plan.extras.push_back(ex.str());
+    }
+    return "";
+}
+
+/**
+ * One client's request loop, run on its own reader thread. Every
+ * response-producing task captures the Connection shared_ptr, so a
+ * client that hangs up mid-sweep costs nothing but wasted sends: its
+ * remaining cells still execute (and fill the cache), their sends
+ * fail quietly on the closed-by-peer fd, and the fd itself lives
+ * until the last task drops its reference. No global drain on
+ * hang-up — other clients' requests keep flowing.
+ */
+void
+handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
+{
+    std::string line;
+    for (;;) {
+        Connection::ReadStatus rs = conn->readLine(line);
+        if (rs == Connection::ReadStatus::Eof)
+            break;
+        if (rs == Connection::ReadStatus::Overflow) {
+            conn->sendLine(errorLine("", "request line too long"));
+            break;
+        }
+        if (line.empty())
+            continue;
+        srv.requests.fetch_add(1, std::memory_order_relaxed);
+
+        JsonValue req;
+        JsonParser p(line);
+        if (!p.parseWhole(req) || req.kind != JsonValue::Kind::Object) {
+            conn->sendLine(errorLine(
+                "", p.err.empty() ? "request is not a JSON object"
+                                  : p.err));
+            continue;
+        }
+
+        // The tag is echo currency: it must be a string (records and
+        // errors quote it), but a rejected tag is still echoed —
+        // rendered as whatever JSON it was — so the client can match
+        // the error to the request that earned it.
+        std::string tag_json;
+        if (const JsonValue *t = req.find("tag")) {
+            if (t->kind != JsonValue::Kind::String) {
+                std::string echo;
+                renderJson(*t, echo);
+                conn->sendLine(errorLine(
+                    echo, "bad value for 'tag' (want a string)"));
+                continue;
+            }
+            tag_json = "\"" + jsonEscape(t->raw) + "\"";
+        }
+
+        const JsonValue *opv = req.find("op");
+        std::string op =
+            opv != nullptr && opv->kind == JsonValue::Kind::String
+                ? opv->raw : "";
+
+        if (op == "shutdown") {
+            // Global drain: close every client's read side, then wait
+            // out the pool, so every request accepted before this
+            // point has its response on the wire (or at least its
+            // send attempted) before the acknowledgment below.
+            srv.beginShutdown();
+            srv.pool.wait();
+            std::string out = "{\"ok\":true";
+            if (!tag_json.empty())
+                out += ",\"tag\":" + tag_json;
+            out += ",\"shutdown\":true}";
+            conn->sendLine(out);
+            srv.wakeAccept();
+            break;
+        }
+        if (op == "stats") {
+            cache::ResultCache::Counters c;
+            if (srv.cache)
+                c = srv.cache->counters();
+            std::ostringstream os;
+            os << "{\"ok\":true,\"stats\":{\"requests\":"
+               << srv.requests.load(std::memory_order_relaxed)
+               << ",\"cache\":" << (srv.cache ? "true" : "false")
+               << ",\"hits\":" << c.hits
+               << ",\"misses\":" << c.misses
+               << ",\"stores\":" << c.stores
+               << ",\"corrupt\":" << c.corrupt
+               << ",\"stale\":" << c.stale
+               << ",\"evictions\":" << c.evictions << "}}";
+            conn->sendLine(os.str());
+            continue;
+        }
+
+        bool canonical = srv.canonicalDefault;
+        if (const JsonValue *cv = req.find("canonical"))
+            canonical = cv->kind == JsonValue::Kind::Bool &&
+                        cv->boolean;
+
+        if (op == "run") {
+            ExperimentSpec spec;
+            std::string err = specFromJson(req, spec);
+            if (!err.empty()) {
+                conn->sendLine(errorLine(tag_json, err));
+                continue;
+            }
+            // Hot or cold, the op runs on the pool: a hit is just a
+            // task that returns in microseconds, and the response
+            // streams back whenever it lands. execute() itself does
+            // the cache probe (and the store on a miss) and reports
+            // which side served, so the serve path and the CLI path
+            // share one cache discipline.
+            srv.pool.submit([&srv, conn, spec = std::move(spec),
+                             tag_json, canonical] {
+                conn->sendLine(runResponse(srv.runner, spec, tag_json,
+                                           "", canonical));
+            });
+            continue;
+        }
+        if (op == "sweep") {
+            SweepPlan plan;
+            std::string err = planSweep(req, plan);
+            if (!err.empty()) {
+                conn->sendLine(errorLine(tag_json, err));
+                continue;
+            }
+            const std::size_t n = plan.specs.size();
+            auto done = std::make_shared<std::atomic<std::size_t>>(0);
+            for (std::size_t i = 0; i < n; ++i) {
+                srv.pool.submit([&srv, conn,
+                                 spec = std::move(plan.specs[i]),
+                                 extra = std::move(plan.extras[i]),
+                                 tag_json, canonical, done, n] {
+                    conn->sendLine(runResponse(srv.runner, spec,
+                                               tag_json, extra,
+                                               canonical));
+                    // The task that lands last sends the completion
+                    // line — cells stream in completion order, so
+                    // "last scheduled" and "last done" differ.
+                    if (done->fetch_add(1,
+                            std::memory_order_acq_rel) + 1 == n) {
+                        std::string out = "{\"ok\":true";
+                        if (!tag_json.empty())
+                            out += ",\"tag\":" + tag_json;
+                        out += ",\"sweep_done\":true,\"cells\":" +
+                               std::to_string(n) + "}";
+                        conn->sendLine(out);
+                    }
+                });
+            }
+            continue;
+        }
+
+        conn->sendLine(errorLine(
+            tag_json,
+            op.empty() ? "missing 'op' (want run|sweep|stats|shutdown)"
+                       : "unknown op '" + op + "'"));
+    }
 }
 
 } // anonymous namespace
@@ -564,123 +1007,67 @@ serveLoop(const ServeConfig &cfg)
         return 1;
     }
 
-    std::unique_ptr<cache::ResultCache> cache;
-    if (!cfg.cacheDir.empty())
-        cache = std::make_unique<cache::ResultCache>(cfg.cacheDir);
-    Runner runner(/*fail_fast=*/false);
-    runner.attachCache(cache.get());
+    int wake[2];
+    if (::pipe(wake) != 0) {
+        std::perror("serve: pipe");
+        ::close(listener);
+        return 1;
+    }
 
+    ServerState srv(cfg.jobs == 0 ? 1 : cfg.jobs);
+    srv.wakeWrite = wake[1];
+    if (!cfg.cacheDir.empty()) {
+        cache::ResultCache::Budget budget;
+        budget.maxBytes = cfg.cacheMaxBytes;
+        budget.maxEntries = cfg.cacheMaxEntries;
+        srv.cache = std::make_unique<cache::ResultCache>(
+            cfg.cacheDir, cache::CodeVersions::current(), budget);
+    }
+    srv.runner.attachCache(srv.cache.get());
     // Responses carry canonical record JSON when the environment asks
     // for canonical documents, or per request via "canonical":true.
-    const bool canonical_default =
+    srv.canonicalDefault =
         std::getenv(RunLog::canonicalEnvVar) != nullptr;
 
-    ThreadPool pool(cfg.jobs == 0 ? 1 : cfg.jobs);
-    std::atomic<std::uint64_t> requests{0};
-    bool stop = false;
-
-    while (!stop) {
+    // One reader thread per connection; the wake pipe unblocks
+    // poll() when a reader initiates shutdown, since no further
+    // connection may ever arrive to do it.
+    std::vector<std::thread> readers;
+    while (!srv.stopping.load(std::memory_order_acquire)) {
+        pollfd fds[2] = {{listener, POLLIN, 0}, {wake[0], POLLIN, 0}};
+        int pr = ::poll(fds, 2, -1);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (srv.stopping.load(std::memory_order_acquire))
+            break;
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
         int cfd = ::accept(listener, nullptr, nullptr);
         if (cfd < 0) {
             if (errno == EINTR)
                 continue;
             break;
         }
-        Connection conn(cfd);
-        std::string line;
-        while (!stop && conn.readLine(line)) {
-            if (line.empty())
-                continue;
-            requests.fetch_add(1, std::memory_order_relaxed);
-
-            JsonValue req;
-            JsonParser p(line);
-            if (!p.parseWhole(req) ||
-                req.kind != JsonValue::Kind::Object) {
-                conn.sendLine(errorLine(
-                    "", p.err.empty() ? "request is not a JSON object"
-                                      : p.err));
-                continue;
-            }
-            std::string tag;
-            if (const JsonValue *t = req.find("tag"))
-                tag = t->kind == JsonValue::Kind::String ? t->raw
-                                                         : t->raw;
-            const JsonValue *opv = req.find("op");
-            std::string op =
-                opv != nullptr && opv->kind == JsonValue::Kind::String
-                    ? opv->raw : "";
-
-            if (op == "shutdown") {
-                // Drain scheduled runs first so every accepted "run"
-                // gets its response before the socket goes away.
-                pool.wait();
-                conn.sendLine("{\"ok\":true,\"shutdown\":true}");
-                stop = true;
-                break;
-            }
-            if (op == "stats") {
-                cache::ResultCache::Counters c;
-                if (cache)
-                    c = cache->counters();
-                std::ostringstream os;
-                os << "{\"ok\":true,\"stats\":{\"requests\":"
-                   << requests.load(std::memory_order_relaxed)
-                   << ",\"cache\":" << (cache ? "true" : "false")
-                   << ",\"hits\":" << c.hits
-                   << ",\"misses\":" << c.misses
-                   << ",\"stores\":" << c.stores
-                   << ",\"corrupt\":" << c.corrupt
-                   << ",\"stale\":" << c.stale << "}}";
-                conn.sendLine(os.str());
-                continue;
-            }
-            if (op != "run") {
-                conn.sendLine(errorLine(
-                    tag, op.empty()
-                             ? "missing 'op' (want run|stats|shutdown)"
-                             : "unknown op '" + op + "'"));
-                continue;
-            }
-
-            ExperimentSpec spec;
-            std::string err = specFromJson(req, spec);
-            if (!err.empty()) {
-                conn.sendLine(errorLine(tag, err));
-                continue;
-            }
-            bool canonical = canonical_default;
-            if (const JsonValue *cv = req.find("canonical"))
-                canonical = cv->kind == JsonValue::Kind::Bool &&
-                            cv->boolean;
-
-            // Hot or cold, the op runs on the pool: a hit is just a
-            // task that returns in microseconds, and the response
-            // streams back whenever it lands. execute() itself does
-            // the cache probe (and the store on a miss), so the serve
-            // path and the CLI path share one cache discipline.
-            pool.submit([&runner, &conn, &cache, spec = std::move(spec),
-                         tag = std::move(tag), canonical] {
-                const char *source =
-                    cache && cache->contains(spec) ? "cache" : "sim";
-                RunRecord rec = runner.execute(spec);
-                std::ostringstream os;
-                os << "{\"ok\":true";
-                if (!tag.empty())
-                    os << ",\"tag\":\"" << jsonEscape(tag) << "\"";
-                os << ",\"source\":\"" << source << "\",\"record\":";
-                rec.writeJson(os, canonical);
-                os << "}";
-                conn.sendLine(os.str());
+        auto conn = std::make_shared<Connection>(cfd);
+        srv.registerConn(conn);
+        readers.emplace_back(
+            [&srv, conn = std::move(conn)]() mutable {
+                handleClient(srv, std::move(conn));
             });
-        }
-        // The client hung up (or asked for shutdown): drain the pool
-        // before closing so no task writes into a destroyed
-        // Connection.
-        pool.wait();
-        ::close(cfd);
     }
+    // beginShutdown() closed every read side, so each reader drains
+    // its buffered requests and exits; requests they submitted after
+    // the shutdown drain still finish here, their responses going to
+    // whichever clients are still connected.
+    for (std::thread &t : readers)
+        t.join();
+    srv.pool.wait();
 
+    ::close(wake[0]);
+    ::close(wake[1]);
     ::close(listener);
     ::unlink(cfg.socketPath.c_str());
     return 0;

@@ -6,8 +6,18 @@
  * served straight from the result cache (exp/cache/); cold cells are
  * scheduled on the experiment thread pool and their responses stream
  * back as the simulations land — a client that submits a sweep's
- * worth of "run" lines gets cache hits immediately and misses in
- * completion order, tagged so it can reassemble the grid.
+ * worth of "run" lines (or one "sweep" line) gets cache hits
+ * immediately and misses in completion order, tagged so it can
+ * reassemble the grid.
+ *
+ * Concurrency model: connections are accepted concurrently, each with
+ * its own reader thread, all feeding the one experiment pool — jobs
+ * bounds simultaneous simulations globally, not per client. A client
+ * that hangs up mid-request loses nothing but its responses: its
+ * scheduled cells still execute and fill the cache, and the
+ * connection's fd stays alive (shared ownership) until the last
+ * in-flight response has attempted its send. Only "shutdown" drains
+ * globally.
  *
  * Protocol (one JSON object per line, both directions):
  *
@@ -15,23 +25,35 @@
  *    "tag":"fig4/W16/H5"}
  *     -> {"ok":true,"tag":"fig4/W16/H5","source":"cache"|"sim",
  *         "record":{...swex-run-v1 record...}}
+ *   {"op":"sweep","app":"worker","nodes":16,"tag":"fig4",
+ *    "grid":{"protocol":["h2","h5"],"seed":[1,2]}}
+ *     -> one line per cell, completion order:
+ *        {"ok":true,"tag":"fig4","cell":K,"of":N,
+ *         "cell_key":"protocol=h5 seed=2","source":...,"record":...}
+ *        then {"ok":true,"tag":"fig4","sweep_done":true,"cells":N}
  *   {"op":"stats"}
  *     -> {"ok":true,"stats":{"requests":N,"hits":...,"misses":...,
- *         "stores":...,"corrupt":...,"stale":...}}
+ *         "stores":...,"corrupt":...,"stale":...,"evictions":...}}
  *   {"op":"shutdown"}
  *     -> {"ok":true,"shutdown":true}   (server exits afterwards)
  *
- * A malformed line or unknown field answers
+ * A malformed line, duplicate request key, or unknown field answers
  * {"ok":false,"tag":...,"error":"..."} and never takes the server
- * down. "run" accepts the swex_cli option surface by name: id, app,
+ * down (a non-string tag is rejected but still echoed, as the JSON it
+ * was). "run" accepts the swex_cli option surface by name: id, app,
  * params, protocol, bus, profile, nodes, victim, seed, seq, audit,
  * track_sharing, jitter, jitter_seed, fault_drop, fault_dup,
- * fault_blackout, fault_seed, deadline, canonical.
+ * fault_blackout, fault_seed, deadline, canonical. "sweep" takes the
+ * same base fields plus "grid": each entry maps a field name (or
+ * "params.<key>") to a non-empty array of values; cells are the
+ * cartesian product (row-major, last key fastest, at most 4096), each
+ * validated before any cell runs.
  */
 
 #ifndef SWEX_EXP_SERVE_HH
 #define SWEX_EXP_SERVE_HH
 
+#include <cstdint>
 #include <string>
 
 namespace swex
@@ -49,14 +71,22 @@ struct ServeConfig
      *  simulates). */
     std::string cacheDir;
 
-    /** Concurrent cold-cell simulations (cache hits never queue). */
+    /** Concurrent cold-cell simulations across all connected clients
+     *  (cache hits never queue behind a cold simulation for long —
+     *  they are microsecond tasks on the same pool). */
     unsigned jobs = 1;
+
+    /** Result-cache budget (0 = unbounded): when set, stores evict
+     *  least-recently-used entries by mtime until the directory fits
+     *  (see cache/result_cache.hh). */
+    std::uint64_t cacheMaxBytes = 0;
+    std::uint64_t cacheMaxEntries = 0;
 };
 
 /**
  * Bind, listen, and serve until a client sends {"op":"shutdown"}.
- * Connections are accepted one at a time; run ops within a
- * connection execute concurrently (up to cfg.jobs) and respond in
+ * Connections are accepted concurrently, each on its own reader
+ * thread; all ops share one cfg.jobs-wide pool and respond in
  * completion order. @return a process exit code (0 = clean
  * shutdown op; 1 = socket setup failure, with the reason on stderr).
  */

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fcntl.h>
 #include <sstream>
 #include <string>
 #include <sys/stat.h>
@@ -105,6 +106,19 @@ spit(const std::string &path, const std::vector<std::uint8_t> &raw)
     ASSERT_NE(f, nullptr);
     ASSERT_EQ(std::fwrite(raw.data(), 1, raw.size(), f), raw.size());
     std::fclose(f);
+}
+
+/** Pin @p path's mtime to an explicit timestamp, so LRU ordering in
+ *  the eviction tests never depends on filesystem timestamp
+ *  granularity or test scheduling. */
+void
+setMtime(const std::string &path, std::uint64_t sec)
+{
+    timespec ts[2];
+    ts[0].tv_sec = static_cast<time_t>(sec);
+    ts[0].tv_nsec = 0;
+    ts[1] = ts[0];
+    ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), ts, 0), 0);
 }
 
 } // anonymous namespace
@@ -211,9 +225,10 @@ TEST(ResultCache, InvalidationIsComponentScoped)
         ASSERT_EQ(rcache.counters().stores, 2u);
     }
 
-    // Bump the directory component: the directory cell must go cold
-    // (stale, deleted) while the snoop cell stays warm.
-    cache::CodeVersions bumped;
+    // Bump the directory component relative to the build-derived
+    // fingerprints: the directory cell must go cold (stale, deleted)
+    // while the snoop cell stays warm.
+    cache::CodeVersions bumped = cache::CodeVersions::current();
     bumped.directory += 1;
     cache::ResultCache rcache(dir, bumped);
 
@@ -228,7 +243,7 @@ TEST(ResultCache, InvalidationIsComponentScoped)
 
     // The epoch is a whole-cache master switch: under a bumped epoch
     // even the surviving snoop entry reads stale.
-    cache::CodeVersions epoch;
+    cache::CodeVersions epoch = cache::CodeVersions::current();
     epoch.epoch = 99;
     cache::ResultCache swept(dir, epoch);
     EXPECT_FALSE(swept.lookup(busCell, out));
@@ -311,4 +326,133 @@ TEST(ResultCache, WarmSweepIsJobsInvariant)
     auto c = rcache.counters();
     EXPECT_EQ(c.stores, specs.size());
     EXPECT_EQ(c.hits, specs.size());
+}
+
+TEST(ResultCache, LruEntryBudgetEvictsOldestMtime)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("lru");
+    cache::ResultCache rcache(dir, cache::CodeVersions::current(),
+                              {/*maxBytes=*/0, /*maxEntries=*/2});
+
+    ExperimentSpec a = workerSpec("cache/lru/a");
+    ExperimentSpec b = workerSpec("cache/lru/b");
+    ExperimentSpec c = workerSpec("cache/lru/c");
+    a.seed = 11;
+    b.seed = 22;
+    c.seed = 33;
+
+    Runner runner;
+    runner.attachCache(&rcache);
+    ASSERT_TRUE(runner.execute(a).verified);
+    setMtime(rcache.entryPath(a), 1000);   // least recently used
+    ASSERT_TRUE(runner.execute(b).verified);
+    setMtime(rcache.entryPath(b), 2000);
+
+    // The third store breaks the 2-entry budget: the oldest-mtime
+    // entry (a) goes, the just-stored entry and the fresher survivor
+    // stay, and the eviction is accounted.
+    ASSERT_TRUE(runner.execute(c).verified);
+    EXPECT_FALSE(rcache.contains(a));
+    EXPECT_TRUE(rcache.contains(b));
+    EXPECT_TRUE(rcache.contains(c));
+    EXPECT_EQ(rcache.counters().evictions, 1u);
+}
+
+TEST(ResultCache, LruHitTouchesTheEntry)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("touch");
+    cache::ResultCache rcache(dir, cache::CodeVersions::current(),
+                              {/*maxBytes=*/0, /*maxEntries=*/2});
+
+    ExperimentSpec a = workerSpec("cache/touch/a");
+    ExperimentSpec b = workerSpec("cache/touch/b");
+    ExperimentSpec c = workerSpec("cache/touch/c");
+    a.seed = 11;
+    b.seed = 22;
+    c.seed = 33;
+
+    Runner runner;
+    runner.attachCache(&rcache);
+    ASSERT_TRUE(runner.execute(a).verified);
+    ASSERT_TRUE(runner.execute(b).verified);
+    // Backdate both, a older than b — then hit a. The hit must
+    // refresh a's mtime, flipping the LRU order so the next eviction
+    // takes b, not a.
+    setMtime(rcache.entryPath(a), 1000);
+    setMtime(rcache.entryPath(b), 2000);
+    RunRecord out;
+    ASSERT_TRUE(rcache.lookup(a, out));
+
+    ASSERT_TRUE(runner.execute(c).verified);
+    EXPECT_TRUE(rcache.contains(a)) << "hit did not refresh LRU order";
+    EXPECT_FALSE(rcache.contains(b));
+    EXPECT_TRUE(rcache.contains(c));
+    EXPECT_EQ(rcache.counters().evictions, 1u);
+}
+
+TEST(ResultCache, ByteBudgetNeverEvictsTheNewestEntry)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("bytes");
+    // A 1-byte budget is smaller than any record: every store must
+    // still keep the entry it just wrote (a cache that evicts its own
+    // store can never serve anything) and evict everything older.
+    cache::ResultCache rcache(dir, cache::CodeVersions::current(),
+                              {/*maxBytes=*/1, /*maxEntries=*/0});
+
+    ExperimentSpec a = workerSpec("cache/bytes/a");
+    ExperimentSpec b = workerSpec("cache/bytes/b");
+    a.seed = 11;
+    b.seed = 22;
+
+    Runner runner;
+    runner.attachCache(&rcache);
+    ASSERT_TRUE(runner.execute(a).verified);
+    EXPECT_TRUE(rcache.contains(a)) << "sole entry must survive";
+    setMtime(rcache.entryPath(a), 1000);
+
+    ASSERT_TRUE(runner.execute(b).verified);
+    EXPECT_FALSE(rcache.contains(a));
+    EXPECT_TRUE(rcache.contains(b));
+    EXPECT_EQ(rcache.counters().evictions, 1u);
+
+    // And the surviving over-budget entry still serves a hit.
+    RunRecord out;
+    EXPECT_TRUE(rcache.lookup(b, out));
+}
+
+TEST(ResultCache, ConstructorTrimsAnInheritedOversizedDirectory)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("inherit");
+
+    ExperimentSpec a = workerSpec("cache/inherit/a");
+    ExperimentSpec b = workerSpec("cache/inherit/b");
+    ExperimentSpec c = workerSpec("cache/inherit/c");
+    a.seed = 11;
+    b.seed = 22;
+    c.seed = 33;
+
+    {
+        cache::ResultCache unbounded(dir);
+        Runner runner;
+        runner.attachCache(&unbounded);
+        ASSERT_TRUE(runner.execute(a).verified);
+        ASSERT_TRUE(runner.execute(b).verified);
+        ASSERT_TRUE(runner.execute(c).verified);
+        setMtime(unbounded.entryPath(a), 1000);
+        setMtime(unbounded.entryPath(b), 2000);
+        setMtime(unbounded.entryPath(c), 3000);
+    }
+
+    // A restarted bounded server inherits three entries over a
+    // 1-entry budget: construction itself trims to the newest.
+    cache::ResultCache bounded(dir, cache::CodeVersions::current(),
+                               {/*maxBytes=*/0, /*maxEntries=*/1});
+    EXPECT_FALSE(bounded.contains(a));
+    EXPECT_FALSE(bounded.contains(b));
+    EXPECT_TRUE(bounded.contains(c));
+    EXPECT_EQ(bounded.counters().evictions, 2u);
 }

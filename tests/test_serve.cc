@@ -1,0 +1,580 @@
+/**
+ * @file
+ * End-to-end tests for the serving front end (exp/serve.hh): a real
+ * server on a Unix socket, driven by raw socket clients. Covers the
+ * response-path regressions (non-string tags echoed on the error
+ * path, authoritative source reporting), the strict request parse
+ * (duplicate keys, garbage, oversized lines), server-side sweeps
+ * (expansion order, per-cell byte-identity with direct execution),
+ * the multi-client model (concurrent clients, hang-up mid-sweep),
+ * and LRU eviction accounting through the stats op.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "exp/cache/result_cache.hh"
+#include "exp/runner.hh"
+#include "exp/serve.hh"
+#include "mini_json.hh"
+
+using namespace swex;
+
+namespace
+{
+
+std::string
+scratchDir(const std::string &tag)
+{
+    std::string tmpl = ::testing::TempDir() + "swexserve-" + tag +
+                       "-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *d = mkdtemp(buf.data());
+    EXPECT_NE(d, nullptr);
+    return d != nullptr ? d : ".";
+}
+
+/** A raw line-oriented client on the server's Unix socket. */
+struct Client
+{
+    int fd = -1;
+    std::string buf;
+
+    ~Client() { disconnect(); }
+
+    bool
+    connectTo(const std::string &path)
+    {
+        disconnect();
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(addr.sun_path))
+            return false;
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            disconnect();
+            return false;
+        }
+        return true;
+    }
+
+    void
+    disconnect()
+    {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+        buf.clear();
+    }
+
+    /** Best-effort send (MSG_NOSIGNAL: a server-closed socket must
+     *  not kill the test with SIGPIPE). */
+    void
+    sendLine(const std::string &line)
+    {
+        std::string out = line;
+        out.push_back('\n');
+        std::size_t off = 0;
+        while (off < out.size()) {
+            ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+    /** Blocking read of the next response line; false on EOF. */
+    bool
+    readLine(std::string &line)
+    {
+        for (;;) {
+            std::size_t nl = buf.find('\n');
+            if (nl != std::string::npos) {
+                line = buf.substr(0, nl);
+                buf.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                return false;
+            }
+            buf.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    /** Send one request and parse its (single) response line. */
+    minijson::Value
+    rpc(const std::string &request)
+    {
+        sendLine(request);
+        std::string line;
+        EXPECT_TRUE(readLine(line)) << "no response to: " << request;
+        return minijson::parse(line.empty() ? "null" : line);
+    }
+};
+
+/** serveLoop() on its own thread, joined (via a shutdown op) in the
+ *  destructor if the test did not already stop it. */
+struct TestServer
+{
+    serve::ServeConfig cfg;
+    std::thread thread;
+    int exitCode = -1;
+    bool stopped = false;
+
+    explicit TestServer(const std::string &tag, unsigned jobs = 4,
+                        std::uint64_t max_bytes = 0,
+                        std::uint64_t max_entries = 0)
+    {
+        const std::string dir = scratchDir(tag);
+        cfg.socketPath = dir + "/sock";
+        cfg.cacheDir = dir + "/cache";
+        cfg.jobs = jobs;
+        cfg.cacheMaxBytes = max_bytes;
+        cfg.cacheMaxEntries = max_entries;
+        thread = std::thread([this] { exitCode = serve::serveLoop(cfg); });
+        waitReady();
+    }
+
+    ~TestServer()
+    {
+        if (!stopped)
+            stop();
+    }
+
+    void
+    waitReady()
+    {
+        Client probe;
+        for (int i = 0; i < 500; ++i) {
+            if (probe.connectTo(cfg.socketPath))
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        FAIL() << "server never came up on " << cfg.socketPath;
+    }
+
+    /** Clean shutdown through the protocol; asserts exit code 0. */
+    void
+    stop()
+    {
+        stopped = true;
+        Client c;
+        if (c.connectTo(cfg.socketPath)) {
+            minijson::Value r = c.rpc("{\"op\":\"shutdown\"}");
+            EXPECT_TRUE(r.at("ok").boolean);
+            EXPECT_TRUE(r.at("shutdown").boolean);
+        }
+        thread.join();
+        EXPECT_EQ(exitCode, 0);
+    }
+};
+
+/** The spec a served {"app":"worker","nodes":4,...} request builds,
+ *  mirrored locally so tests can compare against direct execution. */
+ExperimentSpec
+workerCell(const std::string &proto, std::uint64_t seed)
+{
+    ExperimentSpec s;
+    s.id = "serve";
+    s.app = "worker";
+    s.nodes = 4;
+    s.victimEntries = 6;
+    s.protocol = proto == "h2" ? ProtocolConfig::hw(2)
+                               : ProtocolConfig::hw(5);
+    s.seed = seed;
+    return s;
+}
+
+std::string
+canonicalJson(const RunRecord &r)
+{
+    std::ostringstream os;
+    r.writeJson(os, /*canonical=*/true);
+    return os.str();
+}
+
+/** The raw "record" value of a response line — the envelope's last
+ *  member, so exactly the bytes between "record": and the final
+ *  closing brace. Byte-level on purpose: the gate is byte-identity
+ *  with direct execution, not structural equality. */
+std::string
+recordBytes(const std::string &line)
+{
+    const std::string key = "\"record\":";
+    std::size_t pos = line.find(key);
+    EXPECT_NE(pos, std::string::npos) << line;
+    if (pos == std::string::npos)
+        return "";
+    pos += key.size();
+    return line.substr(pos, line.size() - pos - 1);
+}
+
+} // anonymous namespace
+
+TEST(Serve, RunReportsAuthoritativeSourceAndByteIdenticalRecords)
+{
+    setQuiet(true);
+    TestServer server("basic");
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+
+    const std::string req =
+        "{\"op\":\"run\",\"app\":\"worker\",\"nodes\":4,"
+        "\"protocol\":\"h2\",\"seed\":7,\"tag\":\"t\","
+        "\"canonical\":true}";
+
+    c.sendLine(req);
+    std::string cold_line;
+    ASSERT_TRUE(c.readLine(cold_line));
+    minijson::Value cold = minijson::parse(cold_line);
+    EXPECT_TRUE(cold.at("ok").boolean);
+    EXPECT_EQ(cold.at("tag").str, "t");
+    EXPECT_EQ(cold.at("source").str, "sim");
+
+    // Same cell again: now the cache is authoritative, and the
+    // response says so because execute() reported it — not because
+    // the serve path guessed with a pre-execution probe.
+    c.sendLine(req);
+    std::string warm_line;
+    ASSERT_TRUE(c.readLine(warm_line));
+    minijson::Value warm = minijson::parse(warm_line);
+    EXPECT_EQ(warm.at("source").str, "cache");
+
+    // Hot or cold, the record bytes match a direct execution.
+    Runner direct(/*fail_fast=*/false);
+    const std::string want = canonicalJson(direct.execute(
+        workerCell("h2", 7)));
+    EXPECT_EQ(recordBytes(cold_line), want);
+    EXPECT_EQ(recordBytes(warm_line), want);
+
+    server.stop();
+}
+
+TEST(Serve, NonStringTagIsRejectedButEchoed)
+{
+    setQuiet(true);
+    TestServer server("badtag", 1);
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+
+    minijson::Value num = c.rpc("{\"op\":\"run\",\"tag\":7}");
+    EXPECT_FALSE(num.at("ok").boolean);
+    ASSERT_EQ(num.at("tag").type, minijson::Value::Type::Number);
+    EXPECT_EQ(num.at("tag").number, 7);
+    EXPECT_NE(num.at("error").str.find("tag"), std::string::npos);
+
+    // Structured tags echo back as the JSON they were.
+    minijson::Value arr = c.rpc("{\"op\":\"run\",\"tag\":[1,\"x\"]}");
+    EXPECT_FALSE(arr.at("ok").boolean);
+    ASSERT_EQ(arr.at("tag").type, minijson::Value::Type::Array);
+    ASSERT_EQ(arr.at("tag").array.size(), 2u);
+    EXPECT_EQ(arr.at("tag").array[1].str, "x");
+
+    server.stop();
+}
+
+TEST(Serve, DuplicateRequestKeysAreRejected)
+{
+    setQuiet(true);
+    TestServer server("dup", 1);
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+
+    minijson::Value top = c.rpc(
+        "{\"op\":\"run\",\"app\":\"worker\",\"nodes\":4,\"nodes\":8}");
+    EXPECT_FALSE(top.at("ok").boolean);
+    EXPECT_NE(top.at("error").str.find("duplicate key 'nodes'"),
+              std::string::npos);
+
+    // Nested objects are held to the same standard.
+    minijson::Value nested = c.rpc(
+        "{\"op\":\"run\",\"app\":\"worker\",\"nodes\":4,"
+        "\"params\":{\"wss\":\"3\",\"wss\":\"4\"}}");
+    EXPECT_FALSE(nested.at("ok").boolean);
+    EXPECT_NE(nested.at("error").str.find("duplicate key 'wss'"),
+              std::string::npos);
+
+    server.stop();
+}
+
+TEST(Serve, GarbageAndOversizedLinesNeverTakeTheServerDown)
+{
+    setQuiet(true);
+    TestServer server("garbage", 1);
+
+    {
+        Client c;
+        ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+        EXPECT_FALSE(c.rpc("this is not json").at("ok").boolean);
+        EXPECT_FALSE(c.rpc("[1,2,3]").at("ok").boolean);
+        EXPECT_FALSE(c.rpc("{\"op\":\"run\",\"app\":").at("ok").boolean);
+        // The connection survived all of it.
+        EXPECT_TRUE(c.rpc("{\"op\":\"stats\"}").at("ok").boolean);
+    }
+
+    {
+        // A >1MiB line without a newline: the server answers a
+        // structured error and drops the connection rather than
+        // buffering without bound.
+        Client c;
+        ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+        std::string huge(2u << 20, 'a');
+        c.sendLine(huge);
+        std::string line;
+        ASSERT_TRUE(c.readLine(line));
+        minijson::Value resp = minijson::parse(line);
+        EXPECT_FALSE(resp.at("ok").boolean);
+        EXPECT_NE(resp.at("error").str.find("too long"),
+                  std::string::npos);
+        EXPECT_FALSE(c.readLine(line)) << "connection not closed";
+    }
+
+    // And a fresh client still gets service.
+    Client after;
+    ASSERT_TRUE(after.connectTo(server.cfg.socketPath));
+    EXPECT_TRUE(after.rpc("{\"op\":\"stats\"}").at("ok").boolean);
+
+    server.stop();
+}
+
+TEST(Serve, SweepStreamsEveryCellByteIdenticalToDirectExecution)
+{
+    setQuiet(true);
+    TestServer server("sweep");
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+
+    c.sendLine("{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+               "\"tag\":\"grid\",\"canonical\":true,"
+               "\"grid\":{\"protocol\":[\"h2\",\"h5\"],"
+               "\"seed\":[1,2]}}");
+
+    // 4 cell lines in completion order, then the completion line.
+    std::vector<std::string> cell_lines(4);
+    bool done = false;
+    for (int i = 0; i < 5; ++i) {
+        std::string line;
+        ASSERT_TRUE(c.readLine(line));
+        minijson::Value v = minijson::parse(line);
+        ASSERT_TRUE(v.at("ok").boolean) << line;
+        EXPECT_EQ(v.at("tag").str, "grid");
+        if (v.has("sweep_done")) {
+            EXPECT_FALSE(done) << "two completion lines";
+            EXPECT_EQ(v.at("cells").number, 4);
+            done = true;
+            EXPECT_EQ(i, 4) << "completion line before the last cell";
+            continue;
+        }
+        EXPECT_EQ(v.at("of").number, 4);
+        int cell = static_cast<int>(v.at("cell").number);
+        ASSERT_GE(cell, 0);
+        ASSERT_LT(cell, 4);
+        EXPECT_TRUE(cell_lines[cell].empty()) << "cell repeated";
+        cell_lines[cell] = line;
+    }
+    ASSERT_TRUE(done);
+
+    // Row-major, last grid key fastest: cell k is (protocol[k/2],
+    // seed[k%2]) — and every record is the bytes direct execution of
+    // that cell produces.
+    Runner direct(/*fail_fast=*/false);
+    const char *protos[2] = {"h2", "h5"};
+    const std::uint64_t seeds[2] = {1, 2};
+    for (int k = 0; k < 4; ++k) {
+        minijson::Value v = minijson::parse(cell_lines[k]);
+        std::ostringstream want_key;
+        want_key << "protocol=" << protos[k / 2] << " seed="
+                 << seeds[k % 2];
+        EXPECT_EQ(v.at("cell_key").str, want_key.str());
+        EXPECT_EQ(recordBytes(cell_lines[k]),
+                  canonicalJson(direct.execute(
+                      workerCell(protos[k / 2], seeds[k % 2]))));
+    }
+
+    // All-or-nothing validation: one bad cell fails the whole sweep
+    // with the offending cell named, and nothing runs.
+    minijson::Value before = c.rpc("{\"op\":\"stats\"}");
+    const double misses = before.at("stats").at("misses").number;
+    minijson::Value bad = c.rpc(
+        "{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+        "\"grid\":{\"protocol\":[\"h2\",\"bogus\"]}}");
+    EXPECT_FALSE(bad.at("ok").boolean);
+    EXPECT_NE(bad.at("error").str.find("sweep cell 1"),
+              std::string::npos);
+    minijson::Value after = c.rpc("{\"op\":\"stats\"}");
+    EXPECT_EQ(after.at("stats").at("misses").number, misses)
+        << "a rejected sweep must not execute any cell";
+
+    // Grid keys cannot silently override base fields.
+    minijson::Value clash = c.rpc(
+        "{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+        "\"grid\":{\"nodes\":[4,8]}}");
+    EXPECT_FALSE(clash.at("ok").boolean);
+    EXPECT_NE(clash.at("error").str.find("duplicates"),
+              std::string::npos);
+
+    server.stop();
+}
+
+TEST(Serve, ConcurrentClientsGetByteIdenticalResponses)
+{
+    setQuiet(true);
+    TestServer server("concurrent");
+
+    const std::string sweep_req =
+        "{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+        "\"canonical\":true,"
+        "\"grid\":{\"protocol\":[\"h2\",\"h5\"],\"seed\":[1,2]}}";
+
+    // Each client interleaves stats, a full sweep, a single run, and
+    // stats again — all concurrently against one server. Gate:
+    // per-cell records collected by every client are byte-identical.
+    constexpr int clients = 3;
+    std::vector<std::vector<std::string>> records(
+        clients, std::vector<std::string>(4));
+    std::vector<std::string> run_records(clients);
+    std::vector<char> passed(clients, 0);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            Client c;
+            if (!c.connectTo(server.cfg.socketPath))
+                return;
+            if (!c.rpc("{\"op\":\"stats\"}").at("ok").boolean)
+                return;
+            c.sendLine(sweep_req);
+            int seen = 0;
+            for (;;) {
+                std::string line;
+                if (!c.readLine(line))
+                    return;
+                minijson::Value v = minijson::parse(line);
+                if (!v.at("ok").boolean)
+                    return;
+                if (v.has("sweep_done"))
+                    break;
+                int cell = static_cast<int>(v.at("cell").number);
+                records[t][static_cast<std::size_t>(cell)] =
+                    recordBytes(line);
+                ++seen;
+            }
+            if (seen != 4)
+                return;
+            std::string run_line;
+            c.sendLine("{\"op\":\"run\",\"app\":\"worker\","
+                       "\"nodes\":4,\"protocol\":\"h2\",\"seed\":1,"
+                       "\"canonical\":true}");
+            if (!c.readLine(run_line))
+                return;
+            run_records[t] = recordBytes(run_line);
+            if (!c.rpc("{\"op\":\"stats\"}").at("ok").boolean)
+                return;
+            passed[t] = true;
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    Runner direct(/*fail_fast=*/false);
+    const char *protos[2] = {"h2", "h5"};
+    for (int t = 0; t < clients; ++t) {
+        ASSERT_TRUE(passed[t]) << "client " << t << " failed";
+        for (int k = 0; k < 4; ++k)
+            EXPECT_EQ(records[t][k],
+                      canonicalJson(direct.execute(workerCell(
+                          protos[k / 2],
+                          static_cast<std::uint64_t>(k % 2 + 1)))))
+                << "client " << t << " cell " << k;
+        EXPECT_EQ(run_records[t],
+                  canonicalJson(direct.execute(workerCell("h2", 1))));
+    }
+
+    server.stop();
+}
+
+TEST(Serve, ClientHangUpMidSweepLeavesServerAndCacheIntact)
+{
+    setQuiet(true);
+    TestServer server("hangup");
+
+    // Kick off a 8-cell sweep, read exactly one cell, and vanish.
+    {
+        Client doomed;
+        ASSERT_TRUE(doomed.connectTo(server.cfg.socketPath));
+        doomed.sendLine(
+            "{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+            "\"canonical\":true,\"grid\":{\"protocol\":[\"h2\","
+            "\"h5\"],\"seed\":[1,2,3,4]}}");
+        std::string line;
+        ASSERT_TRUE(doomed.readLine(line));
+        doomed.disconnect();
+    }
+
+    // The server keeps serving other clients immediately — no global
+    // drain on a hang-up.
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+    minijson::Value run = c.rpc(
+        "{\"op\":\"run\",\"app\":\"worker\",\"nodes\":8,"
+        "\"canonical\":true}");
+    EXPECT_TRUE(run.at("ok").boolean);
+
+    // Shutdown drains the orphaned cells; they must all have landed
+    // in the cache (a hang-up wastes sends, not simulations).
+    server.stop();
+    cache::ResultCache rcache(server.cfg.cacheDir);
+    const char *protos[2] = {"h2", "h5"};
+    for (int k = 0; k < 8; ++k)
+        EXPECT_TRUE(rcache.contains(workerCell(
+            protos[k / 4], static_cast<std::uint64_t>(k % 4 + 1))))
+            << "orphaned sweep cell " << k << " missing from cache";
+}
+
+TEST(Serve, StatsSurfacesLruEvictions)
+{
+    setQuiet(true);
+    TestServer server("evict", /*jobs=*/1, /*max_bytes=*/0,
+                      /*max_entries=*/1);
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+
+    EXPECT_TRUE(c.rpc("{\"op\":\"run\",\"app\":\"worker\","
+                      "\"nodes\":4,\"seed\":1}").at("ok").boolean);
+    EXPECT_TRUE(c.rpc("{\"op\":\"run\",\"app\":\"worker\","
+                      "\"nodes\":4,\"seed\":2}").at("ok").boolean);
+
+    minijson::Value stats = c.rpc("{\"op\":\"stats\"}");
+    ASSERT_TRUE(stats.at("ok").boolean);
+    EXPECT_GE(stats.at("stats").at("evictions").number, 1);
+    EXPECT_EQ(stats.at("stats").at("stores").number, 2);
+
+    server.stop();
+}

@@ -28,7 +28,11 @@ the canonical swex-run-v1 documents to be byte-identical, checks that
 a $SWEX_CACHE_EPOCH bump invalidates (and transparently recomputes)
 the entry, then starts `swex_cli --serve` on a scratch Unix socket
 and requires the served record to equal the direct run's, with the
-stats op accounting the hit.
+stats op accounting the hit and surfacing the eviction counter. The
+serve session is also exercised as a real server: a server-side sweep
+must stream every cell byte-identical to direct runs of the same
+cells, and three simultaneous client connections must each get the
+direct run's bytes back.
 
 All validators reject unknown schema versions outright. Exits
 non-zero on any malformed or missing output, so CI catches a broken
@@ -410,6 +414,86 @@ def check_cache_equiv(binary, tmp):
                 stats.get("stats", {}).get("hits", 0) < 1:
             sys.exit(f"FAIL: serve stats did not account the hit: "
                      f"{stats!r}")
+        if "evictions" not in stats.get("stats", {}):
+            sys.exit(f"FAIL: serve stats missing the 'evictions' "
+                     f"counter: {stats!r}")
+
+        # A server-side sweep must stream every cell byte-identical to
+        # the same cell requested directly: the h5 cell is the direct
+        # run above, the h2 cell a fresh direct document.
+        direct_h2 = canonical_doc(
+            binary, ["--app", "worker", "--nodes", "8", "--protocol",
+                     "h2", "--wss", "4", "--iters", "2"],
+            os.path.join(tmp, "direct_h2.json"))
+        f.write(json.dumps(
+            {"op": "sweep", "id": "cli", "app": "worker", "nodes": 8,
+             "params": {"wss": "4", "iterations": "2"}, "tag": "sw",
+             "canonical": True,
+             "grid": {"protocol": ["h5", "h2"]}}) + "\n")
+        f.flush()
+        cells = {}
+        while True:
+            line = f.readline()
+            if not line:
+                sys.exit("FAIL: serve connection closed mid-sweep")
+            resp = json.loads(line)
+            if not resp.get("ok"):
+                sys.exit(f"FAIL: sweep cell failed: {resp!r}")
+            if resp.get("sweep_done"):
+                break
+            cells[resp["cell"]] = resp["record"]
+        if sorted(cells) != [0, 1]:
+            sys.exit(f"FAIL: sweep streamed cells {sorted(cells)}, "
+                     f"expected [0, 1]")
+        if cells[0] != direct_rec:
+            sys.exit("FAIL: sweep cell 0 (h5) differs from the "
+                     "direct run's record")
+        if cells[1] != json.loads(direct_h2)["records"][0]:
+            sys.exit("FAIL: sweep cell 1 (h2) differs from a direct "
+                     "h2 run's record")
+        print("OK: server-side sweep cells byte-identical to direct "
+              "runs, evictions counter surfaced")
+        checks += 3
+
+        # Simultaneous clients each get the direct run's bytes back —
+        # the multi-client server must not interleave responses.
+        import threading
+        results = [None] * 3
+
+        def client_run(i):
+            c2 = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            c2.connect(sock_path)
+            f2 = c2.makefile("rw")
+            f2.write(json.dumps(
+                {"op": "run", "id": "cli", "app": "worker",
+                 "nodes": 8, "protocol": "h5",
+                 "params": {"wss": "4", "iterations": "2"},
+                 "tag": f"c{i}", "canonical": True}) + "\n")
+            f2.flush()
+            line = f2.readline()
+            results[i] = json.loads(line) if line else None
+            f2.close()
+            c2.close()
+
+        threads = [threading.Thread(target=client_run, args=(i,))
+                   for i in range(len(results))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i, r in enumerate(results):
+            if r is None or not r.get("ok"):
+                sys.exit(f"FAIL: concurrent client {i} failed: {r!r}")
+            if r.get("tag") != f"c{i}":
+                sys.exit(f"FAIL: concurrent client {i} got tag "
+                         f"{r.get('tag')!r}")
+            if r.get("record") != direct_rec:
+                sys.exit(f"FAIL: concurrent client {i}'s record "
+                         f"differs from the direct run's")
+        print(f"OK: {len(results)} concurrent clients served "
+              f"byte-identical records")
+        checks += 1
+
         down = rpc({"op": "shutdown"})
         if not down.get("ok"):
             sys.exit(f"FAIL: shutdown op failed: {down!r}")
@@ -426,7 +510,11 @@ def check_cache_equiv(binary, tmp):
             srv.wait()
     # An epoch bump must go cold (stale entry replaced) and still
     # produce the identical document — invalidation changes cost,
-    # never results.
+    # never results. The entry count must not grow: the run's stale
+    # entry is replaced in place (the sweep's other cell stays, stale
+    # but untouched until something re-runs it).
+    n_before = len([f for f in os.listdir(cache_dir)
+                    if f.endswith(".swexrec")])
     bumped = canonical_doc(binary, spec + ["--cache-dir", cache_dir],
                            os.path.join(tmp, "bumped.json"),
                            extra_env={"SWEX_CACHE_EPOCH": "7"})
@@ -435,9 +523,10 @@ def check_cache_equiv(binary, tmp):
                  "direct")
     entries = [f for f in os.listdir(cache_dir)
                if f.endswith(".swexrec")]
-    if len(entries) != 1:
+    if len(entries) != n_before:
         sys.exit(f"FAIL: epoch bump left {len(entries)} entries "
-                 f"(stale entry not replaced)")
+                 f"(expected {n_before}: stale entry replaced, not "
+                 f"added)")
     print("OK: $SWEX_CACHE_EPOCH bump recomputes to the identical "
           "document")
     checks += 1

@@ -14,7 +14,12 @@
 # scratch cache, so concurrent entry stores and the lock-free counters
 # race under TSan), and the --jobs + replay + snoop + cache
 # determinism gate (sweep_determinism); SWEX_DET_SEEDS keeps the
-# gates' seed counts small enough for sanitized binaries.
+# gates' seed counts small enough for sanitized binaries. The tier-1
+# pass also carries test_serve, which runs a real multi-client server
+# in-process — per-connection reader threads feeding the shared run
+# pool, server-side sweeps, and a client hanging up mid-sweep — so
+# the serve path's connection-lifetime discipline is TSan-checked on
+# every matrix run.
 # Usage:
 #
 #   tools/ci_sanitize.sh [builddir-prefix]

@@ -61,6 +61,8 @@ struct Options
     unsigned jobs = 1;
     bool replay = false;       ///< record, replay, digest the replay
     std::string cacheDir;      ///< result cache; "" = every cell runs
+    std::uint64_t cacheMaxBytes = 0;     ///< LRU budget (0=unbounded)
+    std::uint64_t cacheMaxEntries = 0;   ///< LRU budget (0=unbounded)
     std::string family = "directory";   ///< directory|snoop|all
     std::string onlyApp;       ///< empty = all stress apps
     std::string onlyProtocol;  ///< empty = full grid
@@ -481,6 +483,9 @@ usage()
         "cells serve their stored (cycles, image) without running; "
         "cold cells run as usual and store back. The grid digest is "
         "identical warm, cold, or with the cache off\n"
+        "  --cache-max-bytes <n>   bound the cache directory (0 =\n"
+        "                    unbounded); stores evict LRU-by-mtime\n"
+        "  --cache-max-entries <n> same bound, counted in entries\n"
         "  --family <f>      directory|snoop|all: which machine-model\n"
         "                    grid to sweep (default directory; snoop\n"
         "                    = 4 protocols x 2 bus disciplines over\n"
@@ -529,6 +534,12 @@ main(int argc, char **argv)
             opt.replay = true;
         else if (a == "--cache")
             opt.cacheDir = next();
+        else if (a == "--cache-max-bytes")
+            opt.cacheMaxBytes = static_cast<std::uint64_t>(
+                parseLong(a, next(), 0, 1'000'000'000'000l));
+        else if (a == "--cache-max-entries")
+            opt.cacheMaxEntries = static_cast<std::uint64_t>(
+                parseLong(a, next(), 0, 1'000'000'000l));
         else if (a == "--family") {
             opt.family = next();
             if (opt.family != "directory" && opt.family != "snoop" &&
@@ -619,7 +630,10 @@ main(int argc, char **argv)
     // (cycles, image) pair into the digest.
     std::unique_ptr<cache::ResultCache> rcache;
     if (!opt.cacheDir.empty())
-        rcache = std::make_unique<cache::ResultCache>(opt.cacheDir);
+        rcache = std::make_unique<cache::ResultCache>(
+            opt.cacheDir, cache::CodeVersions::current(),
+            cache::ResultCache::Budget{opt.cacheMaxBytes,
+                                       opt.cacheMaxEntries});
 
     auto t0 = std::chrono::steady_clock::now();
     std::vector<RunResult> results(jobs.size());
@@ -696,12 +710,13 @@ main(int argc, char **argv)
     if (rcache) {
         cache::ResultCache::Counters c = rcache->counters();
         std::printf("cache: %llu hits, %llu misses, %llu stores "
-                    "(%llu corrupt, %llu stale)\n",
+                    "(%llu corrupt, %llu stale, %llu evicted)\n",
                     static_cast<unsigned long long>(c.hits),
                     static_cast<unsigned long long>(c.misses),
                     static_cast<unsigned long long>(c.stores),
                     static_cast<unsigned long long>(c.corrupt),
-                    static_cast<unsigned long long>(c.stale));
+                    static_cast<unsigned long long>(c.stale),
+                    static_cast<unsigned long long>(c.evictions));
     }
     if (failed > 0) {
         std::fprintf(stderr,

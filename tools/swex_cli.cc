@@ -152,11 +152,16 @@ usage()
         "                     simulated, and finished direct runs are\n"
         "                     stored back (default $SWEX_RESULT_CACHE;\n"
         "                     records are byte-identical either way)\n"
+        "  --cache-max-bytes <n>   bound the result cache (0 =\n"
+        "                     unbounded): stores evict least-recently-\n"
+        "                     used entries by mtime until it fits\n"
+        "  --cache-max-entries <n> same bound, counted in entries\n"
         "  --serve <socket>   serve experiments over a Unix socket\n"
         "                     speaking line-delimited JSON: cache hits\n"
         "                     answer immediately, misses run on --jobs\n"
-        "                     workers and stream back as they land\n"
-        "                     (ops: run, stats, shutdown)\n"
+        "                     workers and stream back as they land;\n"
+        "                     concurrent clients share the pool\n"
+        "                     (ops: run, sweep, stats, shutdown)\n"
         "  --seq              also run the sequential reference and\n"
         "                     report speedup\n"
         "  --stats            dump the full statistics tree\n"
@@ -327,6 +332,8 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     std::string json_path;
     std::string cache_dir;
+    std::uint64_t cache_max_bytes = 0;
+    std::uint64_t cache_max_entries = 0;
     std::string serve_socket;
 
     for (int i = 1; i < argc; ++i) {
@@ -373,6 +380,10 @@ main(int argc, char **argv)
         else if (a == "--replay") want_replay = true;
         else if (a == "--trace-dir") spec.traceDir = next();
         else if (a == "--cache-dir") cache_dir = next();
+        else if (a == "--cache-max-bytes")
+            cache_max_bytes = parseU64(a, next());
+        else if (a == "--cache-max-entries")
+            cache_max_entries = parseU64(a, next());
         else if (a == "--serve") serve_socket = next();
         else if (a == "--sweep") want_sweep = true;
         else if (a == "--seeds")
@@ -396,13 +407,15 @@ main(int argc, char **argv)
 
     // --serve is its own front end: the spec comes per request over
     // the socket, so every other positional knob is ignored. Only
-    // --jobs (worker pool size) and --cache-dir travel with it.
+    // --jobs (worker pool size) and the cache knobs travel with it.
     if (!serve_socket.empty()) {
         setQuiet(true);
         serve::ServeConfig scfg;
         scfg.socketPath = serve_socket;
         scfg.cacheDir = cache::resolveCacheDir(cache_dir);
         scfg.jobs = jobs;
+        scfg.cacheMaxBytes = cache_max_bytes;
+        scfg.cacheMaxEntries = cache_max_entries;
         return serve::serveLoop(scfg);
     }
 
@@ -501,8 +514,13 @@ main(int argc, char **argv)
     std::unique_ptr<cache::ResultCache> result_cache;
     {
         std::string cdir = cache::resolveCacheDir(cache_dir);
-        if (!cdir.empty())
-            result_cache = std::make_unique<cache::ResultCache>(cdir);
+        if (!cdir.empty()) {
+            cache::ResultCache::Budget budget;
+            budget.maxBytes = cache_max_bytes;
+            budget.maxEntries = cache_max_entries;
+            result_cache = std::make_unique<cache::ResultCache>(
+                cdir, cache::CodeVersions::current(), budget);
+        }
     }
 
     if (want_sweep) {
