@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Client library for the sweep server (exp/serve.*), used by
+ * `swex_cli --connect` and the chaos harness (tools/stress_serve).
+ * The server's failure answers are structured (error_kind); this side
+ * supplies the discipline a remote caller needs on top of them:
+ *
+ *   - request deadlines: every response read is bounded; a server (or
+ *     network) that goes quiet yields error_kind "deadline" locally
+ *     instead of a hang. Any received line counts as progress and
+ *     re-arms the deadline, so a long sweep chunk is not mistaken for
+ *     a dead peer.
+ *   - retry with exponential backoff and seeded jitter: transport
+ *     failures and deadlines reconnect and retry up to maxAttempts,
+ *     sleeping min(backoffMaxMs, backoffBaseMs << attempt) plus a
+ *     deterministic jitter drawn from backoffSeed — the schedule is
+ *     reproducible, so a chaos run's replay line replays its timing
+ *     decisions too. A "busy" rejection honors the server's
+ *     retry_after_ms hint instead of the local schedule.
+ *   - reconnect-and-resume: runSweep() drives the server's chunked
+ *     sweep protocol (cursor/chunk, see serve.hh) and places cells by
+ *     absolute index, so after any disconnect it resumes from the
+ *     first cell it is missing. Re-executed cells are idempotent —
+ *     the server's result cache makes the canonical record bytes
+ *     identical — so duplicate receipt is harmless by construction.
+ *
+ * chaosKillPerMille is test instrumentation: a seeded probability of
+ * the client killing its own connection after a received sweep line,
+ * exercising the resume path deterministically from the outside.
+ */
+
+#ifndef SWEX_EXP_CLIENT_HH
+#define SWEX_EXP_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/wire_json.hh"
+
+namespace swex
+{
+namespace client
+{
+
+struct ClientConfig
+{
+    /** Server address: a string containing '/' is a Unix-domain
+     *  socket path; anything else is a TCP "host:port". */
+    std::string address;
+
+    int connectTimeoutMs = 2000;
+
+    /** Bound on waiting for the *next* response line; any line
+     *  received re-arms it. Expired -> error_kind "deadline". */
+    int requestDeadlineMs = 30'000;
+
+    /** Total tries per request (first attempt included). Progress
+     *  (a received line) resets the count. */
+    unsigned maxAttempts = 5;
+
+    unsigned backoffBaseMs = 50;
+    unsigned backoffMaxMs = 2000;
+
+    /** Seeds the backoff jitter; equal seeds replay equal delays. */
+    std::uint64_t backoffSeed = 0;
+
+    /** Cells per sweep chunk request (clamped to the server's 4096
+     *  maximum by the server). */
+    std::size_t chunk = 4096;
+
+    /** Chaos instrumentation: per-mille chance, rolled after every
+     *  received sweep line, that the client kills its connection
+     *  (0 = never). Deterministic in chaosSeed. */
+    unsigned chaosKillPerMille = 0;
+    std::uint64_t chaosSeed = 0;
+};
+
+/** One request's outcome. ok means the server answered {"ok":true};
+ *  otherwise errorKind holds the server's error_kind, or a local
+ *  "deadline" / "transport" / "parse" when the failure never reached
+ *  (or never came back from) the server. */
+struct Response
+{
+    bool ok = false;
+    std::string line;        ///< raw response line (when one arrived)
+    wire::JsonValue doc;     ///< parsed response (when parseable)
+    std::string error;
+    std::string errorKind;
+    std::uint64_t retryAfterMs = 0;   ///< busy hint, 0 otherwise
+};
+
+/** A resumable sweep's outcome: per-cell canonical results in cell
+ *  order (absolute grid index), regardless of arrival order or how
+ *  many reconnects it took. */
+struct SweepResult
+{
+    bool ok = false;
+    std::string error;
+    std::string errorKind;
+    std::size_t cells = 0;
+    std::vector<std::string> records;    ///< record JSON, by cell
+    std::vector<std::string> cellKeys;   ///< "protocol=h5 seed=2"
+    std::vector<std::string> sources;    ///< "cache" | "sim", by cell
+    unsigned reconnects = 0;   ///< connections re-established
+    unsigned duplicates = 0;   ///< cells received more than once
+};
+
+class ServeClient
+{
+  public:
+    explicit ServeClient(const ClientConfig &cfg);
+    ~ServeClient();
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    bool connected() const { return fd >= 0; }
+
+    /** Establish the connection (deadline-bounded). @return false
+     *  with @p err filled on failure. */
+    bool connect(std::string *err = nullptr);
+    void disconnect();
+
+    /**
+     * One request line -> one response line, over the current
+     * connection, bounded by requestDeadlineMs. No retries: a
+     * transport failure or deadline comes back as a local errorKind
+     * with the connection closed.
+     */
+    Response rpc(const std::string &request_line);
+
+    /**
+     * rpc() plus the retry discipline: reconnects and retries on
+     * "transport"/"deadline", honors retry_after_ms on "busy", gives
+     * structural errors ("parse", "bad_request", ...) straight back —
+     * retrying a request the server understood and refused would
+     * yield the same refusal.
+     */
+    Response rpcRetry(const std::string &request_line);
+
+    /**
+     * Drive a server-side sweep to completion with chunked resume.
+     * @p base_request is a complete {"op":"sweep",...} line *without*
+     * cursor/chunk — this method splices them per chunk, tracks
+     * received cells by absolute index, and after any disconnect
+     * resumes from the first missing cell on a fresh connection.
+     */
+    SweepResult runSweep(const std::string &base_request);
+
+    /** The deterministic backoff delay for @p attempt (0-based):
+     *  min(backoffMaxMs, backoffBaseMs << attempt), the top half
+     *  jittered by a hash of (backoffSeed, draw counter). Public so
+     *  tests can assert the schedule. */
+    std::uint64_t backoffDelayMs(unsigned attempt);
+
+  private:
+    enum class ReadStatus { Line, Deadline, Closed };
+    ReadStatus readLine(std::string &line, int deadline_ms);
+    bool sendAll(const std::string &line, int deadline_ms);
+    bool chaosRoll();
+
+    ClientConfig cfg;
+    int fd = -1;
+    std::string inbuf;
+    std::uint64_t backoffDraws = 0;
+    std::uint64_t chaosDraws = 0;
+};
+
+} // namespace client
+} // namespace swex
+
+#endif // SWEX_EXP_CLIENT_HH

@@ -1,16 +1,26 @@
 #include "exp/serve.hh"
 
 #include <algorithm>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -22,6 +32,7 @@
 #include "exp/cache/result_cache.hh"
 #include "exp/pool.hh"
 #include "exp/runner.hh"
+#include "exp/wire_json.hh"
 
 namespace swex
 {
@@ -31,315 +42,11 @@ namespace serve
 namespace
 {
 
-/**
- * A deliberately small JSON value + recursive-descent parser for the
- * request lines. Strict: whole-line parse, duplicate object keys are
- * rejected (a request that says "nodes" twice is ambiguous, and
- * silently taking either occurrence would run the wrong cell),
- * numbers keep their raw token so 64-bit seeds survive without a
- * double round-trip. Errors are strings, not exceptions — a malformed
- * request answers {"ok":false}, it never takes the server down.
- */
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Object, Array };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    std::string raw;   ///< number token, or decoded string value
-    std::vector<std::pair<std::string, JsonValue>> members;
-    std::vector<JsonValue> items;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : members)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-struct JsonParser
-{
-    const char *cur;
-    const char *end;
-    std::string err;
-
-    explicit JsonParser(const std::string &s)
-        : cur(s.data()), end(s.data() + s.size())
-    {}
-
-    void
-    ws()
-    {
-        while (cur < end && (*cur == ' ' || *cur == '\t' ||
-                             *cur == '\r' || *cur == '\n'))
-            ++cur;
-    }
-
-    bool
-    fail(const std::string &why)
-    {
-        if (err.empty())
-            err = why;
-        return false;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        std::size_t n = std::strlen(word);
-        if (static_cast<std::size_t>(end - cur) < n ||
-            std::strncmp(cur, word, n) != 0)
-            return fail(std::string("expected '") + word + "'");
-        cur += n;
-        return true;
-    }
-
-    bool
-    string(std::string &out)
-    {
-        if (cur >= end || *cur != '"')
-            return fail("expected string");
-        ++cur;
-        out.clear();
-        while (cur < end && *cur != '"') {
-            char c = *cur++;
-            if (c != '\\') {
-                out.push_back(c);
-                continue;
-            }
-            if (cur >= end)
-                return fail("dangling escape");
-            char e = *cur++;
-            switch (e) {
-              case '"': out.push_back('"'); break;
-              case '\\': out.push_back('\\'); break;
-              case '/': out.push_back('/'); break;
-              case 'n': out.push_back('\n'); break;
-              case 't': out.push_back('\t'); break;
-              case 'r': out.push_back('\r'); break;
-              case 'b': out.push_back('\b'); break;
-              case 'f': out.push_back('\f'); break;
-              case 'u': {
-                if (end - cur < 4)
-                    return fail("truncated \\u escape");
-                unsigned v = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = *cur++;
-                    v <<= 4;
-                    if (h >= '0' && h <= '9') v |= unsigned(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        v |= unsigned(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        v |= unsigned(h - 'A' + 10);
-                    else
-                        return fail("bad \\u escape");
-                }
-                // The request surface is ASCII identifiers; encode
-                // anything else as UTF-8 so round-trips stay lossless.
-                if (v < 0x80) {
-                    out.push_back(static_cast<char>(v));
-                } else if (v < 0x800) {
-                    out.push_back(static_cast<char>(0xC0 | (v >> 6)));
-                    out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
-                } else {
-                    out.push_back(static_cast<char>(0xE0 | (v >> 12)));
-                    out.push_back(static_cast<char>(
-                        0x80 | ((v >> 6) & 0x3F)));
-                    out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
-                }
-                break;
-              }
-              default:
-                return fail("unknown escape");
-            }
-        }
-        if (cur >= end)
-            return fail("unterminated string");
-        ++cur;   // closing quote
-        return true;
-    }
-
-    bool
-    value(JsonValue &out)
-    {
-        ws();
-        if (cur >= end)
-            return fail("unexpected end of input");
-        char c = *cur;
-        if (c == '"') {
-            out.kind = JsonValue::Kind::String;
-            return string(out.raw);
-        }
-        if (c == '{') {
-            ++cur;
-            out.kind = JsonValue::Kind::Object;
-            ws();
-            if (cur < end && *cur == '}') { ++cur; return true; }
-            for (;;) {
-                ws();
-                std::string key;
-                if (!string(key))
-                    return false;
-                ws();
-                if (cur >= end || *cur != ':')
-                    return fail("expected ':'");
-                ++cur;
-                JsonValue v;
-                if (!value(v))
-                    return false;
-                if (out.find(key) != nullptr)
-                    return fail("duplicate key '" + key + "'");
-                out.members.emplace_back(std::move(key), std::move(v));
-                ws();
-                if (cur < end && *cur == ',') { ++cur; continue; }
-                if (cur < end && *cur == '}') { ++cur; return true; }
-                return fail("expected ',' or '}'");
-            }
-        }
-        if (c == '[') {
-            ++cur;
-            out.kind = JsonValue::Kind::Array;
-            ws();
-            if (cur < end && *cur == ']') { ++cur; return true; }
-            for (;;) {
-                JsonValue v;
-                if (!value(v))
-                    return false;
-                out.items.push_back(std::move(v));
-                ws();
-                if (cur < end && *cur == ',') { ++cur; continue; }
-                if (cur < end && *cur == ']') { ++cur; return true; }
-                return fail("expected ',' or ']'");
-            }
-        }
-        if (c == 't') { out.kind = JsonValue::Kind::Bool;
-                        out.boolean = true; return literal("true"); }
-        if (c == 'f') { out.kind = JsonValue::Kind::Bool;
-                        out.boolean = false; return literal("false"); }
-        if (c == 'n') { out.kind = JsonValue::Kind::Null;
-                        return literal("null"); }
-        if (c == '-' || (c >= '0' && c <= '9')) {
-            out.kind = JsonValue::Kind::Number;
-            const char *start = cur;
-            if (*cur == '-')
-                ++cur;
-            while (cur < end &&
-                   ((*cur >= '0' && *cur <= '9') || *cur == '.' ||
-                    *cur == 'e' || *cur == 'E' || *cur == '+' ||
-                    *cur == '-'))
-                ++cur;
-            out.raw.assign(start, static_cast<std::size_t>(cur - start));
-            return true;
-        }
-        return fail("unexpected character");
-    }
-
-    bool
-    parseWhole(JsonValue &out)
-    {
-        if (!value(out))
-            return false;
-        ws();
-        if (cur != end)
-            return fail("trailing characters after JSON value");
-        return true;
-    }
-};
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out.push_back(c);
-            }
-        }
-    }
-    return out;
-}
-
-/** Re-render a parsed value as JSON — used to echo a rejected tag
- *  back verbatim (whatever its type), so the client can correlate the
- *  error with the request that caused it. */
-void
-renderJson(const JsonValue &v, std::string &out)
-{
-    switch (v.kind) {
-      case JsonValue::Kind::Null:
-        out += "null";
-        break;
-      case JsonValue::Kind::Bool:
-        out += v.boolean ? "true" : "false";
-        break;
-      case JsonValue::Kind::Number:
-        out += v.raw;
-        break;
-      case JsonValue::Kind::String:
-        out += "\"" + jsonEscape(v.raw) + "\"";
-        break;
-      case JsonValue::Kind::Object: {
-        out += "{";
-        bool first = true;
-        for (const auto &[k, m] : v.members) {
-            if (!first)
-                out += ",";
-            first = false;
-            out += "\"" + jsonEscape(k) + "\":";
-            renderJson(m, out);
-        }
-        out += "}";
-        break;
-      }
-      case JsonValue::Kind::Array: {
-        out += "[";
-        bool first = true;
-        for (const JsonValue &i : v.items) {
-            if (!first)
-                out += ",";
-            first = false;
-            renderJson(i, out);
-        }
-        out += "]";
-        break;
-      }
-    }
-}
-
-/** A JSON number token as a u64, refusing signs/fractions/exponents
- *  (seeds must survive exactly; doubles would round them). */
-bool
-numberAsU64(const JsonValue &v, std::uint64_t &out)
-{
-    if (v.kind != JsonValue::Kind::Number || v.raw.empty())
-        return false;
-    for (char c : v.raw)
-        if (c < '0' || c > '9')
-            return false;
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long r = std::strtoull(v.raw.c_str(), &end, 10);
-    if (end != v.raw.c_str() + v.raw.size() || errno == ERANGE)
-        return false;
-    out = static_cast<std::uint64_t>(r);
-    return true;
-}
+using wire::JsonValue;
+using wire::JsonParser;
+using wire::jsonEscape;
+using wire::numberAsU64;
+using wire::renderJson;
 
 bool
 parseSnoopProtocol(const std::string &s, SnoopProtocol &out)
@@ -395,7 +102,8 @@ specFromJson(const JsonValue &req, ExperimentSpec &spec)
     for (const auto &[key, v] : req.members) {
         std::string e;
         std::uint64_t n = 0;
-        if (key == "op" || key == "tag" || key == "canonical") {
+        if (key == "op" || key == "tag" || key == "canonical" ||
+            key == "cursor" || key == "chunk") {
             continue;   // envelope fields, handled by the caller
         } else if (key == "id") {
             if (v.kind != JsonValue::Kind::String)
@@ -519,20 +227,36 @@ specFromJson(const JsonValue &req, ExperimentSpec &spec)
  *  a maximal run request is a few hundred bytes. */
 constexpr std::size_t maxRequestLine = 1u << 20;
 
+/** Poll slice for the reader/writer progress loops: short enough
+ *  that shutdown, idle, and send-stall decisions land promptly. */
+constexpr int pollSliceMs = 50;
+
 /**
- * One connected client: line reader + locked line writer. Owned by
- * shared_ptr — the reader thread holds one reference and every pool
- * task responding to this client holds another, so the fd outlives
- * the last in-flight response no matter when the client hangs up.
- * The destructor (last reference dropped) closes the fd.
+ * One connected client: line reader + locked line writer over a
+ * non-blocking fd. Owned by shared_ptr — the reader thread holds one
+ * reference and every pool task responding to this client holds
+ * another, so the fd outlives the last in-flight response no matter
+ * when the client hangs up. The destructor (last reference dropped)
+ * closes the fd.
  */
 struct Connection
 {
     int fd;
+    const std::uint64_t id;   ///< fair-scheduling key
     std::mutex writeMutex;
     std::string inbuf;
 
-    explicit Connection(int fd_) : fd(fd_) {}
+    /** Admitted work units whose responses have not been sent yet; a
+     *  connection waiting on them is never idle. */
+    std::atomic<std::uint64_t> pending{0};
+
+    /** Set when a send stalled past the timeout (or the peer reset):
+     *  every later send for this connection is dropped immediately,
+     *  so a stalled peer costs at most one timeout, not one per
+     *  response. */
+    std::atomic<bool> dead{false};
+
+    Connection(int fd_, std::uint64_t id_) : fd(fd_), id(id_) {}
     ~Connection() { ::close(fd); }
     Connection(const Connection &) = delete;
     Connection &operator=(const Connection &) = delete;
@@ -542,12 +266,16 @@ struct Connection
         Line,       ///< @p line holds the next request line
         Eof,        ///< clean hang-up (or SHUT_RD during shutdown)
         Overflow,   ///< line exceeded maxRequestLine; drop the client
+        Idle,       ///< idle timeout expired with no pending work
     };
 
-    /** Next full line (without the '\n'). */
+    /** Next full line (without the '\n'). With @p idle_timeout_ms
+     *  > 0, a connection that sends nothing while owing no responses
+     *  for that long returns Idle instead of blocking forever. */
     ReadStatus
-    readLine(std::string &line)
+    readLine(std::string &line, int idle_timeout_ms)
     {
+        int idle_ms = 0;
         for (;;) {
             std::size_t nl = inbuf.find('\n');
             if (nl != std::string::npos) {
@@ -561,46 +289,98 @@ struct Connection
                 return ReadStatus::Overflow;
             char buf[4096];
             ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-            if (n <= 0) {
-                if (n < 0 && errno == EINTR)
-                    continue;
-                return ReadStatus::Eof;
+            if (n > 0) {
+                inbuf.append(buf, static_cast<std::size_t>(n));
+                idle_ms = 0;
+                continue;
             }
-            inbuf.append(buf, static_cast<std::size_t>(n));
+            if (n == 0)
+                return ReadStatus::Eof;
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                return ReadStatus::Eof;
+            pollfd p{fd, POLLIN, 0};
+            int pr = ::poll(&p, 1, pollSliceMs);
+            if (pr < 0 && errno != EINTR)
+                return ReadStatus::Eof;
+            if (pr == 0) {
+                if (pending.load(std::memory_order_acquire) > 0) {
+                    // Waiting on its own responses, not idle.
+                    idle_ms = 0;
+                    continue;
+                }
+                if (idle_timeout_ms > 0) {
+                    idle_ms += pollSliceMs;
+                    if (idle_ms >= idle_timeout_ms)
+                        return ReadStatus::Idle;
+                }
+            }
         }
     }
 
     /** Send one response line. A dead client is not an error — the
-     *  remaining scheduled runs still complete (and fill the cache). */
+     *  remaining scheduled runs still complete (and fill the cache).
+     *  A peer that stops draining its socket for @p send_timeout_ms
+     *  is declared dead so it can never wedge a pool worker. */
     void
-    sendLine(const std::string &line)
+    sendLine(const std::string &line, int send_timeout_ms)
     {
         std::unique_lock<std::mutex> hold(writeMutex);
+        if (dead.load(std::memory_order_acquire))
+            return;
         std::string out = line;
         out.push_back('\n');
         std::size_t off = 0;
+        int stalled_ms = 0;
         while (off < out.size()) {
             ssize_t n = ::send(fd, out.data() + off, out.size() - off,
                                MSG_NOSIGNAL);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                return;
+            if (n > 0) {
+                off += static_cast<std::size_t>(n);
+                stalled_ms = 0;
+                continue;
             }
-            off += static_cast<std::size_t>(n);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                pollfd p{fd, POLLOUT, 0};
+                int pr = ::poll(&p, 1, pollSliceMs);
+                if (pr < 0 && errno == EINTR)
+                    continue;
+                if (pr <= 0) {
+                    stalled_ms += pollSliceMs;
+                    if (send_timeout_ms > 0 &&
+                        stalled_ms >= send_timeout_ms) {
+                        dead.store(true, std::memory_order_release);
+                        ::shutdown(fd, SHUT_RDWR);
+                        return;
+                    }
+                }
+                continue;
+            }
+            // Peer gone (reset, closed): drop this and later sends.
+            dead.store(true, std::memory_order_release);
+            return;
         }
     }
 };
 
 /** @p tag_json is a pre-rendered JSON value ("" = no tag), so error
- *  responses can echo a tag of any type verbatim. */
+ *  responses can echo a tag of any type verbatim. @p kind is the
+ *  machine-readable error class; @p extra is a pre-rendered fragment
+ *  spliced before the closing brace (e.g. retry_after_ms). */
 std::string
-errorLine(const std::string &tag_json, const std::string &msg)
+errorLine(const std::string &tag_json, const std::string &msg,
+          const std::string &kind, const std::string &extra = "")
 {
     std::string out = "{\"ok\":false";
     if (!tag_json.empty())
         out += ",\"tag\":" + tag_json;
-    out += ",\"error\":\"" + jsonEscape(msg) + "\"}";
+    out += ",\"error\":\"" + jsonEscape(msg) + "\"";
+    out += ",\"error_kind\":\"" + kind + "\"";
+    out += extra;
+    out += "}";
     return out;
 }
 
@@ -609,22 +389,89 @@ errorLine(const std::string &tag_json, const std::string &msg)
 namespace
 {
 
-/** Server-side sweeps stop here: a grid this large belongs in a
- *  driver that can checkpoint, not in one request line. */
-constexpr std::size_t maxSweepCells = 4096;
+/** One request's chunk stops here: a client that wants more issues
+ *  the next cursor — bounded responses per request line, resumable
+ *  after any disconnect. */
+constexpr std::size_t maxSweepChunk = 4096;
+
+/** Total grid-size sanity bound: the grid *shape* (axis lengths) is
+ *  validated per request, so the bound only protects the cell
+ *  arithmetic, not memory — cells are expanded per chunk. */
+constexpr std::size_t maxSweepCellsTotal = std::size_t{1} << 20;
+
+/**
+ * Per-client fair scheduling on the shared pool. Tasks are queued
+ * per connection and drained round-robin: each pool "ticket" runs
+ * exactly one task, taken from the next connection (in rotation)
+ * that has work pending — so a client that enqueued a 4096-cell
+ * chunk and a client that asked for one run interleave 1:1 instead
+ * of FIFO luck deciding the single run waits out the whole chunk.
+ */
+class FairQueue
+{
+  public:
+    explicit FairQueue(ThreadPool &pool_) : pool(pool_) {}
+
+    void
+    enqueue(std::uint64_t conn_id, std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> hold(m);
+            auto &dq = queues[conn_id];
+            if (dq.empty())
+                rr.push_back(conn_id);
+            dq.push_back(std::move(task));
+        }
+        pool.submit([this] { runNext(); });
+    }
+
+  private:
+    void
+    runNext()
+    {
+        std::function<void()> task;
+        {
+            std::lock_guard<std::mutex> hold(m);
+            // One ticket per enqueued task: rr cannot be empty here.
+            std::uint64_t id = rr.front();
+            rr.pop_front();
+            auto it = queues.find(id);
+            task = std::move(it->second.front());
+            it->second.pop_front();
+            if (it->second.empty())
+                queues.erase(it);
+            else
+                rr.push_back(id);   // rotate to the back
+        }
+        task();
+    }
+
+    std::mutex m;
+    std::map<std::uint64_t, std::deque<std::function<void()>>> queues;
+    std::deque<std::uint64_t> rr;   ///< conn ids with pending work
+    ThreadPool &pool;
+};
 
 /**
  * Everything the per-connection reader threads share. The pool is the
  * single execution queue — every run or sweep cell from every client
- * lands on it, so cfg.jobs bounds concurrent simulations globally,
- * not per client.
+ * lands on it (through the fair queue), so cfg.jobs bounds concurrent
+ * simulations globally, not per client.
  */
 struct ServerState
 {
+    const ServeConfig &cfg;
     std::unique_ptr<cache::ResultCache> cache;
     Runner runner{/*fail_fast=*/false};
     ThreadPool pool;
+    FairQueue fair;
     std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> fdExhausted{0};
+    std::atomic<std::uint64_t> idleClosed{0};
+    std::atomic<std::uint64_t> queuedUnits{0};
+    std::atomic<std::uint64_t> nextConnId{0};
     std::atomic<bool> stopping{false};
     bool canonicalDefault = false;
     int wakeWrite = -1;   ///< pipe end that unblocks the accept loop
@@ -632,7 +479,43 @@ struct ServerState
     std::mutex connMutex;
     std::vector<std::weak_ptr<Connection>> conns;
 
-    explicit ServerState(unsigned jobs) : pool(jobs) {}
+    explicit ServerState(const ServeConfig &cfg_)
+        : cfg(cfg_), pool(cfg_.jobs == 0 ? 1 : cfg_.jobs), fair(pool)
+    {}
+
+    /**
+     * Bounded admission: reserve @p units work units, or refuse.
+     * Refusal fills @p depth with the queue depth that caused it, for
+     * the retry_after_ms hint. The add-then-undo dance keeps the
+     * check race-free without a lock: two readers admitting
+     * concurrently can only over-count transiently, never admit past
+     * the bound.
+     */
+    bool
+    admit(std::uint64_t units, std::uint64_t &depth)
+    {
+        std::uint64_t cur =
+            queuedUnits.fetch_add(units, std::memory_order_acq_rel);
+        if (cfg.maxQueuedUnits != 0 &&
+            cur + units > cfg.maxQueuedUnits) {
+            queuedUnits.fetch_sub(units, std::memory_order_acq_rel);
+            depth = cur;
+            shed.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
+    }
+
+    /** Deterministic backpressure hint: how long until @p depth units
+     *  have plausibly drained on this pool. Clamped so a deep queue
+     *  never tells a client to go away for minutes. */
+    std::uint64_t
+    retryAfterMs(std::uint64_t depth) const
+    {
+        unsigned jobs = pool.size() == 0 ? 1 : pool.size();
+        std::uint64_t est = 25 * (depth / jobs + 1);
+        return est > 10'000 ? 10'000 : est;
+    }
 
     /** Track @p c for the shutdown broadcast. If shutdown already
      *  started, the new connection is wound down immediately — this
@@ -702,21 +585,28 @@ runResponse(const Runner &runner, const ExperimentSpec &spec,
     return os.str();
 }
 
-/** A sweep request expanded to per-cell specs, every one validated
- *  before anything runs. */
+/** One chunk of a sweep request, expanded to per-cell specs, every
+ *  one validated before anything runs. */
 struct SweepPlan
 {
-    std::vector<ExperimentSpec> specs;
+    std::size_t totalCells = 0;   ///< whole grid, all chunks
+    std::size_t cursor = 0;       ///< first cell of this chunk
+    std::vector<ExperimentSpec> specs;   ///< cells [cursor, cursor+n)
     std::vector<std::string> extras;   ///< ,"cell":K,"of":N,"cell_key":...
 };
 
 /**
- * Expand a "sweep" request: the base fields describe one run, and
- * each "grid" entry (a request field name, or "params.<key>", mapped
- * to a non-empty array of scalar values) becomes an axis. Cells
- * enumerate row-major in grid key order with the last axis fastest.
- * All-or-nothing: every cell must validate or the whole sweep is
- * rejected with the offending cell named. @return "" on success.
+ * Expand one chunk of a "sweep" request: the base fields describe one
+ * run, each "grid" entry (a request field name, or "params.<key>",
+ * mapped to a non-empty array of scalar values) becomes an axis, and
+ * cells enumerate row-major in grid key order with the last axis
+ * fastest. "cursor"/"chunk" select the cells this request serves;
+ * the grid shape and every cell of the chunk must validate or the
+ * whole request is rejected with the offending cell named. Chunking
+ * is what makes sweeps resumable: cell identity is absolute (cell K
+ * of N), so a client that lost its connection re-requests from the
+ * first cell it is missing and the result cache makes re-executed
+ * cells byte-identical. @return "" on success.
  */
 std::string
 planSweep(const JsonValue &req, SweepPlan &plan)
@@ -727,10 +617,27 @@ planSweep(const JsonValue &req, SweepPlan &plan)
     if (gv->members.empty())
         return "'grid' must name at least one field";
 
+    std::size_t chunk = maxSweepChunk;
+    std::size_t cursor = 0;
+    if (const JsonValue *cv = req.find("chunk")) {
+        std::uint64_t n = 0;
+        if (!numberAsU64(*cv, n) || n == 0 || n > maxSweepChunk)
+            return "bad value for 'chunk' (want 1.." +
+                   std::to_string(maxSweepChunk) + ")";
+        chunk = static_cast<std::size_t>(n);
+    }
+    if (const JsonValue *cv = req.find("cursor")) {
+        std::uint64_t n = 0;
+        if (!numberAsU64(*cv, n) || n > maxSweepCellsTotal)
+            return "bad value for 'cursor' (want a cell index)";
+        cursor = static_cast<std::size_t>(n);
+    }
+
     JsonValue base;
     base.kind = JsonValue::Kind::Object;
     for (const auto &[k, v] : req.members)
-        if (k != "grid" && k != "op" && k != "tag" && k != "canonical")
+        if (k != "grid" && k != "op" && k != "tag" &&
+            k != "canonical" && k != "cursor" && k != "chunk")
             base.members.emplace_back(k, v);
 
     std::size_t cells = 1;
@@ -750,19 +657,28 @@ planSweep(const JsonValue &req, SweepPlan &plan)
                 return "grid key '" + k + "' duplicates a base field";
         } else {
             if (k == "op" || k == "tag" || k == "canonical" ||
-                k == "grid" || k == "params")
+                k == "grid" || k == "params" || k == "cursor" ||
+                k == "chunk")
                 return "grid key '" + k + "' is not sweepable";
             if (base.find(k) != nullptr)
                 return "grid key '" + k + "' duplicates a base field";
         }
         cells *= axis.items.size();
-        if (cells > maxSweepCells)
+        if (cells > maxSweepCellsTotal)
             return "sweep too large (more than " +
-                   std::to_string(maxSweepCells) + " cells)";
+                   std::to_string(maxSweepCellsTotal) + " cells)";
     }
+    if (cursor >= cells)
+        return "cursor " + std::to_string(cursor) +
+               " past the end of the grid (" + std::to_string(cells) +
+               " cells)";
+
+    plan.totalCells = cells;
+    plan.cursor = cursor;
+    const std::size_t chunk_end = std::min(cells, cursor + chunk);
 
     const auto &axes = gv->members;
-    for (std::size_t c = 0; c < cells; ++c) {
+    for (std::size_t c = cursor; c < chunk_end; ++c) {
         std::vector<std::size_t> idx(axes.size());
         std::size_t rem = c;
         for (std::size_t a = axes.size(); a-- > 0;) {
@@ -827,13 +743,22 @@ planSweep(const JsonValue &req, SweepPlan &plan)
 void
 handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
 {
+    const int send_timeout = srv.cfg.sendTimeoutMs;
     std::string line;
     for (;;) {
-        Connection::ReadStatus rs = conn->readLine(line);
+        Connection::ReadStatus rs =
+            conn->readLine(line, srv.cfg.idleTimeoutMs);
         if (rs == Connection::ReadStatus::Eof)
             break;
         if (rs == Connection::ReadStatus::Overflow) {
-            conn->sendLine(errorLine("", "request line too long"));
+            conn->sendLine(errorLine("", "request line too long",
+                                     "overflow"), send_timeout);
+            break;
+        }
+        if (rs == Connection::ReadStatus::Idle) {
+            srv.idleClosed.fetch_add(1, std::memory_order_relaxed);
+            conn->sendLine(errorLine("", "idle timeout",
+                                     "idle_timeout"), send_timeout);
             break;
         }
         if (line.empty())
@@ -845,7 +770,7 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
         if (!p.parseWhole(req) || req.kind != JsonValue::Kind::Object) {
             conn->sendLine(errorLine(
                 "", p.err.empty() ? "request is not a JSON object"
-                                  : p.err));
+                                  : p.err, "parse"), send_timeout);
             continue;
         }
 
@@ -859,7 +784,8 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
                 std::string echo;
                 renderJson(*t, echo);
                 conn->sendLine(errorLine(
-                    echo, "bad value for 'tag' (want a string)"));
+                    echo, "bad value for 'tag' (want a string)",
+                    "bad_request"), send_timeout);
                 continue;
             }
             tag_json = "\"" + jsonEscape(t->raw) + "\"";
@@ -881,7 +807,7 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
             if (!tag_json.empty())
                 out += ",\"tag\":" + tag_json;
             out += ",\"shutdown\":true}";
-            conn->sendLine(out);
+            conn->sendLine(out, send_timeout);
             srv.wakeAccept();
             break;
         }
@@ -898,8 +824,19 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
                << ",\"stores\":" << c.stores
                << ",\"corrupt\":" << c.corrupt
                << ",\"stale\":" << c.stale
-               << ",\"evictions\":" << c.evictions << "}}";
-            conn->sendLine(os.str());
+               << ",\"evictions\":" << c.evictions
+               << ",\"accepted\":"
+               << srv.accepted.load(std::memory_order_relaxed)
+               << ",\"shed\":"
+               << srv.shed.load(std::memory_order_relaxed)
+               << ",\"fd_exhausted\":"
+               << srv.fdExhausted.load(std::memory_order_relaxed)
+               << ",\"idle_closed\":"
+               << srv.idleClosed.load(std::memory_order_relaxed)
+               << ",\"queued\":"
+               << srv.queuedUnits.load(std::memory_order_relaxed)
+               << "}}";
+            conn->sendLine(os.str(), send_timeout);
             continue;
         }
 
@@ -912,19 +849,37 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
             ExperimentSpec spec;
             std::string err = specFromJson(req, spec);
             if (!err.empty()) {
-                conn->sendLine(errorLine(tag_json, err));
+                conn->sendLine(errorLine(tag_json, err, "bad_request"),
+                               send_timeout);
                 continue;
             }
-            // Hot or cold, the op runs on the pool: a hit is just a
-            // task that returns in microseconds, and the response
-            // streams back whenever it lands. execute() itself does
-            // the cache probe (and the store on a miss) and reports
-            // which side served, so the serve path and the CLI path
-            // share one cache discipline.
-            srv.pool.submit([&srv, conn, spec = std::move(spec),
-                             tag_json, canonical] {
+            std::uint64_t depth = 0;
+            if (!srv.admit(1, depth)) {
+                conn->sendLine(errorLine(
+                    tag_json, "server busy (admission queue full)",
+                    "busy",
+                    ",\"retry_after_ms\":" +
+                        std::to_string(srv.retryAfterMs(depth))),
+                    send_timeout);
+                continue;
+            }
+            conn->pending.fetch_add(1, std::memory_order_acq_rel);
+            // Hot or cold, the op runs on the (fairly scheduled)
+            // pool: a hit is just a task that returns in
+            // microseconds, and the response streams back whenever
+            // it lands. execute() itself does the cache probe (and
+            // the store on a miss) and reports which side served, so
+            // the serve path and the CLI path share one cache
+            // discipline.
+            srv.fair.enqueue(conn->id,
+                             [&srv, conn, spec = std::move(spec),
+                              tag_json, canonical, send_timeout] {
                 conn->sendLine(runResponse(srv.runner, spec, tag_json,
-                                           "", canonical));
+                                           "", canonical),
+                               send_timeout);
+                conn->pending.fetch_sub(1, std::memory_order_acq_rel);
+                srv.queuedUnits.fetch_sub(1,
+                                          std::memory_order_acq_rel);
             });
             continue;
         }
@@ -932,31 +887,63 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
             SweepPlan plan;
             std::string err = planSweep(req, plan);
             if (!err.empty()) {
-                conn->sendLine(errorLine(tag_json, err));
+                conn->sendLine(errorLine(tag_json, err, "bad_request"),
+                               send_timeout);
                 continue;
             }
             const std::size_t n = plan.specs.size();
+            std::uint64_t depth = 0;
+            if (!srv.admit(n, depth)) {
+                conn->sendLine(errorLine(
+                    tag_json, "server busy (admission queue full)",
+                    "busy",
+                    ",\"retry_after_ms\":" +
+                        std::to_string(srv.retryAfterMs(depth))),
+                    send_timeout);
+                continue;
+            }
+            conn->pending.fetch_add(n, std::memory_order_acq_rel);
+            const std::size_t chunk_end = plan.cursor + n;
+            const bool last_chunk = chunk_end == plan.totalCells;
+            const std::size_t total = plan.totalCells;
             auto done = std::make_shared<std::atomic<std::size_t>>(0);
             for (std::size_t i = 0; i < n; ++i) {
-                srv.pool.submit([&srv, conn,
-                                 spec = std::move(plan.specs[i]),
-                                 extra = std::move(plan.extras[i]),
-                                 tag_json, canonical, done, n] {
+                srv.fair.enqueue(conn->id,
+                                 [&srv, conn,
+                                  spec = std::move(plan.specs[i]),
+                                  extra = std::move(plan.extras[i]),
+                                  tag_json, canonical, done, n, total,
+                                  chunk_end, last_chunk,
+                                  send_timeout] {
                     conn->sendLine(runResponse(srv.runner, spec,
                                                tag_json, extra,
-                                               canonical));
-                    // The task that lands last sends the completion
-                    // line — cells stream in completion order, so
-                    // "last scheduled" and "last done" differ.
+                                               canonical),
+                                   send_timeout);
+                    // The task that lands last sends the chunk (or
+                    // sweep) trailer — cells stream in completion
+                    // order, so "last scheduled" and "last done"
+                    // differ.
                     if (done->fetch_add(1,
                             std::memory_order_acq_rel) + 1 == n) {
                         std::string out = "{\"ok\":true";
                         if (!tag_json.empty())
                             out += ",\"tag\":" + tag_json;
-                        out += ",\"sweep_done\":true,\"cells\":" +
-                               std::to_string(n) + "}";
-                        conn->sendLine(out);
+                        if (last_chunk) {
+                            out += ",\"sweep_done\":true,\"cells\":" +
+                                   std::to_string(total) + "}";
+                        } else {
+                            out += ",\"sweep_chunk_done\":true,"
+                                   "\"cells\":" +
+                                   std::to_string(total) +
+                                   ",\"next_cursor\":" +
+                                   std::to_string(chunk_end) + "}";
+                        }
+                        conn->sendLine(out, send_timeout);
                     }
+                    conn->pending.fetch_sub(
+                        1, std::memory_order_acq_rel);
+                    srv.queuedUnits.fetch_sub(
+                        1, std::memory_order_acq_rel);
                 });
             }
             continue;
@@ -965,7 +952,196 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
         conn->sendLine(errorLine(
             tag_json,
             op.empty() ? "missing 'op' (want run|sweep|stats|shutdown)"
-                       : "unknown op '" + op + "'"));
+                       : "unknown op '" + op + "'", "bad_request"),
+            send_timeout);
+    }
+}
+
+/** Make @p fd non-blocking (reader/writer loops are poll-driven). */
+void
+setNonBlocking(int fd)
+{
+    int fl = ::fcntl(fd, F_GETFL, 0);
+    if (fl >= 0)
+        ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+/**
+ * Bind + listen on the Unix path. A *stale* socket file (nothing
+ * accepting) is replaced; a *live* one — the probe connect()
+ * succeeds — is a structured refusal, closing the takeover race
+ * where starting a second server silently unlinked the first one's
+ * socket out from under it. @return "" on success.
+ */
+std::string
+bindUnixListener(const ServeConfig &cfg, int &out)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg.socketPath.size() >= sizeof(addr.sun_path))
+        return "socket path too long (" +
+               std::to_string(cfg.socketPath.size()) + " >= " +
+               std::to_string(sizeof(addr.sun_path)) + ")";
+    std::memcpy(addr.sun_path, cfg.socketPath.c_str(),
+                cfg.socketPath.size() + 1);
+
+    struct stat st;
+    if (::lstat(cfg.socketPath.c_str(), &st) == 0) {
+        if (!S_ISSOCK(st.st_mode))
+            return "path exists and is not a socket: " +
+                   cfg.socketPath;
+        int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe < 0)
+            return std::string("probe socket: ") +
+                   std::strerror(errno);
+        int rc = ::connect(probe,
+                           reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr));
+        int probe_errno = errno;
+        ::close(probe);
+        if (rc == 0)
+            return "address in use: a live server is accepting on " +
+                   cfg.socketPath;
+        if (probe_errno != ECONNREFUSED && probe_errno != ENOENT)
+            return "cannot probe " + cfg.socketPath + ": " +
+                   std::strerror(probe_errno);
+        // Connect refused: the socket file is a corpse. Replace it.
+        ::unlink(cfg.socketPath.c_str());
+    }
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return std::string("socket: ") + std::strerror(errno);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        std::string e = std::string("bind ") + cfg.socketPath + ": " +
+                        std::strerror(errno);
+        ::close(fd);
+        return e;
+    }
+    if (::listen(fd, cfg.backlog) != 0) {
+        std::string e = std::string("listen: ") + std::strerror(errno);
+        ::close(fd);
+        ::unlink(cfg.socketPath.c_str());
+        return e;
+    }
+    out = fd;
+    return "";
+}
+
+/** Bind + listen on "host:port" (numeric port; port 0 = ephemeral,
+ *  published through cfg.tcpPortOut). @return "" on success. */
+std::string
+bindTcpListener(const ServeConfig &cfg, int &out)
+{
+    const std::string &hp = cfg.tcpHostPort;
+    std::size_t colon = hp.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= hp.size())
+        return "bad TCP address '" + hp + "' (want host:port)";
+    const std::string host = hp.substr(0, colon);
+    const std::string port = hp.substr(colon + 1);
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+    addrinfo *res = nullptr;
+    int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (gai != 0)
+        return "resolve " + hp + ": " + ::gai_strerror(gai);
+
+    std::string err = "no usable address for " + hp;
+    int fd = -1;
+    for (addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0) {
+            err = std::string("socket: ") + std::strerror(errno);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd, cfg.backlog) != 0) {
+            err = "bind/listen " + hp + ": " + std::strerror(errno);
+            ::close(fd);
+            fd = -1;
+            continue;
+        }
+        break;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        return err;
+
+    if (cfg.tcpPortOut != nullptr) {
+        sockaddr_storage ss{};
+        socklen_t slen = sizeof(ss);
+        int bound = 0;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&ss),
+                          &slen) == 0) {
+            if (ss.ss_family == AF_INET)
+                bound = ntohs(reinterpret_cast<sockaddr_in *>(&ss)
+                                  ->sin_port);
+            else if (ss.ss_family == AF_INET6)
+                bound = ntohs(reinterpret_cast<sockaddr_in6 *>(&ss)
+                                  ->sin6_port);
+        }
+        cfg.tcpPortOut->store(bound, std::memory_order_release);
+    }
+    out = fd;
+    return "";
+}
+
+// Graceful-drain signal plumbing: the handler only sets a flag and
+// pokes a wake pipe (both async-signal-safe); the drain itself runs
+// on the accept thread. One serveLoop owns the disposition at a
+// time; it is saved and restored around the loop. The handler's
+// pipe is process-wide and deliberately never closed: a handler can
+// run on any thread at any point during teardown, so closing the fd
+// it writes to would race the write (and, after fd reuse, misdirect
+// the byte into an unrelated descriptor). Both ends are
+// non-blocking — a signal storm must not wedge the handler, and the
+// owning loop drains stale bytes without blocking.
+std::atomic<bool> g_termRequested{false};
+std::atomic<int> g_signalWakeFd{-1};
+
+struct SignalPipe {
+    int read = -1;
+    int write = -1;
+};
+
+/** The persistent signal self-pipe (write end is handed to
+    g_signalWakeFd while a serveLoop owns the disposition). Created
+    on first use — always before the handler can be installed — and
+    kept for the life of the process. */
+SignalPipe
+signalWakePipe()
+{
+    static SignalPipe p = [] {
+        SignalPipe sp;
+        int fds[2];
+        if (::pipe(fds) == 0) {
+            setNonBlocking(fds[0]);
+            setNonBlocking(fds[1]);
+            sp.read = fds[0];
+            sp.write = fds[1];
+        }
+        return sp;
+    }();
+    return p;
+}
+
+extern "C" void
+serveTermHandler(int)
+{
+    g_termRequested.store(true, std::memory_order_relaxed);
+    int fd = g_signalWakeFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char b = 1;
+        ssize_t r = ::write(fd, &b, 1);
+        (void)r;
     }
 }
 
@@ -974,47 +1150,47 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
 int
 serveLoop(const ServeConfig &cfg)
 {
-    if (cfg.socketPath.empty()) {
-        std::fprintf(stderr, "serve: no socket path\n");
+    if (cfg.socketPath.empty() && cfg.tcpHostPort.empty()) {
+        std::fprintf(stderr,
+                     "serve: no listener (need a socket path and/or "
+                     "a TCP host:port)\n");
         return 1;
     }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (cfg.socketPath.size() >= sizeof(addr.sun_path)) {
-        std::fprintf(stderr, "serve: socket path too long (%zu >= "
-                     "%zu)\n", cfg.socketPath.size(),
-                     sizeof(addr.sun_path));
-        return 1;
-    }
-    std::memcpy(addr.sun_path, cfg.socketPath.c_str(),
-                cfg.socketPath.size() + 1);
 
-    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listener < 0) {
-        std::perror("serve: socket");
-        return 1;
+    int unix_fd = -1;
+    int tcp_fd = -1;
+    if (!cfg.socketPath.empty()) {
+        std::string err = bindUnixListener(cfg, unix_fd);
+        if (!err.empty()) {
+            std::fprintf(stderr, "serve: %s\n", err.c_str());
+            return 1;
+        }
     }
-    ::unlink(cfg.socketPath.c_str());   // replace a stale socket file
-    if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        std::perror("serve: bind");
-        ::close(listener);
-        return 1;
-    }
-    if (::listen(listener, 8) != 0) {
-        std::perror("serve: listen");
-        ::close(listener);
-        return 1;
+    if (!cfg.tcpHostPort.empty()) {
+        std::string err = bindTcpListener(cfg, tcp_fd);
+        if (!err.empty()) {
+            std::fprintf(stderr, "serve: %s\n", err.c_str());
+            if (unix_fd >= 0) {
+                ::close(unix_fd);
+                ::unlink(cfg.socketPath.c_str());
+            }
+            return 1;
+        }
     }
 
     int wake[2];
     if (::pipe(wake) != 0) {
         std::perror("serve: pipe");
-        ::close(listener);
+        if (unix_fd >= 0) {
+            ::close(unix_fd);
+            ::unlink(cfg.socketPath.c_str());
+        }
+        if (tcp_fd >= 0)
+            ::close(tcp_fd);
         return 1;
     }
 
-    ServerState srv(cfg.jobs == 0 ? 1 : cfg.jobs);
+    ServerState srv(cfg);
     srv.wakeWrite = wake[1];
     if (!cfg.cacheDir.empty()) {
         cache::ResultCache::Budget budget;
@@ -1029,29 +1205,111 @@ serveLoop(const ServeConfig &cfg)
     srv.canonicalDefault =
         std::getenv(RunLog::canonicalEnvVar) != nullptr;
 
+    struct sigaction old_term{}, old_int{};
+    bool signals_hooked = false;
+    int sig_fd = -1;
+    if (cfg.handleSignals) {
+        SignalPipe sp = signalWakePipe();
+        sig_fd = sp.read;
+        if (sig_fd >= 0) {
+            // Drain bytes left over from a previous owner's signal
+            // so a stale poke cannot spin this loop's poll().
+            char buf[64];
+            while (::read(sig_fd, buf, sizeof buf) > 0) {
+            }
+        }
+        g_termRequested.store(false, std::memory_order_relaxed);
+        g_signalWakeFd.store(sp.write, std::memory_order_relaxed);
+        struct sigaction sa{};
+        sa.sa_handler = serveTermHandler;
+        ::sigemptyset(&sa.sa_mask);
+        ::sigaction(SIGTERM, &sa, &old_term);
+        ::sigaction(SIGINT, &sa, &old_int);
+        signals_hooked = true;
+    }
+
     // One reader thread per connection; the wake pipe unblocks
-    // poll() when a reader initiates shutdown, since no further
-    // connection may ever arrive to do it.
+    // poll() when a reader initiates shutdown, and the persistent
+    // signal pipe does the same when a termination signal arrives,
+    // since no further connection may ever arrive to do it.
+    bool signal_drain = false;
     std::vector<std::thread> readers;
     while (!srv.stopping.load(std::memory_order_acquire)) {
-        pollfd fds[2] = {{listener, POLLIN, 0}, {wake[0], POLLIN, 0}};
-        int pr = ::poll(fds, 2, -1);
+        pollfd fds[4];
+        int nfds = 0;
+        int unix_slot = -1, tcp_slot = -1;
+        if (unix_fd >= 0) {
+            unix_slot = nfds;
+            fds[nfds++] = {unix_fd, POLLIN, 0};
+        }
+        if (tcp_fd >= 0) {
+            tcp_slot = nfds;
+            fds[nfds++] = {tcp_fd, POLLIN, 0};
+        }
+        fds[nfds++] = {wake[0], POLLIN, 0};
+        int sig_slot = -1;
+        if (sig_fd >= 0) {
+            sig_slot = nfds;
+            fds[nfds++] = {sig_fd, POLLIN, 0};
+        }
+
+        int pr = ::poll(fds, static_cast<nfds_t>(nfds), -1);
         if (pr < 0) {
             if (errno == EINTR)
                 continue;
             break;
         }
-        if (srv.stopping.load(std::memory_order_acquire))
-            break;
-        if ((fds[0].revents & POLLIN) == 0)
-            continue;
-        int cfd = ::accept(listener, nullptr, nullptr);
-        if (cfd < 0) {
-            if (errno == EINTR)
-                continue;
+        if (sig_slot >= 0 && (fds[sig_slot].revents & POLLIN) != 0) {
+            char buf[64];
+            while (::read(sig_fd, buf, sizeof buf) > 0) {
+            }
+        }
+        if (cfg.handleSignals &&
+            g_termRequested.load(std::memory_order_relaxed)) {
+            // Graceful drain: stop accepting, close every read side,
+            // let the join below wait out in-flight responses.
+            signal_drain = true;
+            srv.beginShutdown();
             break;
         }
-        auto conn = std::make_shared<Connection>(cfd);
+        if (srv.stopping.load(std::memory_order_acquire))
+            break;
+
+        int lfd = -1;
+        if (unix_slot >= 0 && (fds[unix_slot].revents & POLLIN) != 0)
+            lfd = unix_fd;
+        else if (tcp_slot >= 0 && (fds[tcp_slot].revents & POLLIN) != 0)
+            lfd = tcp_fd;
+        if (lfd < 0)
+            continue;
+        int cfd = ::accept(lfd, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED ||
+                errno == EAGAIN || errno == EWOULDBLOCK)
+                continue;
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM) {
+                // Out of descriptors is a load condition, not a
+                // reason to die: count it, back off briefly (pending
+                // connections keep their backlog slot), try again.
+                srv.fdExhausted.fetch_add(1,
+                                          std::memory_order_relaxed);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            break;
+        }
+        setNonBlocking(cfd);
+        if (lfd == tcp_fd) {
+            int one = 1;
+            ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+        }
+        srv.accepted.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_shared<Connection>(
+            cfd, srv.nextConnId.fetch_add(1,
+                                          std::memory_order_relaxed));
         srv.registerConn(conn);
         readers.emplace_back(
             [&srv, conn = std::move(conn)]() mutable {
@@ -1066,10 +1324,27 @@ serveLoop(const ServeConfig &cfg)
         t.join();
     srv.pool.wait();
 
+    if (signals_hooked) {
+        ::sigaction(SIGTERM, &old_term, nullptr);
+        ::sigaction(SIGINT, &old_int, nullptr);
+        g_signalWakeFd.store(-1, std::memory_order_relaxed);
+        g_termRequested.store(false, std::memory_order_relaxed);
+    }
+    if (signal_drain)
+        std::fprintf(stderr,
+                     "serve: termination signal, drained %llu "
+                     "requests and exiting\n",
+                     static_cast<unsigned long long>(
+                         srv.requests.load(std::memory_order_relaxed)));
+
     ::close(wake[0]);
     ::close(wake[1]);
-    ::close(listener);
-    ::unlink(cfg.socketPath.c_str());
+    if (unix_fd >= 0) {
+        ::close(unix_fd);
+        ::unlink(cfg.socketPath.c_str());
+    }
+    if (tcp_fd >= 0)
+        ::close(tcp_fd);
     return 0;
 }
 

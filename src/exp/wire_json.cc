@@ -1,0 +1,283 @@
+#include "exp/wire_json.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace swex
+{
+namespace wire
+{
+
+void
+JsonParser::ws()
+{
+    while (cur < end && (*cur == ' ' || *cur == '\t' ||
+                         *cur == '\r' || *cur == '\n'))
+        ++cur;
+}
+
+bool
+JsonParser::fail(const std::string &why)
+{
+    if (err.empty())
+        err = why;
+    return false;
+}
+
+bool
+JsonParser::literal(const char *word)
+{
+    std::size_t n = std::strlen(word);
+    if (static_cast<std::size_t>(end - cur) < n ||
+        std::strncmp(cur, word, n) != 0)
+        return fail(std::string("expected '") + word + "'");
+    cur += n;
+    return true;
+}
+
+bool
+JsonParser::string(std::string &out)
+{
+    if (cur >= end || *cur != '"')
+        return fail("expected string");
+    ++cur;
+    out.clear();
+    while (cur < end && *cur != '"') {
+        char c = *cur++;
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (cur >= end)
+            return fail("dangling escape");
+        char e = *cur++;
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (end - cur < 4)
+                return fail("truncated \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+                char h = *cur++;
+                v <<= 4;
+                if (h >= '0' && h <= '9') v |= unsigned(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    v |= unsigned(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    v |= unsigned(h - 'A' + 10);
+                else
+                    return fail("bad \\u escape");
+            }
+            // The request surface is ASCII identifiers; encode
+            // anything else as UTF-8 so round-trips stay lossless.
+            if (v < 0x80) {
+                out.push_back(static_cast<char>(v));
+            } else if (v < 0x800) {
+                out.push_back(static_cast<char>(0xC0 | (v >> 6)));
+                out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+            } else {
+                out.push_back(static_cast<char>(0xE0 | (v >> 12)));
+                out.push_back(static_cast<char>(
+                    0x80 | ((v >> 6) & 0x3F)));
+                out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+    }
+    if (cur >= end)
+        return fail("unterminated string");
+    ++cur;   // closing quote
+    return true;
+}
+
+bool
+JsonParser::value(JsonValue &out)
+{
+    // Reset the output: callers reuse one JsonValue across lines,
+    // and stale members would masquerade as duplicate keys.
+    out = JsonValue{};
+    ws();
+    if (cur >= end)
+        return fail("unexpected end of input");
+    char c = *cur;
+    if (c == '"') {
+        out.kind = JsonValue::Kind::String;
+        return string(out.raw);
+    }
+    if (c == '{') {
+        ++cur;
+        out.kind = JsonValue::Kind::Object;
+        ws();
+        if (cur < end && *cur == '}') { ++cur; return true; }
+        for (;;) {
+            ws();
+            std::string key;
+            if (!string(key))
+                return false;
+            ws();
+            if (cur >= end || *cur != ':')
+                return fail("expected ':'");
+            ++cur;
+            JsonValue v;
+            if (!value(v))
+                return false;
+            if (out.find(key) != nullptr)
+                return fail("duplicate key '" + key + "'");
+            out.members.emplace_back(std::move(key), std::move(v));
+            ws();
+            if (cur < end && *cur == ',') { ++cur; continue; }
+            if (cur < end && *cur == '}') { ++cur; return true; }
+            return fail("expected ',' or '}'");
+        }
+    }
+    if (c == '[') {
+        ++cur;
+        out.kind = JsonValue::Kind::Array;
+        ws();
+        if (cur < end && *cur == ']') { ++cur; return true; }
+        for (;;) {
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.items.push_back(std::move(v));
+            ws();
+            if (cur < end && *cur == ',') { ++cur; continue; }
+            if (cur < end && *cur == ']') { ++cur; return true; }
+            return fail("expected ',' or ']'");
+        }
+    }
+    if (c == 't') { out.kind = JsonValue::Kind::Bool;
+                    out.boolean = true; return literal("true"); }
+    if (c == 'f') { out.kind = JsonValue::Kind::Bool;
+                    out.boolean = false; return literal("false"); }
+    if (c == 'n') { out.kind = JsonValue::Kind::Null;
+                    return literal("null"); }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+        out.kind = JsonValue::Kind::Number;
+        const char *start = cur;
+        if (*cur == '-')
+            ++cur;
+        while (cur < end &&
+               ((*cur >= '0' && *cur <= '9') || *cur == '.' ||
+                *cur == 'e' || *cur == 'E' || *cur == '+' ||
+                *cur == '-'))
+            ++cur;
+        out.raw.assign(start, static_cast<std::size_t>(cur - start));
+        return true;
+    }
+    return fail("unexpected character");
+}
+
+bool
+JsonParser::parseWhole(JsonValue &out)
+{
+    if (!value(out))
+        return false;
+    ws();
+    if (cur != end)
+        return fail("trailing characters after JSON value");
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+renderJson(const JsonValue &v, std::string &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number:
+        out += v.raw;
+        break;
+      case JsonValue::Kind::String:
+        out += "\"" + jsonEscape(v.raw) + "\"";
+        break;
+      case JsonValue::Kind::Object: {
+        out += "{";
+        bool first = true;
+        for (const auto &[k, m] : v.members) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\"" + jsonEscape(k) + "\":";
+            renderJson(m, out);
+        }
+        out += "}";
+        break;
+      }
+      case JsonValue::Kind::Array: {
+        out += "[";
+        bool first = true;
+        for (const JsonValue &i : v.items) {
+            if (!first)
+                out += ",";
+            first = false;
+            renderJson(i, out);
+        }
+        out += "]";
+        break;
+      }
+    }
+}
+
+bool
+numberAsU64(const JsonValue &v, std::uint64_t &out)
+{
+    if (v.kind != JsonValue::Kind::Number || v.raw.empty())
+        return false;
+    for (char c : v.raw)
+        if (c < '0' || c > '9')
+            return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long r = std::strtoull(v.raw.c_str(), &end, 10);
+    if (end != v.raw.c_str() + v.raw.size() || errno == ERANGE)
+        return false;
+    out = static_cast<std::uint64_t>(r);
+    return true;
+}
+
+} // namespace wire
+} // namespace swex

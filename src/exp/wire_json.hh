@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The line-delimited JSON wire format shared by the sweep server
+ * (exp/serve.*), the serve client library (exp/client.*), and the
+ * socket-level chaos harness (tools/stress_serve). One deliberately
+ * small JSON value + recursive-descent parser: strict whole-line
+ * parse, duplicate object keys rejected (a request that says "nodes"
+ * twice is ambiguous, and silently taking either occurrence would run
+ * the wrong cell), numbers keep their raw token so 64-bit seeds
+ * survive without a double round-trip. Errors are strings, not
+ * exceptions — a malformed line answers a structured error, it never
+ * takes a peer down.
+ */
+
+#ifndef SWEX_EXP_WIRE_JSON_HH
+#define SWEX_EXP_WIRE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swex
+{
+namespace wire
+{
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Object, Array };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string raw;   ///< number token, or decoded string value
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> items;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+struct JsonParser
+{
+    const char *cur;
+    const char *end;
+    std::string err;
+
+    explicit JsonParser(const std::string &s)
+        : cur(s.data()), end(s.data() + s.size())
+    {}
+
+    bool value(JsonValue &out);
+
+    /** Parse the whole input as one value; trailing bytes fail. */
+    bool parseWhole(JsonValue &out);
+
+  private:
+    void ws();
+    bool fail(const std::string &why);
+    bool literal(const char *word);
+    bool string(std::string &out);
+};
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Re-render a parsed value as JSON — used to echo a rejected tag
+ *  back verbatim (whatever its type), so the peer can correlate the
+ *  error with the request that caused it. */
+void renderJson(const JsonValue &v, std::string &out);
+
+/** A JSON number token as a u64, refusing signs/fractions/exponents
+ *  (seeds must survive exactly; doubles would round them). */
+bool numberAsU64(const JsonValue &v, std::uint64_t &out);
+
+} // namespace wire
+} // namespace swex
+
+#endif // SWEX_EXP_WIRE_JSON_HH

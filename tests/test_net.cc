@@ -390,6 +390,77 @@ TEST_F(NetFixture, BlackoutsReorderWireButDeliveryStaysInOrder)
     EXPECT_EQ(violations, 0);
 }
 
+TEST_F(NetFixture, BlackoutExactlySpanningRetransmitTimeoutIsSafe)
+{
+    // The nastiest blackout length is the retransmission interval
+    // itself: the delayed original and the timer-driven retransmit
+    // race to the receiver a few cycles apart. Exactly-once delivery
+    // must hold on both outcomes of that race — the loser is
+    // suppressed as a duplicate, never delivered twice.
+    cfg.faults.blackoutPerMille = 1000;
+    cfg.faults.blackoutMax = cfg.faults.retransmitTimeout;
+    cfg.faults.seed = 5;
+    build(16);
+    ASSERT_NE(net->delivery(), nullptr);
+
+    for (int i = 0; i < 32; ++i) {
+        Message m = msg(0, 5);
+        m.addr = static_cast<Addr>(i);
+        net->send(m);
+    }
+    eq.run();
+
+    ASSERT_EQ(sinks[5]->got.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(sinks[5]->got[static_cast<size_t>(i)].second.addr,
+                  static_cast<Addr>(i));
+
+    // The seed must actually produce the race: blackouts that pushed
+    // an arrival past the timer (so the sender retransmitted) and a
+    // late copy that then had to be suppressed.
+    EXPECT_GT(net->delivery()->retransmits.value(), 0.0);
+    EXPECT_GT(net->delivery()->dupSuppressed.value(), 0.0);
+    EXPECT_DOUBLE_EQ(net->delivery()->delivered.value(), 32.0);
+
+    int violations = 0;
+    net->checkDeliveryQuiescent(
+        [&](NodeId, NodeId, const std::string &) { ++violations; });
+    EXPECT_EQ(violations, 0);
+}
+
+TEST_F(NetFixture, BlackoutJustExceedingRetransmitTimeoutIsSafe)
+{
+    // Just past the boundary: every long blackout now guarantees the
+    // timer fires first, so the delayed original always arrives as
+    // the duplicate. The channel must absorb a retransmit storm
+    // without double delivery or reordering.
+    cfg.faults.blackoutPerMille = 1000;
+    cfg.faults.blackoutMax = cfg.faults.retransmitTimeout + 64;
+    cfg.faults.seed = 6;
+    build(16);
+
+    for (int i = 0; i < 32; ++i) {
+        Message m = msg(0, 9);
+        m.addr = static_cast<Addr>(i);
+        net->send(m);
+    }
+    eq.run();
+
+    ASSERT_EQ(sinks[9]->got.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(sinks[9]->got[static_cast<size_t>(i)].second.addr,
+                  static_cast<Addr>(i));
+
+    EXPECT_GT(net->delivery()->retransmits.value(), 0.0);
+    EXPECT_GT(net->delivery()->dupSuppressed.value(), 0.0);
+    EXPECT_DOUBLE_EQ(net->delivery()->delivered.value(), 32.0);
+
+    int violations = 0;
+    net->checkDeliveryQuiescent(
+        [&](NodeId, NodeId, const std::string &) { ++violations; });
+    EXPECT_EQ(violations, 0);
+}
+
 TEST_F(NetFixture, FaultScheduleReplaysBySeed)
 {
     auto deliveries = [this](std::uint64_t seed) {

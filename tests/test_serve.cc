@@ -7,20 +7,29 @@
  * (duplicate keys, garbage, oversized lines), server-side sweeps
  * (expansion order, per-cell byte-identity with direct execution),
  * the multi-client model (concurrent clients, hang-up mid-sweep),
- * and LRU eviction accounting through the stats op.
+ * LRU eviction accounting through the stats op, and the robustness
+ * surface: the TCP listener, stale-socket takeover vs live-socket
+ * refusal, overload shedding with retry hints, cursor-chunked sweeps
+ * resumed across connections (raw protocol and ServeClient under
+ * chaos kills), idle timeouts, and SIGTERM drain.
  */
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -28,6 +37,7 @@
 
 #include "base/logging.hh"
 #include "exp/cache/result_cache.hh"
+#include "exp/client.hh"
 #include "exp/runner.hh"
 #include "exp/serve.hh"
 #include "mini_json.hh"
@@ -69,6 +79,25 @@ struct Client
         if (path.size() >= sizeof(addr.sun_path))
             return false;
         std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            disconnect();
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    connectTcp(int port)
+    {
+        disconnect();
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        addr.sin_addr.s_addr = ::inet_addr("127.0.0.1");
         if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                       sizeof(addr)) != 0) {
             disconnect();
@@ -144,13 +173,15 @@ struct Client
 struct TestServer
 {
     serve::ServeConfig cfg;
+    std::atomic<int> tcpPort{0};
     std::thread thread;
     int exitCode = -1;
     bool stopped = false;
 
-    explicit TestServer(const std::string &tag, unsigned jobs = 4,
-                        std::uint64_t max_bytes = 0,
-                        std::uint64_t max_entries = 0)
+    explicit TestServer(
+        const std::string &tag, unsigned jobs = 4,
+        std::uint64_t max_bytes = 0, std::uint64_t max_entries = 0,
+        const std::function<void(serve::ServeConfig &)> &tweak = {})
     {
         const std::string dir = scratchDir(tag);
         cfg.socketPath = dir + "/sock";
@@ -158,6 +189,9 @@ struct TestServer
         cfg.jobs = jobs;
         cfg.cacheMaxBytes = max_bytes;
         cfg.cacheMaxEntries = max_entries;
+        cfg.tcpPortOut = &tcpPort;
+        if (tweak)
+            tweak(cfg);
         thread = std::thread([this] { exitCode = serve::serveLoop(cfg); });
         waitReady();
     }
@@ -577,4 +611,323 @@ TEST(Serve, StatsSurfacesLruEvictions)
     EXPECT_EQ(stats.at("stats").at("stores").number, 2);
 
     server.stop();
+}
+
+TEST(Serve, TcpListenerSpeaksTheSameProtocolByteForByte)
+{
+    setQuiet(true);
+    TestServer server("tcp", 2, 0, 0, [](serve::ServeConfig &c) {
+        c.tcpHostPort = "127.0.0.1:0";
+    });
+
+    // The kernel-assigned port is published through tcpPortOut once
+    // the TCP listener is bound.
+    int port = 0;
+    for (int i = 0; i < 500 && port == 0; ++i) {
+        port = server.tcpPort.load();
+        if (port == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GT(port, 0) << "TCP port never published";
+
+    Client tcp;
+    ASSERT_TRUE(tcp.connectTcp(port));
+    tcp.sendLine("{\"op\":\"run\",\"app\":\"worker\",\"nodes\":4,"
+                 "\"protocol\":\"h5\",\"seed\":3,\"canonical\":true}");
+    std::string line;
+    ASSERT_TRUE(tcp.readLine(line));
+    minijson::Value v = minijson::parse(line);
+    ASSERT_TRUE(v.at("ok").boolean) << line;
+
+    Runner direct(/*fail_fast=*/false);
+    EXPECT_EQ(recordBytes(line),
+              canonicalJson(direct.execute(workerCell("h5", 3))));
+
+    // Both listeners front the same server: the Unix side sees the
+    // cell the TCP side just stored, and the accept counter covers
+    // both.
+    Client un;
+    ASSERT_TRUE(un.connectTo(server.cfg.socketPath));
+    minijson::Value warm = un.rpc(
+        "{\"op\":\"run\",\"app\":\"worker\",\"nodes\":4,"
+        "\"protocol\":\"h5\",\"seed\":3,\"canonical\":true}");
+    EXPECT_EQ(warm.at("source").str, "cache");
+    minijson::Value stats = un.rpc("{\"op\":\"stats\"}");
+    EXPECT_GE(stats.at("stats").at("accepted").number, 2);
+
+    server.stop();
+}
+
+TEST(Serve, LiveSocketIsRefusedButStaleSocketIsTakenOver)
+{
+    setQuiet(true);
+
+    // The tweak runs before the server thread starts: plant a stale
+    // socket file (bound once, listener long gone) at the exact path
+    // the server is about to claim. Coming up at all proves the
+    // connect() probe classified it as dead and unlinked it.
+    TestServer server("stale", 1, 0, 0, [](serve::ServeConfig &c) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        ASSERT_LT(c.socketPath.size(), sizeof(addr.sun_path));
+        std::memcpy(addr.sun_path, c.socketPath.c_str(),
+                    c.socketPath.size() + 1);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)), 0);
+        ::close(fd);
+    });
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+    EXPECT_TRUE(c.rpc("{\"op\":\"stats\"}").at("ok").boolean);
+
+    // A second server pointed at the live socket must refuse to
+    // start (exit 1) instead of unlinking it out from under the
+    // running one — and the running one must be unharmed.
+    serve::ServeConfig usurper;
+    usurper.socketPath = server.cfg.socketPath;
+    usurper.cacheDir = scratchDir("stale-usurper") + "/cache";
+    EXPECT_EQ(serve::serveLoop(usurper), 1);
+    EXPECT_TRUE(c.rpc("{\"op\":\"stats\"}").at("ok").boolean);
+
+    server.stop();
+}
+
+TEST(Serve, OverloadIsShedWithARetryHintNotAHang)
+{
+    setQuiet(true);
+    TestServer server("shed", 1, 0, 0, [](serve::ServeConfig &c) {
+        c.maxQueuedUnits = 4;
+    });
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+
+    // An 8-cell chunk against a 4-unit admission queue is refused
+    // deterministically — even on an idle server — with the
+    // structured busy error and a retry hint, and nothing executes.
+    minijson::Value before = c.rpc("{\"op\":\"stats\"}");
+    const double misses = before.at("stats").at("misses").number;
+    minijson::Value busy = c.rpc(
+        "{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+        "\"canonical\":true,\"grid\":{\"protocol\":[\"h2\",\"h5\"],"
+        "\"seed\":[1,2,3,4]}}");
+    EXPECT_FALSE(busy.at("ok").boolean);
+    EXPECT_EQ(busy.at("error_kind").str, "busy");
+    ASSERT_TRUE(busy.has("retry_after_ms"));
+    EXPECT_GE(busy.at("retry_after_ms").number, 25);
+
+    minijson::Value after = c.rpc("{\"op\":\"stats\"}");
+    EXPECT_EQ(after.at("stats").at("misses").number, misses)
+        << "a shed sweep must not execute any cell";
+    EXPECT_GE(after.at("stats").at("shed").number, 1);
+    EXPECT_EQ(after.at("stats").at("queued").number, 0);
+
+    // The same grid fits chunk by chunk: a 2-cell chunk is admitted,
+    // so the busy answer was load shedding, not a broken request.
+    c.sendLine("{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+               "\"canonical\":true,\"cursor\":0,\"chunk\":2,"
+               "\"grid\":{\"protocol\":[\"h2\",\"h5\"],"
+               "\"seed\":[1,2,3,4]}}");
+    int cells = 0;
+    for (;;) {
+        std::string line;
+        ASSERT_TRUE(c.readLine(line));
+        minijson::Value v = minijson::parse(line);
+        ASSERT_TRUE(v.at("ok").boolean) << line;
+        if (v.has("sweep_chunk_done")) {
+            EXPECT_EQ(v.at("next_cursor").number, 2);
+            EXPECT_EQ(v.at("cells").number, 8);
+            break;
+        }
+        ++cells;
+    }
+    EXPECT_EQ(cells, 2);
+
+    server.stop();
+}
+
+TEST(Serve, ChunkedSweepResumesAcrossConnectionsByteIdentical)
+{
+    setQuiet(true);
+    TestServer server("chunk");
+
+    // 2x3 grid fetched as a 4-cell chunk on one connection and the
+    // 2-cell remainder on a *fresh* connection: the cursor is client
+    // state, so resume needs nothing from the server but the cache.
+    const std::string base =
+        "\"app\":\"worker\",\"nodes\":4,\"canonical\":true,"
+        "\"grid\":{\"protocol\":[\"h2\",\"h5\"],\"seed\":[1,2,3]}";
+    std::vector<std::string> cell_lines(6);
+
+    {
+        Client first;
+        ASSERT_TRUE(first.connectTo(server.cfg.socketPath));
+        first.sendLine("{\"op\":\"sweep\"," + base +
+                       ",\"cursor\":0,\"chunk\":4}");
+        for (int i = 0; i < 5; ++i) {
+            std::string line;
+            ASSERT_TRUE(first.readLine(line));
+            minijson::Value v = minijson::parse(line);
+            ASSERT_TRUE(v.at("ok").boolean) << line;
+            if (v.has("sweep_chunk_done")) {
+                EXPECT_EQ(v.at("cells").number, 6);
+                EXPECT_EQ(v.at("next_cursor").number, 4);
+                EXPECT_EQ(i, 4);
+                continue;
+            }
+            EXPECT_EQ(v.at("of").number, 6);
+            int cell = static_cast<int>(v.at("cell").number);
+            ASSERT_GE(cell, 0);
+            ASSERT_LT(cell, 4) << "chunk leaked cells past cursor+chunk";
+            cell_lines[static_cast<std::size_t>(cell)] = line;
+        }
+    }
+
+    Client second;
+    ASSERT_TRUE(second.connectTo(server.cfg.socketPath));
+    second.sendLine("{\"op\":\"sweep\"," + base +
+                    ",\"cursor\":4,\"chunk\":4}");
+    for (int i = 0; i < 3; ++i) {
+        std::string line;
+        ASSERT_TRUE(second.readLine(line));
+        minijson::Value v = minijson::parse(line);
+        ASSERT_TRUE(v.at("ok").boolean) << line;
+        if (v.has("sweep_done")) {
+            EXPECT_EQ(v.at("cells").number, 6);
+            EXPECT_EQ(i, 2);
+            continue;
+        }
+        int cell = static_cast<int>(v.at("cell").number);
+        ASSERT_GE(cell, 4) << "resumed chunk re-sent an earlier cell";
+        ASSERT_LT(cell, 6);
+        cell_lines[static_cast<std::size_t>(cell)] = line;
+    }
+
+    // Assembled across two connections, every record matches direct
+    // execution byte for byte (row-major, seed fastest).
+    Runner direct(/*fail_fast=*/false);
+    const char *protos[2] = {"h2", "h5"};
+    for (int k = 0; k < 6; ++k) {
+        ASSERT_FALSE(cell_lines[k].empty()) << "cell " << k;
+        EXPECT_EQ(recordBytes(cell_lines[k]),
+                  canonicalJson(direct.execute(workerCell(
+                      protos[k / 3],
+                      static_cast<std::uint64_t>(k % 3 + 1)))))
+            << "cell " << k;
+    }
+
+    // A cursor past the grid is a structural error, not a hang.
+    minijson::Value bad = second.rpc(
+        "{\"op\":\"sweep\"," + base + ",\"cursor\":6,\"chunk\":4}");
+    EXPECT_FALSE(bad.at("ok").boolean);
+    EXPECT_EQ(bad.at("error_kind").str, "bad_request");
+
+    server.stop();
+}
+
+TEST(Serve, ClientLibraryResumesAChaosKilledSweepByteIdentical)
+{
+    setQuiet(true);
+    TestServer server("chaosresume");
+
+    client::ClientConfig ccfg;
+    ccfg.address = server.cfg.socketPath;
+    ccfg.chunk = 2;
+    ccfg.maxAttempts = 50;
+    ccfg.backoffBaseMs = 1;
+    ccfg.backoffMaxMs = 5;
+    ccfg.chaosKillPerMille = 350;
+    ccfg.chaosSeed = 11;
+    client::ServeClient cli(ccfg);
+
+    client::SweepResult res = cli.runSweep(
+        "{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+        "\"canonical\":true,\"grid\":{\"protocol\":[\"h2\",\"h5\"],"
+        "\"seed\":[1,2,3]}}");
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.cells, 6u);
+    EXPECT_GE(res.reconnects, 1u)
+        << "chaos seed produced no kills; the test lost its point";
+
+    Runner direct(/*fail_fast=*/false);
+    const char *protos[2] = {"h2", "h5"};
+    for (std::size_t k = 0; k < 6; ++k)
+        EXPECT_EQ(res.records[k],
+                  canonicalJson(direct.execute(workerCell(
+                      protos[k / 3],
+                      static_cast<std::uint64_t>(k % 3 + 1)))))
+            << "cell " << k;
+
+    server.stop();
+}
+
+TEST(Serve, IdleTimeoutClosesQuietClientsButNeverWaitingOnes)
+{
+    setQuiet(true);
+    TestServer server("idle", 1, 0, 0, [](serve::ServeConfig &c) {
+        c.idleTimeoutMs = 200;
+    });
+
+    // A client mid-sweep is never idle — waiting on results counts as
+    // activity even if some cell simulates longer than the timeout.
+    Client busy;
+    ASSERT_TRUE(busy.connectTo(server.cfg.socketPath));
+    busy.sendLine("{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":8,"
+                  "\"canonical\":true,"
+                  "\"grid\":{\"protocol\":[\"h2\",\"h5\"],"
+                  "\"seed\":[1,2,3,4]}}");
+    int cells = 0;
+    bool done = false;
+    while (!done) {
+        std::string line;
+        ASSERT_TRUE(busy.readLine(line))
+            << "server idle-closed a client awaiting sweep results";
+        minijson::Value v = minijson::parse(line);
+        ASSERT_TRUE(v.at("ok").boolean) << line;
+        if (v.has("sweep_done"))
+            done = true;
+        else
+            ++cells;
+    }
+    EXPECT_EQ(cells, 8);
+
+    // The same connection gone quiet gets the structured idle error
+    // and then EOF — and the close is accounted for in the stats.
+    std::string line;
+    ASSERT_TRUE(busy.readLine(line));
+    minijson::Value idle = minijson::parse(line);
+    EXPECT_FALSE(idle.at("ok").boolean);
+    EXPECT_EQ(idle.at("error_kind").str, "idle_timeout");
+    EXPECT_FALSE(busy.readLine(line)) << "connection not closed";
+
+    Client fresh;
+    ASSERT_TRUE(fresh.connectTo(server.cfg.socketPath));
+    minijson::Value stats = fresh.rpc("{\"op\":\"stats\"}");
+    EXPECT_GE(stats.at("stats").at("idle_closed").number, 1);
+
+    server.stop();
+}
+
+TEST(Serve, SigtermDrainsInFlightWorkAndExitsZero)
+{
+    setQuiet(true);
+    TestServer server("sigterm", 2, 0, 0, [](serve::ServeConfig &c) {
+        c.handleSignals = true;
+    });
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+    EXPECT_TRUE(c.rpc("{\"op\":\"run\",\"app\":\"worker\","
+                      "\"nodes\":4,\"canonical\":true}")
+                    .at("ok").boolean);
+
+    // The loop's own handler (installed because handleSignals is on,
+    // restored before serveLoop returns) turns SIGTERM into a drain:
+    // the thread exits 0 instead of the signal killing this test.
+    ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+    server.stopped = true;
+    server.thread.join();
+    EXPECT_EQ(server.exitCode, 0);
+    EXPECT_FALSE(::access(server.cfg.socketPath.c_str(), F_OK) == 0)
+        << "drained server left its socket behind";
 }

@@ -17,9 +17,14 @@
 # gates' seed counts small enough for sanitized binaries. The tier-1
 # pass also carries test_serve, which runs a real multi-client server
 # in-process — per-connection reader threads feeding the shared run
-# pool, server-side sweeps, and a client hanging up mid-sweep — so
-# the serve path's connection-lifetime discipline is TSan-checked on
-# every matrix run.
+# pool, server-side sweeps, chunked resume, overload shedding, idle
+# timeouts, and SIGTERM drain — so the serve path's
+# connection-lifetime discipline is TSan-checked on every matrix run.
+# The stress label adds stress_serve, the socket-level chaos harness
+# (torn writes, garbage, resets, stalled peers, kill-and-reconnect
+# resumable sweeps over Unix and TCP); SWEX_SERVE_CONNS scales its
+# connection count down the same way SWEX_DET_SEEDS scales the
+# digest gates.
 # Usage:
 #
 #   tools/ci_sanitize.sh [builddir-prefix]
@@ -44,7 +49,7 @@ for san in address undefined thread; do
     echo "== ${san}: running tier-1 tests"
     ctest --test-dir "${build_dir}" --output-on-failure
     echo "== ${san}: running the audited protocol stress sweep"
-    SWEX_DET_SEEDS=50 \
+    SWEX_DET_SEEDS=50 SWEX_SERVE_CONNS=48 \
         ctest --test-dir "${build_dir}" --output-on-failure -L stress
 done
 echo "== sanitizer matrix passed"

@@ -31,6 +31,14 @@
 # both digests must equal the direct digest bit for bit. A cache that
 # changes a published number is worse than no cache.
 # SWEX_DET_CACHE=0 skips it.
+#
+# A sixth leg gates the sweep server: tools/stress_serve runs its
+# fixed 12-cell grid once in-process (--direct) and once through the
+# full chaos harness (torn writes, resets, shedding, kill-and-resume
+# sweeps over Unix and TCP sockets), and the two digests must match
+# bit for bit — serving, chunked resume, and the result cache must
+# never change a record byte. SWEX_DET_SERVE=0 skips it; the leg also
+# skips itself if stress_serve is not built next to stress_protocols.
 set -eu
 
 if [ "$#" -lt 1 ]; then
@@ -129,4 +137,23 @@ if [ "${SWEX_DET_CACHE:-1}" != "0" ]; then
         exit 1
     fi
     echo "OK: cold and warm cached digests identical to direct"
+fi
+
+serve_bin=$(dirname "${stress}")/stress_serve
+if [ "${SWEX_DET_SERVE:-1}" != "0" ] && [ -x "${serve_bin}" ]; then
+    echo "== serve equivalence: chaos-served grid vs direct"
+    sdir=$("${serve_bin}" --direct | extract_digest)
+    ssrv=$("${serve_bin}" --conns 24 | extract_digest)
+    if [ -z "${sdir}" ] || [ -z "${ssrv}" ]; then
+        echo "error: no grid digest line in stress_serve output" >&2
+        exit 1
+    fi
+    echo "   direct: ${sdir}"
+    echo "   served: ${ssrv}"
+    if [ "${ssrv}" != "${sdir}" ]; then
+        echo "FAIL: chaos-served grid digest differs from direct" \
+             "(${ssrv} != ${sdir})" >&2
+        exit 1
+    fi
+    echo "OK: served digest identical to direct"
 fi

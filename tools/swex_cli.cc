@@ -29,8 +29,10 @@
 #include "base/logging.hh"
 #include "core/spectrum.hh"
 #include "exp/cache/result_cache.hh"
+#include "exp/client.hh"
 #include "exp/runner.hh"
 #include "exp/serve.hh"
+#include "exp/wire_json.hh"
 
 using namespace swex;
 
@@ -162,6 +164,28 @@ usage()
         "                     workers and stream back as they land;\n"
         "                     concurrent clients share the pool\n"
         "                     (ops: run, sweep, stats, shutdown)\n"
+        "  --serve-tcp <h:p>  also (or only) listen on TCP host:port\n"
+        "                     (port 0 = ephemeral); combinable with\n"
+        "                     --serve, same protocol on both\n"
+        "  --serve-backlog <n> listen(2) backlog (default 64)\n"
+        "  --serve-max-queue <n> admission bound in work units (runs +\n"
+        "                     sweep cells); excess is shed with a\n"
+        "                     structured busy error and retry_after_ms\n"
+        "                     hint (default 4096, 0 = unbounded)\n"
+        "  --serve-idle-ms <n> close connections idle this long with\n"
+        "                     no outstanding work (default 0 = never)\n"
+        "  --connect <addr>   run remotely against a server instead of\n"
+        "                     simulating locally: a path is a Unix\n"
+        "                     socket, host:port is TCP. Retries with\n"
+        "                     seeded exponential backoff, honors busy\n"
+        "                     hints, and resumes interrupted --sweep\n"
+        "                     chunks from the first missing cell\n"
+        "  --rpc-deadline <ms> per-response deadline for --connect\n"
+        "                     (default 30000)\n"
+        "  --rpc-attempts <n> retry budget for --connect (default 5;\n"
+        "                     any received line resets it)\n"
+        "  --chunk <n>        cells per --connect sweep chunk request\n"
+        "                     (default 4096 = the server max)\n"
         "  --seq              also run the sequential reference and\n"
         "                     report speedup\n"
         "  --stats            dump the full statistics tree\n"
@@ -311,6 +335,314 @@ listEverything()
                 "word\n", "dragon");
 }
 
+/** The handful of record fields the remote front end reports. */
+struct RemoteRec
+{
+    std::uint64_t cycles = 0;
+    bool verified = false;
+    std::string status = "?";
+};
+
+bool
+parseRemoteRecord(const std::string &record_json, RemoteRec &out)
+{
+    wire::JsonParser p(record_json);
+    wire::JsonValue v;
+    if (!p.parseWhole(v) || v.kind != wire::JsonValue::Kind::Object)
+        return false;
+    if (const wire::JsonValue *c = v.find("sim_cycles"))
+        wire::numberAsU64(*c, out.cycles);
+    if (const wire::JsonValue *ve = v.find("verified"))
+        out.verified =
+            ve->kind == wire::JsonValue::Kind::Bool && ve->boolean;
+    if (const wire::JsonValue *s = v.find("status"))
+        if (s->kind == wire::JsonValue::Kind::String)
+            out.status = s->raw;
+    return true;
+}
+
+/** The raw record-object bytes out of a response line (substring,
+ *  not re-render, so --json writes exactly what the server sent). */
+bool
+extractRecord(const std::string &line, std::string &out)
+{
+    const std::string key = "\"record\":";
+    std::size_t at = line.find(key);
+    if (at == std::string::npos || line.empty() || line.back() != '}')
+        return false;
+    out = line.substr(at + key.size(),
+                      line.size() - 1 - (at + key.size()));
+    return true;
+}
+
+/** Wrap remotely-fetched records in the swex-run-v1 envelope. */
+bool
+writeRemoteJson(const std::string &path,
+                const std::vector<std::string> &records)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "{\"schema\":\"swex-run-v1\",\"records\":[\n");
+    for (std::size_t i = 0; i < records.size(); ++i)
+        std::fprintf(f, "%s%s\n", records[i].c_str(),
+                     i + 1 < records.size() ? "," : "");
+    std::fprintf(f, "]}\n");
+    bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+/** A swex-run-v1 record for a remote request that never produced
+ *  one: status "error" plus the structured error_kind (the server's
+ *  taxonomy, or the client-local "transport"/"deadline"), so
+ *  tools/triage_failures.py can cluster serve-side failures next to
+ *  simulator stalls. */
+std::string
+remoteFailureRecord(const ExperimentSpec &spec,
+                    const std::string &proto, const std::string &error,
+                    const std::string &kind)
+{
+    std::string r = "{\"id\":\"" + wire::jsonEscape(spec.id) + "\"";
+    r += ",\"app\":\"" + wire::jsonEscape(spec.app) + "\"";
+    r += ",\"protocol\":\"" + wire::jsonEscape(proto) + "\"";
+    r += ",\"nodes\":" + std::to_string(spec.nodes);
+    r += ",\"status\":\"error\"";
+    r += ",\"error\":\"" + wire::jsonEscape(error) + "\"";
+    r += ",\"error_kind\":\"" +
+         wire::jsonEscape(kind.empty() ? "transport" : kind) + "\"}";
+    return r;
+}
+
+/**
+ * Build the shared part of a remote request from the CLI options.
+ * Returns the object *without* its closing brace so the caller can
+ * splice op-specific fields (grid, jitter_seed). canonical:true keeps
+ * the returned records deterministic (host wall time zeroed), so
+ * remote output is byte-comparable across runs and servers.
+ */
+std::string
+remoteRequest(const char *op, const ExperimentSpec &spec,
+              const std::string &proto, const std::string &bus,
+              bool include_protocol)
+{
+    std::string r = std::string("{\"op\":\"") + op + "\"";
+    r += ",\"app\":\"" + wire::jsonEscape(spec.app) + "\"";
+    r += ",\"nodes\":" + std::to_string(spec.nodes);
+    if (include_protocol)
+        r += ",\"protocol\":\"" + wire::jsonEscape(proto) + "\"";
+    if (!bus.empty())
+        r += ",\"bus\":\"" + wire::jsonEscape(bus) + "\"";
+    if (spec.profile == HandlerProfile::TunedAsm)
+        r += ",\"profile\":\"asm\"";
+    r += ",\"victim\":" + std::to_string(spec.victimEntries);
+    r += ",\"seed\":" + std::to_string(spec.seed);
+    if (!spec.params.empty()) {
+        r += ",\"params\":{";
+        bool first = true;
+        for (const auto &[k, v] : spec.params) {
+            if (!first)
+                r += ",";
+            first = false;
+            r += "\"" + wire::jsonEscape(k) + "\":\"" +
+                 wire::jsonEscape(v) + "\"";
+        }
+        r += "}";
+    }
+    if (spec.audit)
+        r += ",\"audit\":true";
+    if (spec.jitterMax != 0)
+        r += ",\"jitter\":" +
+             std::to_string(static_cast<unsigned long long>(
+                 spec.jitterMax));
+    if (spec.faultDropPerMille != 0)
+        r += ",\"fault_drop\":" +
+             std::to_string(spec.faultDropPerMille);
+    if (spec.faultDupPerMille != 0)
+        r += ",\"fault_dup\":" + std::to_string(spec.faultDupPerMille);
+    if (spec.faultBlackoutPerMille != 0)
+        r += ",\"fault_blackout\":" +
+             std::to_string(spec.faultBlackoutPerMille);
+    if (spec.faultSeed != 0)
+        r += ",\"fault_seed\":" + std::to_string(spec.faultSeed);
+    if (spec.deadline != 0)
+        r += ",\"deadline\":" +
+             std::to_string(static_cast<unsigned long long>(
+                 spec.deadline));
+    r += ",\"canonical\":true";
+    return r;
+}
+
+/**
+ * The --connect front end: the same option surface, executed by a
+ * server instead of the local simulator. Knobs that only the local
+ * machine honors (trace record/replay, --seq, --stats, structural
+ * protocol edits) are usage errors, not silent no-ops.
+ */
+int
+remoteMain(const std::string &addr, const ExperimentSpec &spec,
+           const std::string &proto, const std::string &bus,
+           bool want_sweep, int sweep_seeds, bool record_replay,
+           bool seq_stats, bool local_bit_off,
+           const std::string &json_path, int deadline_ms,
+           int attempts, int chunk_cells)
+{
+    auto usageError = [](const std::string &msg) {
+        std::fprintf(stderr, "swex_cli: %s\n", msg.c_str());
+        std::fprintf(stderr, "run 'swex_cli --help' for usage\n");
+        std::exit(2);
+    };
+    if (record_replay)
+        usageError("--record/--replay drive the local trace cache; "
+                   "drop them for --connect");
+    if (seq_stats)
+        usageError("--seq and --stats need the local simulator; drop "
+                   "them for --connect");
+    if (local_bit_off || spec.perfectIfetch || spec.parallelInv)
+        usageError("--no-local-bit/--perfect-ifetch/--parallel-inv "
+                   "are not in the serve protocol; run locally");
+
+    client::ClientConfig ccfg;
+    ccfg.address = addr;
+    ccfg.requestDeadlineMs = deadline_ms;
+    ccfg.maxAttempts = static_cast<unsigned>(attempts);
+    ccfg.backoffSeed = spec.seed;
+    ccfg.chunk = static_cast<std::size_t>(chunk_cells);
+    client::ServeClient cli(ccfg);
+
+    if (!want_sweep) {
+        std::string req = remoteRequest("run", spec, proto, bus,
+                                        /*include_protocol=*/true);
+        if (spec.jitterSeed != 0)
+            req += ",\"jitter_seed\":" +
+                   std::to_string(spec.jitterSeed);
+        req += "}";
+        client::Response resp = cli.rpcRetry(req);
+        if (!resp.ok) {
+            std::fprintf(stderr,
+                         "swex_cli: remote run failed (%s): %s\n",
+                         resp.errorKind.c_str(), resp.error.c_str());
+            if (!json_path.empty())
+                writeRemoteJson(json_path,
+                                {remoteFailureRecord(spec, proto,
+                                                     resp.error,
+                                                     resp.errorKind)});
+            return 1;
+        }
+        std::string record;
+        RemoteRec rec;
+        if (!extractRecord(resp.line, record) ||
+            !parseRemoteRecord(record, rec)) {
+            std::fprintf(stderr,
+                         "swex_cli: malformed remote response\n");
+            return 1;
+        }
+        std::string source = "?";
+        if (const wire::JsonValue *s = resp.doc.find("source"))
+            if (s->kind == wire::JsonValue::Kind::String)
+                source = s->raw;
+        std::printf("remote run via %s: source=%s\n", addr.c_str(),
+                    source.c_str());
+        std::printf("run time: %llu cycles (%.3f s at 33 MHz)\n",
+                    static_cast<unsigned long long>(rec.cycles),
+                    static_cast<double>(rec.cycles) / 33.0e6);
+        if (rec.status != "ok")
+            std::printf("status: %s\n", rec.status.c_str());
+        else
+            std::printf("verification: %s\n",
+                        rec.verified ? "PASSED" : "FAILED");
+        bool json_ok = true;
+        if (!json_path.empty()) {
+            json_ok = writeRemoteJson(json_path, {record});
+            if (!json_ok)
+                std::fprintf(stderr, "error: could not write %s\n",
+                             json_path.c_str());
+        }
+        return rec.status == "ok" && rec.verified && json_ok ? 0 : 1;
+    }
+
+    SnoopProtocol sp{};
+    if (parseSnoopProtocol(proto, sp))
+        usageError("--sweep walks the directory protocol spectrum; "
+                   "snooping protocols have no remote sweep grid");
+    // Same grid the local sweep runs: spectrum x jitter seeds,
+    // expressed as a server-side sweep so warm cells never leave the
+    // server's cache and resumes survive connection loss.
+    std::uint64_t seed0 =
+        spec.jitterSeed != 0 ? spec.jitterSeed : spec.seed;
+    std::string base = remoteRequest("sweep", spec, proto, bus,
+                                     /*include_protocol=*/false);
+    base += ",\"grid\":{\"protocol\":[";
+    {
+        bool first = true;
+        for (const auto &pt : protocolSpectrum()) {
+            if (!first)
+                base += ",";
+            first = false;
+            base += "\"" + cliProtoKey(pt.label) + "\"";
+        }
+    }
+    base += "],\"jitter_seed\":[";
+    for (int s = 0; s < sweep_seeds; ++s) {
+        if (s != 0)
+            base += ",";
+        base += std::to_string(seed0 + static_cast<std::uint64_t>(s));
+    }
+    base += "]}}";
+
+    std::printf("remote sweep via %s: app=%s nodes=%d victim=%u "
+                "(%zu points x %d seeds, chunk %d)\n",
+                addr.c_str(), spec.app.c_str(), spec.nodes,
+                spec.victimEntries, protocolSpectrum().size(),
+                sweep_seeds, chunk_cells);
+
+    client::SweepResult res = cli.runSweep(base);
+    if (!res.ok) {
+        std::fprintf(stderr,
+                     "swex_cli: remote sweep failed (%s): %s\n",
+                     res.errorKind.c_str(), res.error.c_str());
+        if (!json_path.empty())
+            writeRemoteJson(json_path,
+                            {remoteFailureRecord(spec, proto,
+                                                 res.error,
+                                                 res.errorKind)});
+        return 1;
+    }
+
+    bool all_ok = true;
+    std::size_t i = 0;
+    for (const auto &pt : protocolSpectrum()) {
+        int ok = 0;
+        RemoteRec first;
+        for (int s = 0; s < sweep_seeds && i < res.records.size();
+             ++s, ++i) {
+            RemoteRec rec;
+            if (parseRemoteRecord(res.records[i], rec) &&
+                rec.status == "ok" && rec.verified) {
+                ++ok;
+            } else {
+                all_ok = false;
+            }
+            if (s == 0)
+                parseRemoteRecord(res.records[i], first);
+        }
+        std::printf("  %-10s %3d/%d ok  s0: %llu cycles\n",
+                    pt.label.c_str(), ok, sweep_seeds,
+                    static_cast<unsigned long long>(first.cycles));
+    }
+    if (res.reconnects != 0 || res.duplicates != 0)
+        std::printf("  (resumed: %u reconnects, %u duplicate "
+                    "cells)\n", res.reconnects, res.duplicates);
+
+    bool json_ok = true;
+    if (!json_path.empty()) {
+        json_ok = writeRemoteJson(json_path, res.records);
+        if (!json_ok)
+            std::fprintf(stderr, "error: could not write %s\n",
+                         json_path.c_str());
+    }
+    return all_ok && json_ok ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -335,6 +667,14 @@ main(int argc, char **argv)
     std::uint64_t cache_max_bytes = 0;
     std::uint64_t cache_max_entries = 0;
     std::string serve_socket;
+    std::string serve_tcp;
+    int serve_backlog = 64;
+    std::uint64_t serve_max_queue = 4096;
+    int serve_idle_ms = 0;
+    std::string connect_addr;
+    int rpc_deadline_ms = 30'000;
+    int rpc_attempts = 5;
+    int chunk_cells = 4096;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -385,6 +725,20 @@ main(int argc, char **argv)
         else if (a == "--cache-max-entries")
             cache_max_entries = parseU64(a, next());
         else if (a == "--serve") serve_socket = next();
+        else if (a == "--serve-tcp") serve_tcp = next();
+        else if (a == "--serve-backlog")
+            serve_backlog = parseCount(a, next(), 1, 65535);
+        else if (a == "--serve-max-queue")
+            serve_max_queue = parseU64(a, next());
+        else if (a == "--serve-idle-ms")
+            serve_idle_ms = parseCount(a, next(), 0, 86'400'000);
+        else if (a == "--connect") connect_addr = next();
+        else if (a == "--rpc-deadline")
+            rpc_deadline_ms = parseCount(a, next(), 1, 86'400'000);
+        else if (a == "--rpc-attempts")
+            rpc_attempts = parseCount(a, next(), 1, 1000);
+        else if (a == "--chunk")
+            chunk_cells = parseCount(a, next(), 1, 4096);
         else if (a == "--sweep") want_sweep = true;
         else if (a == "--seeds")
             sweep_seeds = parseCount(a, next(), 1, 1'000'000);
@@ -407,17 +761,32 @@ main(int argc, char **argv)
 
     // --serve is its own front end: the spec comes per request over
     // the socket, so every other positional knob is ignored. Only
-    // --jobs (worker pool size) and the cache knobs travel with it.
-    if (!serve_socket.empty()) {
+    // --jobs (worker pool size), the cache knobs, and the serve
+    // robustness knobs travel with it.
+    if (!serve_socket.empty() || !serve_tcp.empty()) {
         setQuiet(true);
         serve::ServeConfig scfg;
         scfg.socketPath = serve_socket;
+        scfg.tcpHostPort = serve_tcp;
         scfg.cacheDir = cache::resolveCacheDir(cache_dir);
         scfg.jobs = jobs;
         scfg.cacheMaxBytes = cache_max_bytes;
         scfg.cacheMaxEntries = cache_max_entries;
+        scfg.backlog = serve_backlog;
+        scfg.maxQueuedUnits = serve_max_queue;
+        scfg.idleTimeoutMs = serve_idle_ms;
+        // The CLI owns the process, so SIGTERM means "drain and
+        // exit 0" (embedders of serveLoop opt in explicitly).
+        scfg.handleSignals = true;
         return serve::serveLoop(scfg);
     }
+
+    if (!connect_addr.empty())
+        return remoteMain(connect_addr, spec, proto, bus, want_sweep,
+                          sweep_seeds, want_record || want_replay,
+                          want_seq || want_stats, local_bit_off,
+                          json_path, rpc_deadline_ms, rpc_attempts,
+                          chunk_cells);
 
     SnoopProtocol snoop_proto{};
     const bool snoop = parseSnoopProtocol(proto, snoop_proto);

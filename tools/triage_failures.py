@@ -23,6 +23,13 @@ machines) and SnoopBus::stallSummary (bus machines):
   bus holds 4 queued transactions
     node 1 BusRdX block 0x80
 
+Records carrying an `error_kind` never reached (or never came back
+from) a simulator at all: they are the structured failures swex_cli
+--connect writes when the sweep server refused or lost a request
+(busy, deadline, parse, transport, ...). They cluster by that kind as
+`serve:{kind}` — one glance separates "the server was overloaded"
+from "the protocol deadlocked".
+
 Records whose stall text matches none of these patterns cluster by
 their status string alone. Exits non-zero if any input is malformed
 or (with --self-test) the synthetic fixture misclusters.
@@ -53,7 +60,11 @@ STALL_PATTERNS = [
 
 def signatures(record):
     """Cluster keys for one failed record (deduplicated, in stall
-    order). Falls back to the status string when nothing matches."""
+    order). Serve-side structured errors cluster by their kind;
+    otherwise falls back to the status string when nothing matches."""
+    kind = record.get("error_kind")
+    if kind:
+        return [f"serve:{kind}"]
     seen = []
     for line in record.get("stall", "").splitlines():
         for pattern, key in STALL_PATTERNS:
@@ -129,7 +140,9 @@ def synthetic_fixture():
     """A hand-built swex-run-v1 document exercising every pattern:
     two PendWrite@home3 cells (different blocks/seeds — must merge),
     one deferred backlog, one bus-machine stall, one failure with an
-    empty stall text, and one passing record (must be ignored)."""
+    empty stall text, two serve-side structured errors (a shed
+    request and a dead peer — must cluster by error_kind, not
+    status), and one passing record (must be ignored)."""
     def rec(rid, status, stall, **extra):
         r = {"id": rid, "app": "worker", "protocol": "h5",
              "nodes": 16, "status": status}
@@ -154,6 +167,12 @@ def synthetic_fixture():
             machine_model="snoop", app="falseshare",
             protocol="MESI", nodes=4),
         rec("worker/h5/seed0", "deadline", ""),
+        rec("worker/h5/remote1", "error", "",
+            error="server busy (admission queue full)",
+            error_kind="busy"),
+        rec("worker/h5/remote2", "error", "",
+            error="request deadline expired",
+            error_kind="deadline"),
         rec("worker/h5/seed1", "ok", ""),
     ]}
 
@@ -166,6 +185,8 @@ def self_test():
         "deferred@home2": 2,
         "bus-queue": 1,
         "status:deadline": 1,
+        "serve:busy": 1,
+        "serve:deadline": 1,
     }
     got = {sig: len(members) for sig, members in clusters.items()}
     if got != expect:
