@@ -56,6 +56,53 @@ elapsedMs(std::chrono::steady_clock::time_point since)
 
 constexpr int pollSliceMs = 50;
 
+/**
+ * connect() on an already non-blocking @p fd, bounded by
+ * @p timeout_ms. TCP reports EINPROGRESS and completes via poll();
+ * AF_UNIX reports EAGAIN when the listener's backlog is full — poll()
+ * cannot observe backlog space there, so that case retries on a short
+ * cadence until the deadline. Either way the caller gets 0, or -1
+ * with errno describing the failure (ETIMEDOUT once the deadline
+ * passes), never an unbounded block.
+ */
+int
+connectBounded(int fd, const sockaddr *sa, socklen_t len,
+               int timeout_ms)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+        int rc = ::connect(fd, sa, len);
+        if (rc == 0 || errno == EISCONN)
+            return 0;
+        int left = timeout_ms - elapsedMs(start);
+        if (errno == EINPROGRESS || errno == EALREADY ||
+            errno == EINTR) {
+            pollfd p{fd, POLLOUT, 0};
+            int pr = ::poll(&p, 1, left < 0 ? 0 : left);
+            if (pr > 0) {
+                int soerr = 0;
+                socklen_t slen = sizeof(soerr);
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr,
+                             &slen);
+                if (soerr == 0)
+                    return 0;
+                errno = soerr;
+                return -1;
+            }
+            errno = ETIMEDOUT;
+            return -1;
+        }
+        if (errno != EAGAIN)
+            return -1;
+        if (left <= 0) {
+            errno = ETIMEDOUT;
+            return -1;
+        }
+        sleepMs(static_cast<std::uint64_t>(
+            std::min(left, pollSliceMs)));
+    }
+}
+
 /** Pull the raw "record" object bytes out of a response line: the
  *  value runs from after the key to the line's closing brace.
  *  Substring, not re-render — byte identity with the server's
@@ -146,8 +193,13 @@ ServeClient::connect(std::string *err)
         if (fd < 0)
             return failWith(std::string("socket: ") +
                             std::strerror(errno));
-        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) != 0)
+        // Non-blocking from the start: a live server whose backlog is
+        // full would otherwise block this connect() indefinitely,
+        // breaking the deadline-bounded contract on the Unix path.
+        int fl = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+        if (connectBounded(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr), cfg.connectTimeoutMs) != 0)
             return failWith("connect " + cfg.address + ": " +
                             std::strerror(errno));
     } else {
@@ -180,22 +232,8 @@ ServeClient::connect(std::string *err)
             // even against a blackholed address.
             int fl = ::fcntl(fd, F_GETFL, 0);
             ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
-            int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-            if (rc != 0 && errno == EINPROGRESS) {
-                pollfd p{fd, POLLOUT, 0};
-                int pr = ::poll(&p, 1, cfg.connectTimeoutMs);
-                if (pr > 0) {
-                    int soerr = 0;
-                    socklen_t slen = sizeof(soerr);
-                    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr,
-                                 &slen);
-                    rc = soerr == 0 ? 0 : -1;
-                    errno = soerr;
-                } else {
-                    rc = -1;
-                    errno = ETIMEDOUT;
-                }
-            }
+            int rc = connectBounded(fd, ai->ai_addr, ai->ai_addrlen,
+                                    cfg.connectTimeoutMs);
             if (rc != 0) {
                 why = "connect " + cfg.address + ": " +
                       std::strerror(errno);
@@ -386,7 +424,11 @@ ServeClient::runSweep(const std::string &base_request)
         return res;
     }
     const std::string prefix = base.substr(0, base.size() - 1);
-    std::size_t chunk = cfg.chunk == 0 ? 4096 : cfg.chunk;
+    // Clamp to the server's per-request maximum (serve.cc's
+    // maxSweepChunk) rather than letting an over-large config draw a
+    // terminal bad_request.
+    std::size_t chunk = cfg.chunk == 0 ? 4096
+                        : std::min<std::size_t>(cfg.chunk, 4096);
 
     std::size_t total = 0;
     bool know_total = false;

@@ -65,8 +65,10 @@ struct ClientConfig
     /** Seeds the backoff jitter; equal seeds replay equal delays. */
     std::uint64_t backoffSeed = 0;
 
-    /** Cells per sweep chunk request (clamped to the server's 4096
-     *  maximum by the server). */
+    /** Cells per sweep chunk request. runSweep clamps values above
+     *  the server's 4096-per-request maximum (0 also means 4096), so
+     *  an over-large setting degrades to full-size chunks instead of
+     *  a bad_request rejection. */
     std::size_t chunk = 4096;
 
     /** Chaos instrumentation: per-mille chance, rolled after every

@@ -470,6 +470,7 @@ struct ServerState
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> fdExhausted{0};
     std::atomic<std::uint64_t> idleClosed{0};
+    std::atomic<std::uint64_t> readersReaped{0};
     std::atomic<std::uint64_t> queuedUnits{0};
     std::atomic<std::uint64_t> nextConnId{0};
     std::atomic<bool> stopping{false};
@@ -556,6 +557,32 @@ struct ServerState
         char b = 0;
         ssize_t r = ::write(wakeWrite, &b, 1);
         (void)r;   // pipe full means a wake-up is already pending
+    }
+
+    std::mutex doneMutex;
+    std::vector<std::uint64_t> doneReaders;
+
+    /** A reader thread's last act: queue its connection id for the
+     *  accept loop to join, and wake the loop so a long-lived server
+     *  reaps disconnected clients' threads instead of accumulating
+     *  unjoined handles until shutdown. */
+    void
+    readerDone(std::uint64_t conn_id)
+    {
+        {
+            std::lock_guard<std::mutex> hold(doneMutex);
+            doneReaders.push_back(conn_id);
+        }
+        wakeAccept();
+    }
+
+    std::vector<std::uint64_t>
+    takeDoneReaders()
+    {
+        std::lock_guard<std::mutex> hold(doneMutex);
+        std::vector<std::uint64_t> out;
+        out.swap(doneReaders);
+        return out;
     }
 };
 
@@ -833,6 +860,8 @@ handleClient(ServerState &srv, std::shared_ptr<Connection> conn)
                << srv.fdExhausted.load(std::memory_order_relaxed)
                << ",\"idle_closed\":"
                << srv.idleClosed.load(std::memory_order_relaxed)
+               << ",\"readers_reaped\":"
+               << srv.readersReaped.load(std::memory_order_relaxed)
                << ",\"queued\":"
                << srv.queuedUnits.load(std::memory_order_relaxed)
                << "}}";
@@ -1189,6 +1218,10 @@ serveLoop(const ServeConfig &cfg)
             ::close(tcp_fd);
         return 1;
     }
+    // Both ends non-blocking: readers poking a full pipe must not
+    // stall, and the accept loop drains it without ever blocking.
+    setNonBlocking(wake[0]);
+    setNonBlocking(wake[1]);
 
     ServerState srv(cfg);
     srv.wakeWrite = wake[1];
@@ -1233,7 +1266,21 @@ serveLoop(const ServeConfig &cfg)
     // signal pipe does the same when a termination signal arrives,
     // since no further connection may ever arrive to do it.
     bool signal_drain = false;
-    std::vector<std::thread> readers;
+    std::map<std::uint64_t, std::thread> readers;
+    // Join the reader threads whose connections have finished; their
+    // ids arrive through srv.readerDone(), which wakes the poll below
+    // so reaping is prompt even on an otherwise idle server.
+    auto reap = [&readers, &srv]() {
+        for (std::uint64_t id : srv.takeDoneReaders()) {
+            auto it = readers.find(id);
+            if (it != readers.end()) {
+                it->second.join();
+                readers.erase(it);
+                srv.readersReaped.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+    };
     while (!srv.stopping.load(std::memory_order_acquire)) {
         pollfd fds[4];
         int nfds = 0;
@@ -1246,6 +1293,7 @@ serveLoop(const ServeConfig &cfg)
             tcp_slot = nfds;
             fds[nfds++] = {tcp_fd, POLLIN, 0};
         }
+        int wake_slot = nfds;
         fds[nfds++] = {wake[0], POLLIN, 0};
         int sig_slot = -1;
         if (sig_fd >= 0) {
@@ -1257,8 +1305,19 @@ serveLoop(const ServeConfig &cfg)
         if (pr < 0) {
             if (errno == EINTR)
                 continue;
+            // A fatal poll error means no more connections can ever
+            // be accepted; without beginShutdown() the reader join
+            // below would wait on live clients forever.
+            std::perror("serve: poll");
+            srv.beginShutdown();
             break;
         }
+        if ((fds[wake_slot].revents & POLLIN) != 0) {
+            char buf[64];
+            while (::read(wake[0], buf, sizeof buf) > 0) {
+            }
+        }
+        reap();
         if (sig_slot >= 0 && (fds[sig_slot].revents & POLLIN) != 0) {
             char buf[64];
             while (::read(sig_fd, buf, sizeof buf) > 0) {
@@ -1298,6 +1357,11 @@ serveLoop(const ServeConfig &cfg)
                     std::chrono::milliseconds(10));
                 continue;
             }
+            // Any other accept failure is fatal for the listener:
+            // drain and exit rather than wedging on the final join
+            // while clients stay connected.
+            std::perror("serve: accept");
+            srv.beginShutdown();
             break;
         }
         setNonBlocking(cfd);
@@ -1310,18 +1374,22 @@ serveLoop(const ServeConfig &cfg)
         auto conn = std::make_shared<Connection>(
             cfd, srv.nextConnId.fetch_add(1,
                                           std::memory_order_relaxed));
+        const std::uint64_t conn_id = conn->id;
         srv.registerConn(conn);
-        readers.emplace_back(
-            [&srv, conn = std::move(conn)]() mutable {
+        readers.emplace(
+            conn_id,
+            std::thread([&srv, conn = std::move(conn),
+                         conn_id]() mutable {
                 handleClient(srv, std::move(conn));
-            });
+                srv.readerDone(conn_id);
+            }));
     }
     // beginShutdown() closed every read side, so each reader drains
     // its buffered requests and exits; requests they submitted after
     // the shutdown drain still finish here, their responses going to
     // whichever clients are still connected.
-    for (std::thread &t : readers)
-        t.join();
+    for (auto &entry : readers)
+        entry.second.join();
     srv.pool.wait();
 
     if (signals_hooked) {

@@ -63,7 +63,7 @@
  *     -> {"ok":true,"stats":{"requests":N,"hits":...,"misses":...,
  *         "stores":...,"corrupt":...,"stale":...,"evictions":...,
  *         "shed":...,"fd_exhausted":...,"idle_closed":...,
- *         "queued":...,"accepted":...}}
+ *         "readers_reaped":...,"queued":...,"accepted":...}}
  *   {"op":"shutdown"}
  *     -> {"ok":true,"shutdown":true}   (server exits afterwards)
  *

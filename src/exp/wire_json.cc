@@ -105,9 +105,18 @@ JsonParser::string(std::string &out)
 bool
 JsonParser::value(JsonValue &out)
 {
+    return valueAt(out, 0);
+}
+
+bool
+JsonParser::valueAt(JsonValue &out, int depth)
+{
     // Reset the output: callers reuse one JsonValue across lines,
     // and stale members would masquerade as duplicate keys.
     out = JsonValue{};
+    if (depth > maxDepth)
+        return fail("nesting deeper than " +
+                    std::to_string(maxDepth) + " levels");
     ws();
     if (cur >= end)
         return fail("unexpected end of input");
@@ -131,7 +140,7 @@ JsonParser::value(JsonValue &out)
                 return fail("expected ':'");
             ++cur;
             JsonValue v;
-            if (!value(v))
+            if (!valueAt(v, depth + 1))
                 return false;
             if (out.find(key) != nullptr)
                 return fail("duplicate key '" + key + "'");
@@ -149,7 +158,7 @@ JsonParser::value(JsonValue &out)
         if (cur < end && *cur == ']') { ++cur; return true; }
         for (;;) {
             JsonValue v;
-            if (!value(v))
+            if (!valueAt(v, depth + 1))
                 return false;
             out.items.push_back(std::move(v));
             ws();
@@ -218,9 +227,20 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-void
-renderJson(const JsonValue &v, std::string &out)
+namespace
 {
+
+/** renderJson with the same nesting bound as the parser. Parsed
+ *  values never exceed it (the parser rejects them first), so the
+ *  cutoff only fires for hand-built values; rendering "null" there
+ *  keeps the output valid JSON instead of recursing without bound. */
+void
+renderJsonAt(const JsonValue &v, std::string &out, int depth)
+{
+    if (depth > JsonParser::maxDepth) {
+        out += "null";
+        return;
+    }
     switch (v.kind) {
       case JsonValue::Kind::Null:
         out += "null";
@@ -242,7 +262,7 @@ renderJson(const JsonValue &v, std::string &out)
                 out += ",";
             first = false;
             out += "\"" + jsonEscape(k) + "\":";
-            renderJson(m, out);
+            renderJsonAt(m, out, depth + 1);
         }
         out += "}";
         break;
@@ -254,12 +274,20 @@ renderJson(const JsonValue &v, std::string &out)
             if (!first)
                 out += ",";
             first = false;
-            renderJson(i, out);
+            renderJsonAt(i, out, depth + 1);
         }
         out += "]";
         break;
       }
     }
+}
+
+} // anonymous namespace
+
+void
+renderJson(const JsonValue &v, std::string &out)
+{
+    renderJsonAt(v, out, 0);
 }
 
 bool

@@ -50,6 +50,14 @@ struct JsonParser
     const char *end;
     std::string err;
 
+    /** Maximum container nesting accepted (and re-rendered, see
+     *  renderJson). The parser recurses per nesting level and a
+     *  request line may be up to the server's line cap (1 MiB), so
+     *  without this bound a peer sending ~500k nested '[' would
+     *  overflow the reader thread's stack — a crash, not the
+     *  structured error the wire contract promises. */
+    static constexpr int maxDepth = 64;
+
     explicit JsonParser(const std::string &s)
         : cur(s.data()), end(s.data() + s.size())
     {}
@@ -64,6 +72,7 @@ struct JsonParser
     bool fail(const std::string &why);
     bool literal(const char *word);
     bool string(std::string &out);
+    bool valueAt(JsonValue &out, int depth);
 };
 
 /** Escape @p s for embedding in a JSON string literal. */
@@ -71,7 +80,9 @@ std::string jsonEscape(const std::string &s);
 
 /** Re-render a parsed value as JSON — used to echo a rejected tag
  *  back verbatim (whatever its type), so the peer can correlate the
- *  error with the request that caused it. */
+ *  error with the request that caused it. Bounded like the parser:
+ *  anything nested past JsonParser::maxDepth renders as null, so
+ *  echoing can never recurse deeper than parsing accepts. */
 void renderJson(const JsonValue &v, std::string &out);
 
 /** A JSON number token as a u64, refusing signs/fractions/exponents

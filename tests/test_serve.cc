@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -930,4 +931,186 @@ TEST(Serve, SigtermDrainsInFlightWorkAndExitsZero)
     EXPECT_EQ(server.exitCode, 0);
     EXPECT_FALSE(::access(server.cfg.socketPath.c_str(), F_OK) == 0)
         << "drained server left its socket behind";
+}
+
+TEST(WireJson, NestingDepthIsBoundedNotAStackOverflow)
+{
+    // Depth exactly at the bound parses...
+    {
+        std::string ok_doc(wire::JsonParser::maxDepth, '[');
+        ok_doc += "1";
+        ok_doc.append(wire::JsonParser::maxDepth, ']');
+        wire::JsonParser p(ok_doc);
+        wire::JsonValue v;
+        EXPECT_TRUE(p.parseWhole(v)) << p.err;
+    }
+    // ...one level past it is refused with a structured error...
+    {
+        std::string deep(wire::JsonParser::maxDepth + 1, '[');
+        deep += "1";
+        deep.append(wire::JsonParser::maxDepth + 1, ']');
+        wire::JsonParser p(deep);
+        wire::JsonValue v;
+        EXPECT_FALSE(p.parseWhole(v));
+        EXPECT_NE(p.err.find("nesting"), std::string::npos) << p.err;
+    }
+    // ...and a line-cap-sized run of '[' (the stack-overflow attack:
+    // recursion happens per bracket before any close is needed) fails
+    // the same way instead of crashing the process.
+    {
+        std::string attack(512u << 10, '[');
+        wire::JsonParser p(attack);
+        wire::JsonValue v;
+        EXPECT_FALSE(p.parseWhole(v));
+        EXPECT_NE(p.err.find("nesting"), std::string::npos) << p.err;
+    }
+    // renderJson shares the bound: a hand-built value nested past it
+    // renders the excess as null instead of recursing without limit.
+    {
+        wire::JsonValue deep;
+        deep.kind = wire::JsonValue::Kind::Number;
+        deep.raw = "7";
+        for (int i = 0; i < wire::JsonParser::maxDepth + 6; ++i) {
+            wire::JsonValue wrap;
+            wrap.kind = wire::JsonValue::Kind::Array;
+            wrap.items.push_back(std::move(deep));
+            deep = std::move(wrap);
+        }
+        std::string out;
+        wire::renderJson(deep, out);
+        EXPECT_NE(out.find("null"), std::string::npos);
+        EXPECT_EQ(out.find("7"), std::string::npos)
+            << "value past the bound should have been cut";
+    }
+}
+
+TEST(Serve, DeeplyNestedRequestGetsAStructuredErrorNotACrash)
+{
+    setQuiet(true);
+    TestServer server("deepnest", 1);
+    Client c;
+    ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+
+    // 400 KiB of '[' fits under the 1 MiB line cap, so it reaches the
+    // parser — which must answer a structured error, not overflow the
+    // reader thread's stack.
+    minijson::Value deep = c.rpc(std::string(400u << 10, '['));
+    EXPECT_FALSE(deep.at("ok").boolean);
+    EXPECT_NE(deep.at("error").str.find("nesting"),
+              std::string::npos);
+
+    // Same for an object chain, and the connection survives both.
+    std::string obj;
+    for (int i = 0; i < 40'000; ++i)
+        obj += "{\"a\":";
+    minijson::Value nested = c.rpc(obj);
+    EXPECT_FALSE(nested.at("ok").boolean);
+    EXPECT_TRUE(c.rpc("{\"op\":\"stats\"}").at("ok").boolean);
+
+    server.stop();
+}
+
+TEST(Serve, OversizedClientChunkIsClampedNotRejected)
+{
+    setQuiet(true);
+    TestServer server("bigchunk");
+
+    // Far past the server's 4096-per-request maximum: runSweep clamps
+    // client-side instead of drawing a terminal bad_request.
+    client::ClientConfig ccfg;
+    ccfg.address = server.cfg.socketPath;
+    ccfg.chunk = 1u << 20;
+    client::ServeClient cli(ccfg);
+
+    client::SweepResult res = cli.runSweep(
+        "{\"op\":\"sweep\",\"app\":\"worker\",\"nodes\":4,"
+        "\"canonical\":true,\"grid\":{\"protocol\":[\"h2\"],"
+        "\"seed\":[1,2]}}");
+    ASSERT_TRUE(res.ok) << res.errorKind << ": " << res.error;
+    ASSERT_EQ(res.cells, 2u);
+
+    Runner direct(/*fail_fast=*/false);
+    for (std::size_t k = 0; k < 2; ++k)
+        EXPECT_EQ(res.records[k],
+                  canonicalJson(direct.execute(workerCell(
+                      "h2", static_cast<std::uint64_t>(k + 1)))));
+
+    server.stop();
+}
+
+TEST(Serve, DisconnectedClientsReaderThreadsAreReaped)
+{
+    setQuiet(true);
+    TestServer server("reap", 1);
+
+    // Churn a few clients; each disconnect retires a reader thread
+    // that the accept loop must join promptly (not hold until
+    // shutdown), which it accounts for in the stats.
+    for (int i = 0; i < 3; ++i) {
+        Client c;
+        ASSERT_TRUE(c.connectTo(server.cfg.socketPath));
+        EXPECT_TRUE(c.rpc("{\"op\":\"stats\"}").at("ok").boolean);
+    }
+
+    Client watcher;
+    ASSERT_TRUE(watcher.connectTo(server.cfg.socketPath));
+    double reaped = 0;
+    for (int i = 0; i < 500; ++i) {
+        minijson::Value stats = watcher.rpc("{\"op\":\"stats\"}");
+        reaped = stats.at("stats").at("readers_reaped").number;
+        if (reaped >= 3)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(reaped, 3)
+        << "disconnected clients' reader threads were never joined";
+
+    server.stop();
+}
+
+TEST(Serve, UnixConnectHonorsTheDeadlineAgainstAFullBacklog)
+{
+    // A listener that never accepts, with a saturated backlog: a
+    // blocking AF_UNIX connect() would hang indefinitely, so the
+    // client must use its bounded path and fail with a timeout.
+    const std::string path = scratchDir("backlog") + "/sock";
+    int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)), 0);
+    ASSERT_EQ(::listen(lfd, 0), 0);
+
+    std::vector<int> fillers;
+    for (int i = 0; i < 16; ++i) {
+        int f = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(f, 0);
+        int fl = ::fcntl(f, F_GETFL, 0);
+        ::fcntl(f, F_SETFL, fl | O_NONBLOCK);
+        ::connect(f, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr));
+        fillers.push_back(f);
+    }
+
+    client::ClientConfig ccfg;
+    ccfg.address = path;
+    ccfg.connectTimeoutMs = 200;
+    client::ServeClient cli(ccfg);
+    const auto start = std::chrono::steady_clock::now();
+    std::string err;
+    EXPECT_FALSE(cli.connect(&err));
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsed, 5000) << "connect ignored its deadline";
+    EXPECT_NE(err.find("connect"), std::string::npos) << err;
+
+    for (int f : fillers)
+        ::close(f);
+    ::close(lfd);
+    ::unlink(path.c_str());
 }
